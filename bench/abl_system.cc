@@ -1,0 +1,61 @@
+/**
+ * @file
+ * System-level ablations:
+ *  - driver notification policy: pure interrupts vs NAPI-style
+ *    adaptive switching vs pure polling;
+ *  - DRX data-queue pair sizing vs the number of supportable
+ *    accelerators (Sec. V provisioning math).
+ */
+
+#include "bench/bench_util.hh"
+#include "driver/queues.hh"
+
+using namespace dmx;
+using namespace dmx::sys;
+
+int
+main()
+{
+    bench::banner("System ablations - notification policy and queues",
+                  "Sec. V (drivers, NAPI, queue provisioning)");
+
+    Table t("Notification policy vs DMX latency (10 apps, BitW)");
+    t.header({"policy", "geomean latency (ms)", "interrupts", "polls"});
+    struct Policy
+    {
+        const char *name;
+        double threshold_hz;
+    };
+    for (const Policy &pol :
+         {Policy{"always interrupt", 1e18},
+          Policy{"NAPI adaptive (default)", 50e3},
+          Policy{"always poll", 0.0}}) {
+        std::vector<double> lat;
+        std::uint64_t irqs = 0, polls = 0;
+        for (const auto &app : bench::suite()) {
+            SystemConfig cfg;
+            cfg.n_apps = 10;
+            cfg.placement = Placement::BumpInTheWire;
+            cfg.irq.polling_threshold_hz = pol.threshold_hz;
+            const RunStats s = simulateSystem(cfg, {app});
+            lat.push_back(s.avg_latency_ms);
+            irqs += s.interrupts;
+            polls += s.polls;
+        }
+        t.row({pol.name, Table::num(bench::geomean(lat)),
+               std::to_string(irqs), std::to_string(polls)});
+    }
+    t.print(std::cout);
+
+    Table q("Queue-pair sizing vs supportable accelerators "
+            "(8 GB DRX queue memory)");
+    q.header({"pair size", "max accelerators", "paper"});
+    for (std::uint64_t pair_mb : {25ull, 50ull, 100ull, 200ull, 400ull}) {
+        q.row({std::to_string(pair_mb) + " MB",
+               std::to_string(driver::DrxQueues::maxPeers(
+                   8ull * gib, pair_mb * mib)),
+               pair_mb == 100 ? "40 accelerators (Sec. V)" : ""});
+    }
+    q.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the figure/table harnesses: suite caching,
+ * geometric means, and uniform headers.
+ */
+
+#ifndef DMX_BENCH_BENCH_UTIL_HH
+#define DMX_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.hh"
+#include "common/table.hh"
+#include "sys/system.hh"
+
+namespace dmx::bench
+{
+
+/** The five Table I applications (built once per process). */
+inline const std::vector<sys::AppModel> &
+suite()
+{
+    static const std::vector<sys::AppModel> s = [] {
+        apps::SuiteParams p;
+        return apps::standardSuite(p);
+    }();
+    return s;
+}
+
+/** Paper concurrency sweep. */
+inline const std::vector<unsigned> concurrency_sweep{1, 5, 10, 15};
+
+/** @return geometric mean of @p v (empty -> 0). */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0;
+    double log_sum = 0;
+    for (double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+/**
+ * Run @p n_apps homogeneous copies of @p app under @p placement.
+ */
+inline sys::RunStats
+runHomogeneous(const sys::AppModel &app, sys::Placement placement,
+               unsigned n_apps,
+               pcie::Generation gen = pcie::Generation::Gen3)
+{
+    sys::SystemConfig cfg;
+    cfg.placement = placement;
+    cfg.n_apps = n_apps;
+    cfg.gen = gen;
+    return sys::simulateSystem(cfg, {app});
+}
+
+/** Print the standard harness banner. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::printf("=============================================================\n");
+    std::printf("DMX reproduction harness: %s\n", what.c_str());
+    std::printf("Paper reference: %s\n", paper_ref.c_str());
+    std::printf("=============================================================\n\n");
+}
+
+} // namespace dmx::bench
+
+#endif // DMX_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 3: the case for data motion acceleration.
+ *  (a) runtime breakdown of All-CPU and Multi-Axl for 1-15 concurrent
+ *      applications (geomean over the five benchmarks);
+ *  (b) end-to-end Multi-Axl speedup over All-CPU versus the per-kernel
+ *      accelerator speedup (paper: 1.4x / 1.1x end-to-end despite a
+ *      6.5x per-kernel geomean).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace dmx;
+using namespace dmx::sys;
+
+int
+main()
+{
+    bench::banner("Figure 3 - data motion overhead motivation",
+                  "Sec. II-B, Fig. 3(a) and 3(b)");
+
+    Table a("Fig 3(a): runtime breakdown (geomean shares across apps)");
+    a.header({"apps", "config", "kernel %", "restructure %",
+              "movement %"});
+    for (unsigned n : bench::concurrency_sweep) {
+        for (Placement p : {Placement::AllCpu, Placement::MultiAxl}) {
+            std::vector<double> ks, rs, ms;
+            for (const auto &app : bench::suite()) {
+                const RunStats s = bench::runHomogeneous(app, p, n);
+                const double tot = s.breakdown.total();
+                ks.push_back(100.0 * s.breakdown.kernel_ms / tot);
+                rs.push_back(100.0 * s.breakdown.restructure_ms / tot);
+                ms.push_back(
+                    std::max(1e-3, 100.0 * s.breakdown.movement_ms / tot));
+            }
+            a.row({std::to_string(n), toString(p),
+                   Table::num(bench::geomean(ks), 1),
+                   Table::num(bench::geomean(rs), 1),
+                   Table::num(bench::geomean(ms), 1)});
+        }
+    }
+    a.print(std::cout);
+
+    Table b("Fig 3(b): end-to-end vs per-kernel acceleration");
+    b.header({"metric", "measured", "paper"});
+    cpu::HostParams host;
+    std::vector<double> per_kernel;
+    for (const auto &app : bench::suite()) {
+        for (const auto &k : app.kernels) {
+            const double cores = k.max_host_cores > 0 ? k.max_host_cores
+                                                      : host.max_job_cores;
+            per_kernel.push_back(
+                (k.cpu_core_seconds / cores) /
+                (static_cast<double>(k.accel_cycles) / k.accel_freq_hz));
+        }
+    }
+    auto e2e = [&](unsigned n) {
+        std::vector<double> sp;
+        for (const auto &app : bench::suite()) {
+            const double all_cpu =
+                bench::runHomogeneous(app, Placement::AllCpu, n)
+                    .avg_latency_ms;
+            const double multi =
+                bench::runHomogeneous(app, Placement::MultiAxl, n)
+                    .avg_latency_ms;
+            sp.push_back(all_cpu / multi);
+        }
+        return bench::geomean(sp);
+    };
+    b.row({"per-kernel accel speedup (geomean)",
+           Table::num(bench::geomean(per_kernel)), "6.5x"});
+    b.row({"end-to-end speedup, 1 app", Table::num(e2e(1)), "1.4x"});
+    b.row({"end-to-end speedup, 10 apps", Table::num(e2e(10)), "1.1x"});
+    b.print(std::cout);
+    return 0;
+}

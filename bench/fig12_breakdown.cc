@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 12: runtime breakdown of the Multi-Axl baseline (a) and DMX
+ * (b) across kernels / data restructuring / data movement, for 1-15
+ * concurrent applications. Paper: restructuring is 55.7%-71.7% of the
+ * baseline and shrinks to 7.2%-17.0% under DMX.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace dmx;
+using namespace dmx::sys;
+
+int
+main()
+{
+    bench::banner("Figure 12 - runtime breakdown Multi-Axl vs DMX",
+                  "Sec. VII-A, Fig. 12(a)/(b)");
+
+    for (Placement p :
+         {Placement::MultiAxl, Placement::BumpInTheWire}) {
+        Table t(p == Placement::MultiAxl
+                    ? "Fig 12(a): Multi-Axl baseline breakdown (%)"
+                    : "Fig 12(b): DMX breakdown (%)");
+        t.header({"apps", "kernel %", "restructure %", "movement %",
+                  "avg latency (ms)"});
+        for (unsigned n : bench::concurrency_sweep) {
+            std::vector<double> ks, rs, ms, lat;
+            for (const auto &app : bench::suite()) {
+                const RunStats s = bench::runHomogeneous(app, p, n);
+                const double tot = s.breakdown.total();
+                ks.push_back(100 * s.breakdown.kernel_ms / tot);
+                rs.push_back(100 * s.breakdown.restructure_ms / tot);
+                ms.push_back(100 * s.breakdown.movement_ms / tot);
+                lat.push_back(s.avg_latency_ms);
+            }
+            // Arithmetic mean of shares across apps (they sum to 100).
+            auto mean = [](const std::vector<double> &v) {
+                double sum = 0;
+                for (double x : v)
+                    sum += x;
+                return sum / static_cast<double>(v.size());
+            };
+            t.row({std::to_string(n), Table::num(mean(ks), 1),
+                   Table::num(mean(rs), 1), Table::num(mean(ms), 1),
+                   Table::num(mean(lat), 2)});
+        }
+        t.print(std::cout);
+    }
+
+    std::printf("Paper: baseline restructuring share 66.8 / 55.7 / 64.7 "
+                "/ 71.7 %% for 1/5/10/15 apps;\n"
+                "DMX restructuring share 17.0 / 15.3 / 13.5 / 7.2 %%.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 13: throughput improvement of DMX over Multi-Axl assuming
+ * back-to-back requests through the three-stage pipeline (kernel-1,
+ * data motion, kernel-2): throughput = 1 / slowest-stage latency, the
+ * paper's own methodology. Paper: 3.0x (1 app) to 13.6x (15 apps);
+ * Personal Info Redaction lowest (regex accelerator bound).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace dmx;
+using namespace dmx::sys;
+
+int
+main()
+{
+    bench::banner("Figure 13 - throughput improvement",
+                  "Sec. VII-A, Fig. 13");
+
+    Table t("Fig 13: throughput improvement (x) vs concurrent instances");
+    t.header({"benchmark", "1", "5", "10", "15"});
+    std::vector<std::vector<double>> per_n(bench::concurrency_sweep.size());
+    for (const auto &app : bench::suite()) {
+        std::vector<std::string> row{app.name};
+        for (std::size_t i = 0; i < bench::concurrency_sweep.size(); ++i) {
+            const unsigned n = bench::concurrency_sweep[i];
+            const double base =
+                bench::runHomogeneous(app, Placement::MultiAxl, n)
+                    .avg_throughput_rps;
+            const double dmx =
+                bench::runHomogeneous(app, Placement::BumpInTheWire, n)
+                    .avg_throughput_rps;
+            per_n[i].push_back(dmx / base);
+            row.push_back(Table::num(dmx / base));
+        }
+        t.row(std::move(row));
+    }
+    std::vector<std::string> gm{"GEOMEAN"};
+    for (const auto &v : per_n)
+        gm.push_back(Table::num(bench::geomean(v)));
+    t.row(std::move(gm));
+    t.print(std::cout);
+
+    std::printf("Paper: 3.0x (1 app) -> 13.6x (15 apps) average; "
+                "throughput gains exceed the latency gains because the\n"
+                "CPU restructuring stage bottlenecks the baseline "
+                "pipeline.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 15: system-wide energy reduction of each DRX placement over
+ * the Multi-Axl baseline. Paper: Integrated ~3.4-4.0x flat;
+ * Bump-in-the-Wire best at 1-5 apps (3.8x / 4.3x); Standalone best at
+ * 10-15 apps (6.1x / 6.5x) because BitW replicates glue logic and the
+ * dual-port PCIe mux per accelerator. PCIe-Integrated is not evaluated
+ * (as in the paper).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace dmx;
+using namespace dmx::sys;
+
+int
+main()
+{
+    bench::banner("Figure 15 - energy reduction per DRX placement",
+                  "Sec. VII-B, Fig. 15");
+
+    const std::vector<Placement> placements{
+        Placement::IntegratedDrx, Placement::StandaloneDrx,
+        Placement::BumpInTheWire};
+
+    Table t("Fig 15: energy reduction (x) over Multi-Axl");
+    t.header({"apps", "integrated", "standalone", "bump-in-the-wire",
+              "best"});
+    for (unsigned n : bench::concurrency_sweep) {
+        std::vector<double> base_j;
+        for (const auto &app : bench::suite())
+            base_j.push_back(
+                bench::runHomogeneous(app, Placement::MultiAxl, n)
+                    .energy.total());
+        std::vector<double> red;
+        for (Placement p : placements) {
+            std::vector<double> r;
+            for (std::size_t i = 0; i < bench::suite().size(); ++i) {
+                const double j =
+                    bench::runHomogeneous(bench::suite()[i], p, n)
+                        .energy.total();
+                r.push_back(base_j[i] / j);
+            }
+            red.push_back(bench::geomean(r));
+        }
+        const std::size_t best = static_cast<std::size_t>(
+            std::max_element(red.begin(), red.end()) - red.begin());
+        t.row({std::to_string(n), Table::num(red[0]),
+               Table::num(red[1]), Table::num(red[2]),
+               toString(placements[best])});
+    }
+    t.print(std::cout);
+
+    std::printf("Paper: BitW best at 1/5 apps (3.8x/4.3x), Standalone "
+                "best at 10/15 apps (6.1x/6.5x), Integrated ~4x flat.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 18: sensitivity of DMX speedup to the number of Restructuring
+ * Engine lanes (32-256). Paper: speedup improves up to 128 lanes and
+ * saturates beyond (data-level parallelism exhausted / memory bound),
+ * which is why 128 lanes is the default DRX configuration.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace dmx;
+using namespace dmx::sys;
+
+int
+main()
+{
+    bench::banner("Figure 18 - RE lane-count sweep",
+                  "Sec. VII-C, Fig. 18");
+
+    // The sweep runs on the 250 MHz FPGA prototype (as the paper's
+    // sensitivity study does): at that clock the DDR channel supplies
+    // ~100 B/cycle, so the Restructuring Engines - not memory - bound
+    // the kernels until the lane count saturates the parallelism.
+    Table t("Fig 18: DMX speedup over Multi-Axl vs RE lanes "
+            "(5 apps, 250 MHz FPGA DRX)");
+    t.header({"lanes", "geomean speedup (x)", "drx restructure ms "
+                                              "(geomean)"});
+    for (unsigned lanes : {32u, 64u, 128u, 256u}) {
+        apps::SuiteParams params;
+        params.drx.lanes = lanes;
+        params.drx.freq_hz = 250e6;
+        const auto suite = apps::standardSuite(params);
+
+        std::vector<double> sp, drx_ms;
+        for (const auto &app : suite) {
+            SystemConfig cfg;
+            cfg.n_apps = 5;
+            cfg.drx.lanes = lanes;
+            cfg.drx.freq_hz = 250e6;
+            cfg.placement = Placement::MultiAxl;
+            const double base =
+                simulateSystem(cfg, {app}).avg_latency_ms;
+            cfg.placement = Placement::BumpInTheWire;
+            const RunStats d = simulateSystem(cfg, {app});
+            sp.push_back(base / d.avg_latency_ms);
+            drx_ms.push_back(
+                static_cast<double>(app.motions[0].drx_cycles) / 250e6 *
+                1e3);
+        }
+        t.row({std::to_string(lanes),
+               Table::num(bench::geomean(sp)),
+               Table::num(bench::geomean(drx_ms))});
+    }
+    t.print(std::cout);
+
+    std::printf("Paper: speedup grows to 128 lanes and flattens at 256 "
+                "-> 128 lanes is the default configuration.\n");
+    return 0;
+}

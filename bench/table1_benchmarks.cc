@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table I: the five end-to-end benchmarks - kernels, accelerators,
+ * restructuring operations and data dimensions, regenerated from the
+ * live application models.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/strutil.hh"
+
+using namespace dmx;
+
+int
+main()
+{
+    bench::banner("Table I - end-to-end benchmarks",
+                  "Sec. VI, Table I");
+
+    Table t("Table I: end-to-end benchmarks");
+    t.header({"Benchmark", "Kernel 1", "Data Restructuring", "Kernel 2",
+              "Intermediate"});
+    for (const auto &app : bench::suite()) {
+        t.row({app.name, app.kernels[0].name, app.motions[0].name,
+               app.kernels[1].name, formatBytes(app.motions[0].in_bytes)});
+    }
+    t.print(std::cout);
+
+    Table d("Derived per-stage timings (1 instance, uncontended)");
+    d.header({"Benchmark", "Stage", "Host (ms)", "Device (ms)",
+              "Device"});
+    cpu::HostParams host;
+    for (const auto &app : bench::suite()) {
+        for (const auto &k : app.kernels) {
+            const double cores =
+                k.max_host_cores > 0 ? k.max_host_cores
+                                     : host.max_job_cores;
+            d.row({app.name, k.name,
+                   Table::num(k.cpu_core_seconds / cores * 1e3),
+                   Table::num(static_cast<double>(k.accel_cycles) /
+                              k.accel_freq_hz * 1e3),
+                   "accelerator"});
+        }
+        for (const auto &m : app.motions) {
+            d.row({app.name, m.name,
+                   Table::num(m.cpu_core_seconds / host.max_job_cores *
+                              1e3),
+                   Table::num(static_cast<double>(m.drx_cycles) / 1e9 *
+                              1e3),
+                   "DRX (1 GHz)"});
+        }
+    }
+    d.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Quickstart: chain two accelerators through a DRX with the DMX
+ * runtime (the paper's Sound Detection pipeline, end-to-end, on real
+ * data, with simulated device timing).
+ *
+ *   audio -> [FFT accelerator] -> complex spectra
+ *         -> p2p DMA -> [DRX] mel-scale restructuring
+ *         -> p2p DMA -> [SVM accelerator] -> genre label
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/random.hh"
+#include "kernels/fft.hh"
+#include "kernels/svm.hh"
+#include "restructure/catalog.hh"
+#include "runtime/runtime.hh"
+
+using namespace dmx;
+using runtime::Bytes;
+
+namespace
+{
+
+constexpr std::size_t fft_size = 256;
+constexpr std::size_t hop = 128;
+constexpr std::size_t frames = 62;
+constexpr std::size_t bins = fft_size / 2 + 1; // 129
+constexpr std::size_t mels = 32;
+constexpr std::size_t classes = 4;
+
+Bytes
+toBytes(const std::vector<float> &v)
+{
+    Bytes b(v.size() * 4);
+    std::memcpy(b.data(), v.data(), b.size());
+    return b;
+}
+
+std::vector<float>
+toFloats(const Bytes &b)
+{
+    std::vector<float> v(b.size() / 4);
+    std::memcpy(v.data(), b.data(), b.size());
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("DMX quickstart: FFT -> DRX mel restructure -> SVM\n\n");
+
+    // ---- 1. Describe the platform: two accelerators plus one
+    //         Bump-in-the-Wire DRX.
+    runtime::Platform platform;
+    const auto fft_dev = platform.addAccelerator(
+        "fft0", accel::Domain::FFT,
+        [](const Bytes &in, kernels::OpCount &ops) {
+            const auto samples = toFloats(in);
+            const auto stft = kernels::stft(samples, fft_size, hop, &ops);
+            std::vector<float> out;
+            out.reserve(stft.frames * stft.bins * 2);
+            for (const auto &c : stft.values) {
+                out.push_back(c.real());
+                out.push_back(c.imag());
+            }
+            return toBytes(out);
+        });
+    const auto drx_dev = platform.addDrx("drx0", drx::DrxConfig{});
+
+    kernels::LinearSvm svm(mels, classes);
+    Rng wrng(2024);
+    for (auto &w : svm.weights())
+        w = static_cast<float>(wrng.uniform(-1, 1));
+    const auto svm_dev = platform.addAccelerator(
+        "svm0", accel::Domain::SVM,
+        [&svm](const Bytes &in, kernels::OpCount &ops) {
+            const auto feats = toFloats(in);
+            const std::size_t rows = feats.size() / mels;
+            const auto labels = svm.predictBatch(feats, rows, &ops);
+            Bytes out(labels.size());
+            for (std::size_t i = 0; i < labels.size(); ++i)
+                out[i] = static_cast<std::uint8_t>(labels[i]);
+            return out;
+        });
+
+    // ---- 2. Generate an "audio snippet": a chirp.
+    std::vector<float> audio((frames - 1) * hop + fft_size);
+    for (std::size_t i = 0; i < audio.size(); ++i) {
+        const float t = static_cast<float>(i);
+        audio[i] = std::sin(0.02f * t + 1e-6f * t * t);
+    }
+
+    // ---- 3. Build the execution context and command queues
+    //         (Sec. V programming model).
+    runtime::Context ctx = platform.createContext();
+    const auto b_audio = ctx.createBuffer(toBytes(audio));
+    const auto b_spec = ctx.createBuffer();
+    const auto b_spec_drx = ctx.createBuffer();
+    const auto b_mel = ctx.createBuffer();
+    const auto b_mel_svm = ctx.createBuffer();
+    const auto b_label = ctx.createBuffer();
+
+    // Kernel 1 + p2p DMA into the DRX.
+    ctx.queue(fft_dev).enqueueKernel(b_audio, b_spec);
+    ctx.queue(fft_dev).enqueueCopy(b_spec, b_spec_drx, drx_dev);
+    ctx.finish();
+    const Tick after_fft = platform.now();
+
+    // Data restructuring on the DRX + p2p DMA to the SVM.
+    const auto mel = restructure::melSpectrogram(frames, bins, mels);
+    ctx.queue(drx_dev).enqueueRestructure(mel, b_spec_drx, b_mel);
+    ctx.queue(drx_dev).enqueueCopy(b_mel, b_mel_svm, svm_dev);
+    ctx.finish();
+    const Tick after_drx = platform.now();
+
+    // Kernel 2.
+    runtime::Event done = ctx.queue(svm_dev).enqueueKernel(b_mel_svm,
+                                                           b_label);
+    ctx.finish();
+
+    // ---- 4. Report.
+    const Bytes &labels = ctx.read(b_label);
+    std::size_t votes[classes] = {};
+    for (std::uint8_t l : labels)
+        ++votes[l % classes];
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes; ++c)
+        if (votes[c] > votes[best])
+            best = c;
+
+    std::printf("frames classified : %zu\n", labels.size());
+    std::printf("majority genre    : class %zu (%zu/%zu frames)\n", best,
+                votes[best], labels.size());
+    std::printf("\nsimulated timeline (device clocks + PCIe fabric):\n");
+    std::printf("  FFT kernel + DMA into DRX : %8.1f us\n",
+                ticksToUs(after_fft));
+    std::printf("  + DRX restructure + DMA   : %8.1f us\n",
+                ticksToUs(after_drx));
+    std::printf("  + SVM kernel (end-to-end) : %8.1f us\n",
+                ticksToUs(done.completeTime()));
+    std::printf("\nNo host CPU touched the data after the FFT started:\n"
+                "the DRX restructured and forwarded it peer-to-peer.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Video Surveillance end-to-end: a camera stream is *actually encoded*,
+ * decoded by the video-codec accelerator, restructured by a DRX
+ * (normalize + resize + f16), and classified by the CNN detector -
+ * every stage runs its real implementation under simulated timing.
+ *
+ * Build & run:  ./build/examples/video_pipeline
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/random.hh"
+#include "kernels/nn.hh"
+#include "kernels/video.hh"
+#include "restructure/catalog.hh"
+#include "runtime/runtime.hh"
+
+using namespace dmx;
+using runtime::Bytes;
+
+namespace
+{
+
+constexpr std::size_t width = 128, height = 96, dst = 64;
+constexpr std::size_t n_frames = 4;
+constexpr std::size_t classes = 8;
+
+/** Synthesize a scene: moving bright square over a noisy background. */
+std::vector<kernels::Frame>
+makeScene()
+{
+    Rng rng(99);
+    std::vector<kernels::Frame> frames;
+    for (std::size_t f = 0; f < n_frames; ++f) {
+        kernels::Frame frame(width, height);
+        for (auto &p : frame.pixels)
+            p = static_cast<std::uint8_t>(40 + rng.below(30));
+        const std::size_t ox = 10 + f * 12, oy = 20 + f * 8;
+        for (std::size_t y = oy; y < oy + 24 && y < height; ++y)
+            for (std::size_t x = ox; x < ox + 24 && x < width; ++x)
+                frame.set(x, y, 230);
+        frames.push_back(std::move(frame));
+    }
+    return frames;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("DMX video surveillance pipeline "
+                "(decode -> DRX -> detect)\n\n");
+
+    // Encode the camera feed with the block codec (this is what the
+    // "camera" ships over the network).
+    const auto scene = makeScene();
+    const kernels::VideoStream stream = kernels::videoEncode(scene, 80);
+    std::printf("camera stream    : %zu frames, %zu bytes encoded "
+                "(%.2f bits/pixel)\n",
+                stream.frames, stream.bits.size(),
+                8.0 * static_cast<double>(stream.bits.size()) /
+                    static_cast<double>(n_frames * width * height));
+
+    runtime::Platform platform;
+    const auto decode_dev = platform.addAccelerator(
+        "vdec0", accel::Domain::VideoCodec,
+        [&stream](const Bytes &, kernels::OpCount &ops) {
+            const auto frames = kernels::videoDecode(stream, &ops);
+            Bytes out;
+            for (const auto &f : frames)
+                out.insert(out.end(), f.pixels.begin(), f.pixels.end());
+            return out;
+        });
+    const auto drx_dev = platform.addDrx("drx0", drx::DrxConfig{});
+
+    kernels::TinyCnn detector(1, classes, 7);
+    const auto cnn_dev = platform.addAccelerator(
+        "detect0", accel::Domain::ObjectDetection,
+        [&detector](const Bytes &in, kernels::OpCount &ops) {
+            // Per-frame inference on the f16 tensor from the DRX.
+            const std::size_t per_frame = dst * dst * 2;
+            const std::size_t frames = in.size() / per_frame;
+            Bytes out;
+            for (std::size_t f = 0; f < frames; ++f) {
+                kernels::Tensor img({1, 1, dst, dst});
+                for (std::size_t i = 0; i < dst * dst; ++i) {
+                    std::uint16_t h;
+                    std::memcpy(&h, &in[f * per_frame + i * 2], 2);
+                    img.data[i] = halfToFloat(h);
+                }
+                const kernels::Tensor scores = detector.detect(img, &ops);
+                // Emit the argmax class of the hottest cell.
+                std::size_t best = 0;
+                for (std::size_t i = 1; i < scores.data.size(); ++i)
+                    if (scores.data[i] > scores.data[best])
+                        best = i;
+                out.push_back(
+                    static_cast<std::uint8_t>(best % classes));
+            }
+            return out;
+        });
+
+    runtime::Context ctx = platform.createContext();
+    const auto b_stream = ctx.createBuffer(Bytes(stream.bits));
+    const auto b_frames = ctx.createBuffer();
+    const auto b_frames_drx = ctx.createBuffer();
+    const auto b_tensor = ctx.createBuffer();
+    const auto b_tensor_cnn = ctx.createBuffer();
+    const auto b_dets = ctx.createBuffer();
+
+    ctx.queue(decode_dev).enqueueKernel(b_stream, b_frames);
+    ctx.queue(decode_dev).enqueueCopy(b_frames, b_frames_drx, drx_dev);
+    ctx.finish();
+
+    // The DRX restructures one frame per enqueue (the driver walks the
+    // RX data queue); build a batched kernel over all frames instead by
+    // treating the batch as stacked rows.
+    restructure::Kernel per_frame =
+        restructure::videoFrameRestructure(height, width, dst);
+    Bytes tensor_batch;
+    Bytes frames_bytes = ctx.read(b_frames_drx);
+    for (std::size_t f = 0; f < n_frames; ++f) {
+        const auto b_in = ctx.createBuffer(
+            Bytes(frames_bytes.begin() +
+                      static_cast<long>(f * width * height),
+                  frames_bytes.begin() +
+                      static_cast<long>((f + 1) * width * height)));
+        const auto b_out = ctx.createBuffer();
+        ctx.queue(drx_dev).enqueueRestructure(per_frame, b_in, b_out);
+        ctx.finish();
+        const Bytes &t = ctx.read(b_out);
+        tensor_batch.insert(tensor_batch.end(), t.begin(), t.end());
+    }
+    ctx.write(b_tensor, tensor_batch);
+    ctx.queue(drx_dev).enqueueCopy(b_tensor, b_tensor_cnn, cnn_dev);
+    ctx.finish();
+
+    runtime::Event done =
+        ctx.queue(cnn_dev).enqueueKernel(b_tensor_cnn, b_dets);
+    ctx.finish();
+
+    const Bytes &dets = ctx.read(b_dets);
+    std::printf("decoded PSNR     : %.1f dB (frame 0)\n",
+                kernels::psnr(scene[0],
+                              kernels::videoDecode(stream)[0]));
+    std::printf("detections       : ");
+    for (std::uint8_t d : dets)
+        std::printf("cell-class %u  ", d);
+    std::printf("\nsimulated e2e    : %.1f us across %zu devices\n",
+                ticksToUs(done.completeTime()), platform.deviceCount());
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Domain-specific accelerator models.
+ *
+ * Each accelerator wraps a functional kernel with an FPGA latency model:
+ * cycles = max(ops / throughput, bytes / memory-width) + fixed overhead,
+ * at the 250 MHz clock of the paper's VU9P deployments (a 4x ASIC
+ * scaling mirrors the paper's 250 MHz -> 1 GHz projection). Throughputs
+ * are per-domain estimates of the Vitis HLS / RTL engines used in
+ * Table I.
+ */
+
+#ifndef DMX_ACCEL_ACCELERATOR_HH
+#define DMX_ACCEL_ACCELERATOR_HH
+
+#include <functional>
+#include <string>
+
+#include "common/units.hh"
+#include "kernels/opcount.hh"
+#include "sim/sim_object.hh"
+
+namespace dmx::accel
+{
+
+/** Accelerated domains from Table I. */
+enum class Domain
+{
+    VideoCodec,      ///< hard-IP video decoder
+    ObjectDetection, ///< CNN detector (RTL DNN engine)
+    FFT,             ///< Vitis FFT
+    SVM,             ///< Vitis SVM classifier
+    Crypto,          ///< AES-GCM engine
+    Regex,           ///< regular-expression engine
+    Decompression,   ///< Gzip/LZ decompressor
+    HashJoin,        ///< database hash join
+    RL,              ///< proximal policy optimization network
+    NER,             ///< transformer token classifier (Sec. VII-C)
+};
+
+/** @return human name, e.g. "fft". */
+std::string toString(Domain d);
+
+/** Latency-model parameters for one accelerator design. */
+struct AcceleratorSpec
+{
+    Domain domain;
+    double freq_hz = 250e6;         ///< FPGA clock
+    double flops_per_cycle = 256;   ///< fp datapath width
+    double intops_per_cycle = 256;  ///< integer/logic width
+    double mem_bytes_per_cycle = 64;///< on-card DRAM interface
+    Cycles fixed_overhead = 2000;   ///< kernel launch/drain
+    double active_watts = 25.0;     ///< post-synthesis active power
+    double idle_watts = 8.0;
+};
+
+/** @return the catalog spec for @p domain. */
+AcceleratorSpec specFor(Domain d);
+
+/**
+ * Kernel execution cycles under the roofline latency model.
+ *
+ * @param spec accelerator design
+ * @param ops  work performed by the kernel invocation
+ */
+Cycles kernelCycles(const AcceleratorSpec &spec,
+                    const kernels::OpCount &ops);
+
+/** Completion callback type. */
+using DoneCallback = std::function<void()>;
+
+/**
+ * One accelerator device instance: a FIFO-serving unit on the event
+ * queue. Also used for DRX devices (they are served the same way).
+ */
+class DeviceUnit : public sim::SimObject
+{
+  public:
+    /**
+     * @param eq      event queue
+     * @param name    instance name
+     * @param freq_hz device clock for cycle->time conversion
+     */
+    DeviceUnit(sim::EventQueue &eq, std::string name, double freq_hz);
+
+    /**
+     * Enqueue work of @p cycles; @p done fires when it completes
+     * (FIFO order after everything already queued).
+     */
+    void submit(Cycles cycles, DoneCallback done);
+
+    /** @return device-busy time integrated so far plus queued work. */
+    Tick busyUntil() const { return _busy_until; }
+
+    /** @return total busy seconds (for energy accounting). */
+    double busySeconds() const { return _busy_seconds; }
+
+    /** @return completed jobs. */
+    std::uint64_t completedJobs() const { return _completed; }
+
+    double freqHz() const { return _freq_hz; }
+
+  private:
+    double _freq_hz;
+    Tick _busy_until = 0;
+    double _busy_seconds = 0;
+    std::uint64_t _completed = 0;
+};
+
+} // namespace dmx::accel
+
+#endif // DMX_ACCEL_ACCELERATOR_HH

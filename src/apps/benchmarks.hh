@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The five end-to-end cross-domain benchmarks of Table I, plus the
+ * three-kernel Personal Info Redaction extension of Sec. VII-C.
+ *
+ * Each builder:
+ *  1. fixes paper-scale workload sizes (restructured batches of
+ *     6-16 MB, Sec. IV-A),
+ *  2. measures kernel operation counts by *running the functional
+ *     kernels* (at a reduced batch where the naive host implementation
+ *     would be slow, scaling counts linearly),
+ *  3. derives host times via cpu::*, accelerator cycles via accel::*,
+ *     and DRX cycles by compiling and executing the restructuring
+ *     kernel on the DRX cycle simulator,
+ * and returns a sys::AppModel the system simulator composes.
+ */
+
+#ifndef DMX_APPS_BENCHMARKS_HH
+#define DMX_APPS_BENCHMARKS_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/host_model.hh"
+#include "drx/machine.hh"
+#include "restructure/ir.hh"
+#include "sys/app_model.hh"
+
+namespace dmx::apps
+{
+
+/** Parameters shared by the benchmark builders. */
+struct SuiteParams
+{
+    drx::DrxConfig drx;        ///< DRX hardware to measure against
+    cpu::HostParams host;
+    /// Run the DRX cycle simulation at 1/divisor of the batch and scale
+    /// the (linear) cycle count back up; keeps harness runtime low.
+    unsigned drx_measure_divisor = 8;
+};
+
+/** Video decode -> object detection (surveillance cameras). */
+sys::AppModel buildVideoSurveillance(const SuiteParams &p);
+
+/** FFT -> SVM (audio genre detection). */
+sys::AppModel buildSoundDetection(const SuiteParams &p);
+
+/** FFT -> reinforcement learning (closed-loop brain stimulation). */
+sys::AppModel buildBrainStimulation(const SuiteParams &p);
+
+/** AES-GCM decrypt -> regex PII redaction. */
+sys::AppModel buildPersonalInfoRedaction(const SuiteParams &p);
+
+/** LZ decompress -> hash join (database analytics). */
+sys::AppModel buildDatabaseHashJoin(const SuiteParams &p);
+
+/** Three-kernel extension: decrypt -> regex -> transformer NER. */
+sys::AppModel buildPersonalInfoRedactionNer(const SuiteParams &p);
+
+/** The five Table I applications, in table order. */
+std::vector<sys::AppModel> standardSuite(const SuiteParams &p);
+
+/** A named restructuring kernel + representative input (for Fig. 5). */
+struct NamedRestructure
+{
+    std::string app;                ///< owning benchmark
+    restructure::Kernel kernel;
+    restructure::Bytes input;
+    double branch_rate = 0.08;      ///< for the top-down model
+};
+
+/**
+ * The five benchmark restructuring operations with inputs, sized down
+ * by @p divisor from the paper-scale batches (Fig. 5 characterization).
+ */
+std::vector<NamedRestructure> restructureSuite(unsigned divisor = 8);
+
+} // namespace dmx::apps
+
+#endif // DMX_APPS_BENCHMARKS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Element data types used by restructuring kernels and the DRX.
+ *
+ * Data restructuring between heterogeneous accelerators routinely
+ * changes element types (the paper's "typecasting" operations), so the
+ * type system is modelled for real: buffers hold genuinely converted
+ * bytes, including IEEE-754 half precision.
+ */
+
+#ifndef DMX_COMMON_DTYPE_HH
+#define DMX_COMMON_DTYPE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dmx
+{
+
+/** Supported element types. */
+enum class DType : std::uint8_t { F32, F16, I32, I16, I8, U8 };
+
+/** @return element size in bytes. */
+std::size_t dtypeSize(DType t);
+
+/** @return human name, e.g. "f16". */
+std::string dtypeName(DType t);
+
+/**
+ * Read one element of type @p t at @p src and widen it to float.
+ * Integer types are read as their numeric value.
+ */
+float loadAsFloat(const std::uint8_t *src, DType t);
+
+/**
+ * Narrow @p v to type @p t and store it at @p dst.
+ * Integer targets round to nearest and saturate at the type bounds.
+ */
+void storeFromFloat(std::uint8_t *dst, DType t, float v);
+
+/** IEEE-754 binary16 encode (round-to-nearest-even, with saturation). */
+std::uint16_t floatToHalf(float v);
+
+/** IEEE-754 binary16 decode. */
+float halfToFloat(std::uint16_t h);
+
+} // namespace dmx
+
+#endif // DMX_COMMON_DTYPE_HH

@@ -1,0 +1,97 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace dmx
+{
+
+namespace
+{
+
+std::atomic<bool> debug_enabled{false};
+std::atomic<std::uint64_t> warn_count{0};
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Warn)
+        warn_count.fetch_add(1, std::memory_order_relaxed);
+    std::FILE *sink = level >= LogLevel::Warn ? stderr : stdout;
+    std::fprintf(sink, "%s: %s\n", levelTag(level), msg.c_str());
+}
+
+void
+setDebugLogging(bool enabled)
+{
+    debug_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+debugLoggingEnabled()
+{
+    return debug_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+warnCount()
+{
+    return warn_count.load(std::memory_order_relaxed);
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    logMessage(LogLevel::Panic,
+               strprintf("%s:%d: %s", file, line, msg.c_str()));
+    // Throw instead of abort() so tests can exercise panic paths; the
+    // exception type is what gtest's *_DEATH/THROW assertions hook.
+    throw std::logic_error(msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    logMessage(LogLevel::Fatal,
+               strprintf("%s:%d: %s", file, line, msg.c_str()));
+    throw std::runtime_error(msg);
+}
+
+} // namespace dmx

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal invariant of the simulator itself was violated;
+ *            aborts so a debugger/core dump can inspect the state.
+ * fatal()  - the *user* asked for something impossible (bad configuration,
+ *            invalid arguments); exits with an error code.
+ * warn()   - behaviour may be approximate but the simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef DMX_COMMON_LOGGING_HH
+#define DMX_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace dmx
+{
+
+/** Severity levels understood by the log sink. */
+enum class LogLevel : std::uint8_t { Debug, Info, Warn, Fatal, Panic };
+
+/**
+ * Route a formatted message to the process log sink.
+ *
+ * @param level severity of the message
+ * @param msg   fully formatted message body
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Enable or disable Debug-level messages (off by default). */
+void setDebugLogging(bool enabled);
+
+/** @return true when Debug-level messages are being emitted. */
+bool debugLoggingEnabled();
+
+/**
+ * Count of warnings emitted so far in this process.
+ * Exposed so tests can assert that a code path warned.
+ */
+std::uint64_t warnCount();
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal worker for panic(); never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Internal worker for fatal(); never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace dmx
+
+/** Abort on a simulator bug. Arguments are printf-style. */
+#define dmx_panic(...) \
+    ::dmx::panicImpl(__FILE__, __LINE__, ::dmx::strprintf(__VA_ARGS__))
+
+/** Exit on a user error. Arguments are printf-style. */
+#define dmx_fatal(...) \
+    ::dmx::fatalImpl(__FILE__, __LINE__, ::dmx::strprintf(__VA_ARGS__))
+
+/** Warn but continue. */
+#define dmx_warn(...) \
+    ::dmx::logMessage(::dmx::LogLevel::Warn, ::dmx::strprintf(__VA_ARGS__))
+
+/** Plain status message. */
+#define dmx_inform(...) \
+    ::dmx::logMessage(::dmx::LogLevel::Info, ::dmx::strprintf(__VA_ARGS__))
+
+/** Debug message, compiled in but gated at runtime. */
+#define dmx_debug(...)                                                     \
+    do {                                                                   \
+        if (::dmx::debugLoggingEnabled()) {                                \
+            ::dmx::logMessage(::dmx::LogLevel::Debug,                      \
+                              ::dmx::strprintf(__VA_ARGS__));              \
+        }                                                                  \
+    } while (0)
+
+/** Invariant check that survives NDEBUG builds. */
+#define dmx_assert(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::dmx::panicImpl(__FILE__, __LINE__,                           \
+                             std::string("assertion failed: " #cond " ") + \
+                                 ::dmx::strprintf(__VA_ARGS__));           \
+        }                                                                  \
+    } while (0)
+
+#endif // DMX_COMMON_LOGGING_HH

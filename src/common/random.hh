@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (workload generation, test
+ * data) must draw from an explicitly seeded Rng so runs are reproducible.
+ * The generator is xoshiro256** with a splitmix64 seeding routine.
+ */
+
+#ifndef DMX_COMMON_RANDOM_HH
+#define DMX_COMMON_RANDOM_HH
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace dmx
+{
+
+/** Small, fast, deterministic RNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** @param seed any 64-bit value; equal seeds give equal streams */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto &word : _state) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** @return uniform integer in [0, bound) (bound must be nonzero). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless method would be overkill here;
+        // 128-bit multiply keeps the bias negligible and branch-free.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(below(span));
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + uniform() * (hi - lo);
+    }
+
+    /** @return exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u;
+        do {
+            u = uniform();
+        } while (u <= 0.0);
+        return -mean * std::log(u);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> _state{};
+};
+
+} // namespace dmx
+
+#endif // DMX_COMMON_RANDOM_HH

@@ -1,0 +1,135 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace dmx::stats
+{
+
+StatBase::StatBase(StatGroup *group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (group)
+        group->add(this);
+}
+
+void
+StatGroup::dumpAll(std::ostream &os) const
+{
+    os << "---------- Begin Simulation Statistics (" << _name
+       << ") ----------\n";
+    for (const StatBase *s : _stats)
+        s->dump(os);
+    os << "---------- End Simulation Statistics ----------\n";
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *s : _stats)
+        s->reset();
+}
+
+namespace
+{
+
+void
+printLine(std::ostream &os, const std::string &name, double value,
+          const std::string &desc)
+{
+    os << std::left << std::setw(40) << name << ' ' << std::right
+       << std::setw(16) << value << "  # " << desc << '\n';
+}
+
+} // namespace
+
+void
+Scalar::dump(std::ostream &os) const
+{
+    printLine(os, name(), _value, desc());
+}
+
+void
+Average::dump(std::ostream &os) const
+{
+    printLine(os, name() + ".mean", mean(), desc());
+    printLine(os, name() + ".count", static_cast<double>(_count), desc());
+}
+
+Distribution::Distribution(StatGroup *group, std::string name,
+                           std::string desc, double min, double max,
+                           std::size_t nbuckets)
+    : StatBase(group, std::move(name), std::move(desc)), _lo(min), _hi(max),
+      _buckets(nbuckets, 0)
+{
+    if (nbuckets == 0 || max <= min)
+        dmx_panic("Distribution '%s': invalid bucket spec", this->name().c_str());
+}
+
+void
+Distribution::sample(double v)
+{
+    if (_count == 0) {
+        _min_seen = _max_seen = v;
+    } else {
+        _min_seen = std::min(_min_seen, v);
+        _max_seen = std::max(_max_seen, v);
+    }
+    ++_count;
+    _sum += v;
+    if (v < _lo) {
+        ++_underflow;
+    } else if (v >= _hi) {
+        ++_overflow;
+    } else {
+        const double width = (_hi - _lo) / static_cast<double>(_buckets.size());
+        auto idx = static_cast<std::size_t>((v - _lo) / width);
+        idx = std::min(idx, _buckets.size() - 1);
+        ++_buckets[idx];
+    }
+}
+
+void
+Distribution::dump(std::ostream &os) const
+{
+    printLine(os, name() + ".mean", mean(), desc());
+    printLine(os, name() + ".min", _min_seen, desc());
+    printLine(os, name() + ".max", _max_seen, desc());
+    printLine(os, name() + ".underflow", static_cast<double>(_underflow),
+              desc());
+    printLine(os, name() + ".overflow", static_cast<double>(_overflow),
+              desc());
+    const double width = (_hi - _lo) / static_cast<double>(_buckets.size());
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        printLine(os,
+                  name() + ".bucket[" + std::to_string(_lo + width * i) +
+                      "]",
+                  static_cast<double>(_buckets[i]), desc());
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = _overflow = _count = 0;
+    _sum = _min_seen = _max_seen = 0;
+}
+
+Formula::Formula(StatGroup *group, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(group, std::move(name), std::move(desc)), _fn(std::move(fn))
+{
+}
+
+void
+Formula::dump(std::ostream &os) const
+{
+    printLine(os, name(), value(), desc());
+}
+
+} // namespace dmx::stats

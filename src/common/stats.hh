@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats.
+ *
+ * Statistics register themselves with a StatGroup; groups can be dumped
+ * to any ostream. Only the stat kinds the simulator actually needs are
+ * provided: scalar counters, averages, distributions and formulas
+ * evaluated at dump time.
+ */
+
+#ifndef DMX_COMMON_STATS_HH
+#define DMX_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dmx::stats
+{
+
+class StatGroup;
+
+/** Base class for everything dumpable. */
+class StatBase
+{
+  public:
+    /**
+     * @param group owning group (may be null for free-standing stats)
+     * @param name  dotted stat name
+     * @param desc  human-readable description
+     */
+    StatBase(StatGroup *group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Write one or more lines describing the current value. */
+    virtual void dump(std::ostream &os) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A named collection of statistics. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    /** Called by StatBase's constructor. */
+    void add(StatBase *stat) { _stats.push_back(stat); }
+
+    /** Dump every registered stat. */
+    void dumpAll(std::ostream &os) const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+  private:
+    std::string _name;
+    std::vector<StatBase *> _stats;
+};
+
+/** Monotonic (or at least additive) scalar counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    void set(double v) { _value = v; }
+    double value() const { return _value; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/** Running average (sum / count). */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double v) { _sum += v; ++_count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t count() const { return _count; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override { _sum = 0; _count = 0; }
+
+  private:
+    double _sum = 0;
+    std::uint64_t _count = 0;
+};
+
+/** Fixed-bucket distribution with under/overflow buckets. */
+class Distribution : public StatBase
+{
+  public:
+    /**
+     * @param group  owning group
+     * @param name   stat name
+     * @param desc   description
+     * @param min    lowest bucketed value
+     * @param max    highest bucketed value
+     * @param nbuckets number of equal-width buckets between min and max
+     */
+    Distribution(StatGroup *group, std::string name, std::string desc,
+                 double min, double max, std::size_t nbuckets);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double minSample() const { return _min_seen; }
+    double maxSample() const { return _max_seen; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    double _lo, _hi;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0, _overflow = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0;
+    double _min_seen = 0, _max_seen = 0;
+};
+
+/** A value computed from other stats at dump time. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup *group, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return _fn ? _fn() : 0.0; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> _fn;
+};
+
+} // namespace dmx::stats
+
+#endif // DMX_COMMON_STATS_HH

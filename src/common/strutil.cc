@@ -1,0 +1,77 @@
+#include "common/strutil.hh"
+
+#include <cctype>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace dmx
+{
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const char *suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double v = static_cast<double>(bytes);
+    int idx = 0;
+    while (v >= 1024.0 && idx < 4) {
+        v /= 1024.0;
+        ++idx;
+    }
+    return strprintf("%.1f %s", v, suffix[idx]);
+}
+
+std::string
+formatRatio(double r)
+{
+    return strprintf("%.2fx", r);
+}
+
+} // namespace dmx

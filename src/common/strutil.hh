@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string helpers used across the simulator.
+ */
+
+#ifndef DMX_COMMON_STRUTIL_HH
+#define DMX_COMMON_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace dmx
+{
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Join @p parts with @p sep between them. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Strip leading/trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** @return true when @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Render a byte count as a human string, e.g. "8.0 MiB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Render a ratio as e.g. "3.42x". */
+std::string formatRatio(double r);
+
+} // namespace dmx
+
+#endif // DMX_COMMON_STRUTIL_HH

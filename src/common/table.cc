@@ -1,0 +1,83 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace dmx
+{
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    _header = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    return strprintf("%.*f", digits, v);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(_header);
+    for (const auto &r : _rows)
+        grow(r);
+
+    os << "== " << _title << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << cell;
+            if (i + 1 < widths.size())
+                os << " | ";
+        }
+        os << '\n';
+    };
+    if (!_header.empty()) {
+        emit(_header);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 3;
+        os << std::string(total > 3 ? total - 3 : total, '-') << '\n';
+    }
+    for (const auto &r : _rows)
+        emit(r);
+    os << '\n';
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ',';
+            os << cells[i];
+        }
+        os << '\n';
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &r : _rows)
+        emit(r);
+}
+
+} // namespace dmx

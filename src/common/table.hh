@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A fixed-column text table printer used by the benchmark harnesses to
+ * print figures/tables in both human-readable and machine-parsable form.
+ */
+
+#ifndef DMX_COMMON_TABLE_HH
+#define DMX_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dmx
+{
+
+/** Accumulates rows of string cells and renders them aligned. */
+class Table
+{
+  public:
+    /** @param title caption printed above the table */
+    explicit Table(std::string title) : _title(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; trailing cells may be omitted. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double cell with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+    /** Render aligned, pipe-separated. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header first), for machine consumption. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return _rows.size(); }
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace dmx
+
+#endif // DMX_COMMON_TABLE_HH

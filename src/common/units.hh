@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Simulation units and conversions.
+ *
+ * Simulated time is kept in integer picoseconds (Tick) so that event
+ * ordering is exact and runs are bit-reproducible. Helpers convert
+ * between ticks, seconds, clock frequencies and byte/bandwidth units.
+ */
+
+#ifndef DMX_COMMON_UNITS_HH
+#define DMX_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace dmx
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Cycle count of some clocked component. */
+using Cycles = std::uint64_t;
+
+/** A sentinel for "no time" / "not scheduled". */
+inline constexpr Tick max_tick = ~Tick(0);
+
+inline constexpr Tick tick_per_ps = 1;
+inline constexpr Tick tick_per_ns = 1000;
+inline constexpr Tick tick_per_us = 1000 * tick_per_ns;
+inline constexpr Tick tick_per_ms = 1000 * tick_per_us;
+inline constexpr Tick tick_per_s  = 1000 * tick_per_ms;
+
+/** @return ticks expressed as (double) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tick_per_s);
+}
+
+/** @return ticks expressed as (double) milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tick_per_ms);
+}
+
+/** @return ticks expressed as (double) microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tick_per_us);
+}
+
+/** @return seconds converted to ticks (rounded down). */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(tick_per_s));
+}
+
+/** Clock description for clocked simulation objects. */
+struct ClockDomain
+{
+    /** Clock frequency in hertz. */
+    double freq_hz = 1e9;
+
+    /** @return the period of one cycle in ticks. */
+    constexpr Tick
+    period() const
+    {
+        return static_cast<Tick>(static_cast<double>(tick_per_s) / freq_hz);
+    }
+
+    /** @return ticks needed for @p cycles cycles. */
+    constexpr Tick
+    cyclesToTicks(Cycles cycles) const
+    {
+        return static_cast<Tick>(static_cast<double>(cycles) *
+                                 static_cast<double>(tick_per_s) / freq_hz);
+    }
+
+    /** @return whole cycles elapsed after @p t ticks (rounded up). */
+    constexpr Cycles
+    ticksToCycles(Tick t) const
+    {
+        const double c = static_cast<double>(t) * freq_hz /
+                         static_cast<double>(tick_per_s);
+        const auto floor_c = static_cast<Cycles>(c);
+        return c > static_cast<double>(floor_c) ? floor_c + 1 : floor_c;
+    }
+};
+
+inline constexpr std::uint64_t kib = 1024;
+inline constexpr std::uint64_t mib = 1024 * kib;
+inline constexpr std::uint64_t gib = 1024 * mib;
+
+/** Bandwidth in bytes per second. */
+using BytesPerSec = double;
+
+/**
+ * Time to move @p bytes at @p bw bytes/second.
+ *
+ * @return transfer time in ticks (at least 1 tick for nonzero sizes).
+ */
+constexpr Tick
+transferTicks(std::uint64_t bytes, BytesPerSec bw)
+{
+    if (bytes == 0)
+        return 0;
+    const double sec = static_cast<double>(bytes) / bw;
+    const Tick t = secondsToTicks(sec);
+    return t == 0 ? 1 : t;
+}
+
+} // namespace dmx
+
+#endif // DMX_COMMON_UNITS_HH

@@ -1,0 +1,151 @@
+#include "cpu/core_pool.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dmx::cpu
+{
+
+namespace
+{
+
+constexpr double work_epsilon = 1e-12; // core-seconds
+
+} // namespace
+
+CorePool::CorePool(sim::EventQueue &eq, std::string name, double cores,
+                   double max_job_cores)
+    : sim::SimObject(eq, std::move(name)), _cores(cores),
+      _max_job_cores(std::min(max_job_cores, cores))
+{
+    if (cores <= 0)
+        dmx_fatal("CorePool: need a positive core count");
+}
+
+void
+CorePool::submit(double core_seconds, JobCallback done)
+{
+    submit(core_seconds, 0, std::move(done));
+}
+
+void
+CorePool::submit(double core_seconds, double max_cores, JobCallback done)
+{
+    if (core_seconds < 0)
+        dmx_fatal("CorePool: negative work");
+    advanceProgress();
+    Job job;
+    job.remaining = core_seconds;
+    job.cap = max_cores > 0 ? std::min(max_cores, _cores)
+                            : _max_job_cores;
+    job.done = std::move(done);
+    _jobs.emplace(_next_id++, std::move(job));
+    solveRates();
+    scheduleNextCompletion();
+}
+
+void
+CorePool::advanceProgress()
+{
+    const Tick t = now();
+    if (t <= _last_update) {
+        _last_update = t;
+        return;
+    }
+    const double dt = ticksToSeconds(t - _last_update);
+    for (auto &[id, job] : _jobs) {
+        const double done_work = std::min(job.remaining, job.rate * dt);
+        job.remaining -= done_work;
+        _busy_core_seconds += done_work;
+    }
+    _last_update = t;
+}
+
+void
+CorePool::solveRates()
+{
+    // Water-filling on one resource: raise every job's share equally,
+    // freezing jobs at their individual parallelism caps and
+    // redistributing the leftover to the rest.
+    if (_jobs.empty())
+        return;
+    double pool = _cores;
+    std::vector<Job *> open;
+    open.reserve(_jobs.size());
+    for (auto &[id, job] : _jobs) {
+        job.rate = 0;
+        open.push_back(&job);
+    }
+    while (!open.empty()) {
+        const double share = pool / static_cast<double>(open.size());
+        bool any_capped = false;
+        for (std::size_t i = 0; i < open.size();) {
+            if (open[i]->cap <= share) {
+                open[i]->rate = open[i]->cap;
+                pool -= open[i]->cap;
+                open[i] = open.back();
+                open.pop_back();
+                any_capped = true;
+            } else {
+                ++i;
+            }
+        }
+        if (!any_capped) {
+            for (Job *job : open)
+                job->rate = share;
+            break;
+        }
+    }
+}
+
+void
+CorePool::scheduleNextCompletion()
+{
+    _pending.cancel();
+    if (_jobs.empty())
+        return;
+    const Tick t = now();
+    Tick earliest = max_tick;
+    for (const auto &[id, job] : _jobs) {
+        Tick candidate;
+        if (job.remaining <= work_epsilon) {
+            candidate = t;
+        } else if (job.rate > 0) {
+            candidate = t + secondsToTicks(job.remaining / job.rate) + 1;
+        } else {
+            continue;
+        }
+        earliest = std::min(earliest, candidate);
+    }
+    if (earliest == max_tick)
+        return;
+    earliest = std::max(earliest, t + 1);
+    _pending = eventq().schedule(earliest, [this] { onCompletionCheck(); });
+}
+
+void
+CorePool::onCompletionCheck()
+{
+    advanceProgress();
+    std::vector<JobCallback> done;
+    for (auto it = _jobs.begin(); it != _jobs.end();) {
+        if (it->second.remaining <= work_epsilon) {
+            done.push_back(std::move(it->second.done));
+            it = _jobs.erase(it);
+            ++_completed;
+        } else {
+            ++it;
+        }
+    }
+    solveRates();
+    scheduleNextCompletion();
+    for (JobCallback &cb : done) {
+        if (cb)
+            cb();
+    }
+}
+
+} // namespace dmx::cpu

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A malleable-job core pool.
+ *
+ * Jobs carry work in core-seconds. All active jobs share the pool's
+ * cores max-min fairly, with a per-job parallelism cap (a single
+ * restructuring job cannot productively use the whole socket). On every
+ * arrival/completion the core allocation is re-solved and the earliest
+ * completion rescheduled - the same flow-level technique the PCIe
+ * fabric uses, applied to CPU time. This reproduces the paper's
+ * Figure 3 observation: beyond ~10 concurrent applications the 16 Xeon
+ * cores cannot keep up with the restructuring load.
+ */
+
+#ifndef DMX_CPU_CORE_POOL_HH
+#define DMX_CPU_CORE_POOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "cpu/host_model.hh"
+#include "sim/sim_object.hh"
+
+namespace dmx::cpu
+{
+
+/** Completion callback for a submitted job. */
+using JobCallback = std::function<void()>;
+
+/** Event-driven malleable core pool. */
+class CorePool : public sim::SimObject
+{
+  public:
+    /**
+     * @param eq    system event queue
+     * @param name  object name
+     * @param cores number of cores in the pool
+     * @param max_job_cores per-job parallelism cap
+     */
+    CorePool(sim::EventQueue &eq, std::string name, double cores,
+             double max_job_cores);
+
+    /**
+     * Submit a job.
+     *
+     * @param core_seconds work amount
+     * @param done         invoked at the job's completion time
+     */
+    void submit(double core_seconds, JobCallback done);
+
+    /**
+     * Submit a job with its own parallelism cap (e.g. 1 for inherently
+     * serial work such as decompression).
+     *
+     * @param core_seconds work amount
+     * @param max_cores    cores this job can use (0 = pool default)
+     * @param done         invoked at the job's completion time
+     */
+    void submit(double core_seconds, double max_cores, JobCallback done);
+
+    /** @return jobs currently executing or queued. */
+    std::size_t activeJobs() const { return _jobs.size(); }
+
+    /** @return integral of allocated cores over time (core-seconds). */
+    double busyCoreSeconds() const { return _busy_core_seconds; }
+
+    /** @return total jobs completed. */
+    std::uint64_t completedJobs() const { return _completed; }
+
+    double cores() const { return _cores; }
+
+  private:
+    struct Job
+    {
+        double remaining;  ///< core-seconds left
+        double rate = 0;   ///< cores currently allocated
+        double cap = 0;    ///< per-job parallelism limit
+        JobCallback done;
+    };
+
+    void advanceProgress();
+    void solveRates();
+    void scheduleNextCompletion();
+    void onCompletionCheck();
+
+    double _cores;
+    double _max_job_cores;
+    std::map<std::uint64_t, Job> _jobs;
+    std::uint64_t _next_id = 0;
+    Tick _last_update = 0;
+    sim::EventHandle _pending;
+    double _busy_core_seconds = 0;
+    std::uint64_t _completed = 0;
+};
+
+} // namespace dmx::cpu
+
+#endif // DMX_CPU_CORE_POOL_HH

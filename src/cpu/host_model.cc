@@ -1,0 +1,42 @@
+#include "cpu/host_model.hh"
+
+#include <algorithm>
+
+namespace dmx::cpu
+{
+
+namespace
+{
+
+double
+rooflineSeconds(const kernels::OpCount &ops, const HostParams &host,
+                double traffic_multiplier)
+{
+    const double compute_sec =
+        static_cast<double>(ops.flops) /
+            (host.flops_per_cycle * host.freq_hz) +
+        static_cast<double>(ops.int_ops) /
+            (host.intops_per_cycle * host.freq_hz);
+    const double mem_sec = static_cast<double>(ops.bytes()) *
+                           traffic_multiplier /
+                           host.core_mem_bytes_per_sec;
+    return std::max(compute_sec, mem_sec);
+}
+
+} // namespace
+
+double
+kernelCoreSeconds(const kernels::OpCount &ops, const HostParams &host)
+{
+    // Compute kernels have some locality; charge raw traffic only.
+    return rooflineSeconds(ops, host, 1.0);
+}
+
+double
+restructureCoreSeconds(const kernels::OpCount &ops, const HostParams &host)
+{
+    return rooflineSeconds(ops, host, host.thrash_factor) +
+           host.restructure_spawn_core_seconds;
+}
+
+} // namespace dmx::cpu

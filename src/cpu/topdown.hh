@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Top-down characterization of restructuring ops on the host CPU
+ * (reproduces the methodology behind the paper's Figure 5).
+ *
+ * The restructuring kernel executes for real on the CPU reference
+ * executor; its data address stream drives the cache simulator
+ * (mem::Hierarchy) and its instruction stream is synthesized from the
+ * retired-instruction counts (tight loop bodies, which is why L1I MPKI
+ * stays low). Stall components are then attributed with a fixed-cost
+ * model per miss level and folded into the four top-down buckets.
+ */
+
+#ifndef DMX_CPU_TOPDOWN_HH
+#define DMX_CPU_TOPDOWN_HH
+
+#include <string>
+
+#include "mem/hierarchy.hh"
+#include "restructure/cpu_exec.hh"
+#include "restructure/ir.hh"
+
+namespace dmx::cpu
+{
+
+/** Fractions of total cycles per top-down category (sum to 1). */
+struct TopDownReport
+{
+    double retiring = 0;
+    double frontend = 0;
+    double bad_speculation = 0;
+    double backend_core = 0;
+    double backend_memory = 0;
+
+    mem::MpkiReport mpki;
+    std::uint64_t instructions = 0;
+
+    /** @return backend_core + backend_memory. */
+    double backend() const { return backend_core + backend_memory; }
+};
+
+/** Knobs for the stall attribution model. */
+struct TopDownParams
+{
+    double base_cpi = 0.30;          ///< issue-limited cycles per instr
+    double core_stall_cpi = 0.09;    ///< FU contention / dependency
+    double frontend_base_cpi = 0.03; ///< decode/uop-cache switches
+    double l1d_miss_cycles = 12;     ///< L1D miss, L2 hit
+    double l2_miss_cycles = 65;      ///< L2 miss to DRAM
+    double l1i_miss_cycles = 20;
+    double branch_rate = 0.08;       ///< branches per instruction
+    double mispredict_rate = 0.04;   ///< of branches
+    double mispredict_cycles = 16;
+};
+
+/**
+ * Characterize one restructuring kernel.
+ *
+ * @param kernel restructuring pipeline
+ * @param input  input bytes matching kernel.input
+ * @param params stall-model knobs (branchy workloads raise branch_rate)
+ * @return top-down fractions plus MPKI
+ */
+TopDownReport characterize(const restructure::Kernel &kernel,
+                           const restructure::Bytes &input,
+                           const TopDownParams &params = {});
+
+} // namespace dmx::cpu
+
+#endif // DMX_CPU_TOPDOWN_HH

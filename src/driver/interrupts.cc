@@ -1,0 +1,61 @@
+#include "driver/interrupts.hh"
+
+namespace dmx::driver
+{
+
+InterruptController::InterruptController(sim::EventQueue &eq,
+                                         std::string name,
+                                         InterruptParams params,
+                                         cpu::CorePool *host)
+    : sim::SimObject(eq, std::move(name)), _params(params), _host(host)
+{
+}
+
+Tick
+InterruptController::notify()
+{
+    const Tick t = now();
+
+    // Update the EWMA completion-rate estimate.
+    if (_have_last && t > _last_notify) {
+        const double inst_rate =
+            1.0 / ticksToSeconds(t - _last_notify);
+        _rate_hz = _params.rate_alpha * inst_rate +
+                   (1.0 - _params.rate_alpha) * _rate_hz;
+    }
+    _have_last = true;
+
+    // NAPI-style mode switch with hysteresis (half threshold to leave).
+    if (!_polling && _rate_hz > _params.polling_threshold_hz)
+        _polling = true;
+    else if (_polling && _rate_hz < _params.polling_threshold_hz / 2)
+        _polling = false;
+
+    Tick latency;
+    if (_polling) {
+        ++_polls;
+        latency = _params.polling_latency;
+        if (_host)
+            _host->submit(_params.cpu_work_per_poll, {});
+    } else {
+        ++_interrupts;
+        latency = _params.interrupt_latency;
+        // Detect bursts: consecutive notifications closer than the
+        // delivery latency get coalesced into one delayed delivery.
+        if (_have_last && t - _last_notify < _params.interrupt_latency) {
+            ++_burst_run;
+        } else {
+            _burst_run = 0;
+        }
+        if (_burst_run >= _params.coalesce_burst) {
+            ++_coalesced;
+            latency += _params.coalesce_delay;
+        }
+        if (_host)
+            _host->submit(_params.cpu_work_per_irq, {});
+    }
+    _last_notify = t;
+    return latency;
+}
+
+} // namespace dmx::driver

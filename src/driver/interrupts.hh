@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Driver notification model (paper Sec. V, "Driver support for DMX").
+ *
+ * Devices notify the host of completions. By default delivery is by
+ * interrupt; the driver coalesces bursty interrupts, and when the
+ * arrival rate exceeds a threshold it switches to polling - the NAPI
+ * design the paper cites. Each interrupt also consumes host CPU time
+ * (handler + context switch), which is charged to the core pool so
+ * heavy notification traffic degrades concurrent restructuring work.
+ */
+
+#ifndef DMX_DRIVER_INTERRUPTS_HH
+#define DMX_DRIVER_INTERRUPTS_HH
+
+#include <cstdint>
+
+#include "cpu/core_pool.hh"
+#include "sim/sim_object.hh"
+
+namespace dmx::driver
+{
+
+/** Notification-path parameters. */
+struct InterruptParams
+{
+    /// Interrupt delivery to handler-return latency.
+    Tick interrupt_latency = 3 * tick_per_us;
+    /// Extra latency when the controller is coalescing a burst.
+    Tick coalesce_delay = 8 * tick_per_us;
+    /// Mean detection latency in polled mode (half the poll period).
+    Tick polling_latency = 500 * tick_per_ns;
+    /// Host CPU work consumed per delivered interrupt (core-seconds).
+    double cpu_work_per_irq = 2e-6;
+    /// Host CPU work per polled completion (cheaper: batched reaping).
+    double cpu_work_per_poll = 3e-7;
+    /// Switch to polling above this completion rate (per second).
+    double polling_threshold_hz = 50e3;
+    /// Burst size that triggers coalescing in interrupt mode.
+    unsigned coalesce_burst = 4;
+    /// EWMA smoothing for the rate estimate.
+    double rate_alpha = 0.3;
+};
+
+/**
+ * Per-device-group interrupt controller with NAPI-style mode switching.
+ */
+class InterruptController : public sim::SimObject
+{
+  public:
+    /**
+     * @param eq     event queue
+     * @param name   instance name
+     * @param params notification parameters
+     * @param host   optional core pool charged with handler work
+     */
+    InterruptController(sim::EventQueue &eq, std::string name,
+                        InterruptParams params = {},
+                        cpu::CorePool *host = nullptr);
+
+    /**
+     * Record a completion notification at the current time.
+     *
+     * @return the notification latency to add to the request path
+     */
+    Tick notify();
+
+    /** @return true while operating in polled mode. */
+    bool polling() const { return _polling; }
+
+    /** @return estimated completion rate (per second). */
+    double estimatedRateHz() const { return _rate_hz; }
+
+    std::uint64_t interruptsDelivered() const { return _interrupts; }
+    std::uint64_t pollsDelivered() const { return _polls; }
+    std::uint64_t coalescedBursts() const { return _coalesced; }
+
+    const InterruptParams &params() const { return _params; }
+
+  private:
+    InterruptParams _params;
+    cpu::CorePool *_host;
+    bool _polling = false;
+    double _rate_hz = 0;
+    Tick _last_notify = 0;
+    bool _have_last = false;
+    unsigned _burst_run = 0;
+    std::uint64_t _interrupts = 0;
+    std::uint64_t _polls = 0;
+    std::uint64_t _coalesced = 0;
+};
+
+} // namespace dmx::driver
+
+#endif // DMX_DRIVER_INTERRUPTS_HH

@@ -1,0 +1,84 @@
+#include "driver/queues.hh"
+
+#include "common/logging.hh"
+
+namespace dmx::driver
+{
+
+DataQueue::DataQueue(std::uint64_t capacity) : _capacity(capacity)
+{
+    if (capacity == 0)
+        dmx_fatal("DataQueue: zero capacity");
+}
+
+bool
+DataQueue::push(std::uint64_t bytes)
+{
+    if (used() + bytes > _capacity)
+        return false;
+    _tail += bytes;
+    _high_water = std::max(_high_water, used());
+    return true;
+}
+
+void
+DataQueue::pop(std::uint64_t bytes)
+{
+    if (bytes > used())
+        dmx_panic("DataQueue: pop of %llu exceeds %llu used",
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(used()));
+    _head += bytes;
+}
+
+std::uint64_t
+DataQueue::used() const
+{
+    return _tail - _head;
+}
+
+DrxQueues::DrxQueues(std::uint64_t mem_bytes, std::uint64_t pair_bytes,
+                     unsigned peers)
+    : _peers(peers)
+{
+    if (peers == 0)
+        dmx_fatal("DrxQueues: need at least one peer");
+    if (peers > maxPeers(mem_bytes, pair_bytes))
+        dmx_fatal("DrxQueues: %u peers exceed the %u supported by "
+                  "%llu bytes of queue memory",
+                  peers, maxPeers(mem_bytes, pair_bytes),
+                  static_cast<unsigned long long>(mem_bytes));
+    // Two pairs (accelerator + DRX) of two queues (RX + TX) per peer.
+    const std::uint64_t queue_bytes = pair_bytes / 2;
+    for (unsigned p = 0; p < peers * 4; ++p)
+        _queues.emplace_back(queue_bytes);
+}
+
+unsigned
+DrxQueues::maxPeers(std::uint64_t mem_bytes, std::uint64_t pair_bytes)
+{
+    // Each peer consumes two pairs.
+    return static_cast<unsigned>(mem_bytes / (2 * pair_bytes));
+}
+
+std::size_t
+DrxQueues::index(unsigned peer, PeerKind kind, bool tx) const
+{
+    if (peer >= _peers)
+        dmx_fatal("DrxQueues: peer %u out of range", peer);
+    return peer * 4 + (kind == PeerKind::Drx ? 2 : 0) + (tx ? 1 : 0);
+}
+
+DataQueue &
+DrxQueues::rx(unsigned peer, PeerKind kind)
+{
+    return _queues[index(peer, kind, false)];
+}
+
+DataQueue &
+DrxQueues::tx(unsigned peer, PeerKind kind)
+{
+    return _queues[index(peer, kind, true)];
+}
+
+} // namespace dmx::driver

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * DRX data queues (paper Sec. V, Figure 9).
+ *
+ * Each DRX statically partitions its device memory into RX/TX data
+ * queue pairs, two pairs per peer accelerator (one pair for direct
+ * DRX-accelerator traffic, one for DRX-DRX). Queues are rings with
+ * head/tail pointers; the paper provisions 8 GB per DRX and 100 MB per
+ * pair, supporting up to 40 accelerators per server.
+ */
+
+#ifndef DMX_DRIVER_QUEUES_HH
+#define DMX_DRIVER_QUEUES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace dmx::driver
+{
+
+/** A byte-granular ring with head/tail pointers. */
+class DataQueue
+{
+  public:
+    /** @param capacity queue size in bytes */
+    explicit DataQueue(std::uint64_t capacity);
+
+    /**
+     * Reserve space for an incoming payload.
+     * @return false when the queue lacks space (backpressure)
+     */
+    bool push(std::uint64_t bytes);
+
+    /** Release @p bytes from the head (consumption complete). */
+    void pop(std::uint64_t bytes);
+
+    std::uint64_t used() const;
+    std::uint64_t capacity() const { return _capacity; }
+    std::uint64_t head() const { return _head; }
+    std::uint64_t tail() const { return _tail; }
+    std::uint64_t highWater() const { return _high_water; }
+
+  private:
+    std::uint64_t _capacity;
+    std::uint64_t _head = 0; ///< consumption pointer (absolute)
+    std::uint64_t _tail = 0; ///< production pointer (absolute)
+    std::uint64_t _high_water = 0;
+};
+
+/** Which of the two queue pairs a peer connection uses. */
+enum class PeerKind { Accelerator, Drx };
+
+/** The static queue partition of one DRX's memory. */
+class DrxQueues
+{
+  public:
+    /**
+     * @param mem_bytes        total DRX memory set aside for queues
+     * @param pair_bytes       bytes per RX/TX pair
+     * @param peers            number of peer accelerators
+     * @throws via fatal when peers exceed the partition capacity
+     */
+    DrxQueues(std::uint64_t mem_bytes, std::uint64_t pair_bytes,
+              unsigned peers);
+
+    /** @return max peers representable with this partitioning. */
+    static unsigned maxPeers(std::uint64_t mem_bytes,
+                             std::uint64_t pair_bytes);
+
+    DataQueue &rx(unsigned peer, PeerKind kind);
+    DataQueue &tx(unsigned peer, PeerKind kind);
+
+    unsigned peers() const { return _peers; }
+
+  private:
+    std::size_t index(unsigned peer, PeerKind kind, bool tx) const;
+
+    unsigned _peers;
+    std::vector<DataQueue> _queues;
+};
+
+} // namespace dmx::driver
+
+#endif // DMX_DRIVER_QUEUES_HH

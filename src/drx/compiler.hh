@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The DRX compiler (paper Sec. IV-B, "DRX compiler").
+ *
+ * Takes a high-level restructuring kernel (restructure::Kernel) plus the
+ * DRX hardware configuration, and emits one DRX program per pipeline
+ * stage. The compiler performs the optimizations the paper describes:
+ *  - tiling against the scratchpad size and RE lane count,
+ *  - loop-invariant hoisting via instruction depth placement,
+ *  - banded lowering of sparse filter-bank MatVec stages (detected from
+ *    the weights themselves),
+ *  - fusion of the Transpose+Reduce idiom used by reduction collectives,
+ *  - constant placement (filter banks, gather index tables) in device
+ *    DRAM.
+ */
+
+#ifndef DMX_DRX_COMPILER_HH
+#define DMX_DRX_COMPILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "drx/machine.hh"
+#include "drx/program.hh"
+#include "restructure/ir.hh"
+
+namespace dmx::drx
+{
+
+/** A kernel lowered to DRX programs with its device buffer plan. */
+struct CompiledKernel
+{
+    std::vector<Program> programs;     ///< one per stage (or fused)
+    std::uint64_t input_addr = 0;      ///< device address of the input
+    std::uint64_t output_addr = 0;     ///< device address of the output
+    restructure::BufferDesc in_desc;   ///< input layout
+    restructure::BufferDesc out_desc;  ///< output layout
+};
+
+/**
+ * Compile @p kernel against @p machine's configuration, allocating the
+ * input, intermediate, output and constant buffers in its DRAM and
+ * writing the constants.
+ *
+ * @param kernel  restructuring pipeline
+ * @param machine target DRX (provides config and owns the buffers)
+ * @return the lowered programs plus the buffer plan
+ */
+CompiledKernel compileKernel(const restructure::Kernel &kernel,
+                             DrxMachine &machine);
+
+/**
+ * Convenience: compile, upload @p input, execute every stage and read
+ * back the output.
+ *
+ * @param kernel  restructuring pipeline
+ * @param input   input bytes matching kernel.input
+ * @param machine target DRX
+ * @param out     when non-null, receives the output bytes
+ * @return accumulated timing over all stages
+ */
+RunResult runKernelOnDrx(const restructure::Kernel &kernel,
+                         const restructure::Bytes &input,
+                         DrxMachine &machine,
+                         restructure::Bytes *out = nullptr);
+
+} // namespace dmx::drx
+
+#endif // DMX_DRX_COMPILER_HH

@@ -1,0 +1,90 @@
+#include "drx/isa.hh"
+
+#include "common/logging.hh"
+
+namespace dmx::drx
+{
+
+std::string
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::CfgLoop:   return "cfg.loop";
+      case Opcode::CfgStream: return "cfg.stream";
+      case Opcode::Load:      return "ld.tile";
+      case Opcode::Store:     return "st.tile";
+      case Opcode::Gather:    return "ld.gather";
+      case Opcode::Compute:   return "v";
+      case Opcode::Sync:      return "sync";
+      case Opcode::Halt:      return "halt";
+    }
+    return "?";
+}
+
+std::string
+toString(VFunc fn)
+{
+    switch (fn) {
+      case VFunc::Add:    return "add";
+      case VFunc::Sub:    return "sub";
+      case VFunc::Mul:    return "mul";
+      case VFunc::Max:    return "max";
+      case VFunc::Min:    return "min";
+      case VFunc::Mac:    return "mac";
+      case VFunc::AddS:   return "adds";
+      case VFunc::MulS:   return "muls";
+      case VFunc::MaxS:   return "maxs";
+      case VFunc::MinS:   return "mins";
+      case VFunc::Abs:    return "abs";
+      case VFunc::Sqrt:   return "sqrt";
+      case VFunc::Log1p:  return "log1p";
+      case VFunc::Exp:    return "exp";
+      case VFunc::RedSum: return "redsum";
+      case VFunc::Fill:   return "fill";
+      case VFunc::Copy:   return "copy";
+      case VFunc::TransB: return "transb";
+      case VFunc::DeintEven: return "deint.e";
+      case VFunc::DeintOdd:  return "deint.o";
+      case VFunc::Reset:  return "reset";
+      case VFunc::Append: return "append";
+      case VFunc::SegSum: return "segsum";
+    }
+    return "?";
+}
+
+std::string
+Instruction::disassemble() const
+{
+    switch (op) {
+      case Opcode::CfgLoop:
+        return strprintf("cfg.loop   d%u, iters=%u", dim, iters);
+      case Opcode::CfgStream:
+        return strprintf("cfg.stream s%u, base=0x%llx, %s, "
+                         "stride=[%lld,%lld,%lld], tile=%u",
+                         stream, static_cast<unsigned long long>(base),
+                         dtypeName(dtype).c_str(),
+                         static_cast<long long>(stride[0]),
+                         static_cast<long long>(stride[1]),
+                         static_cast<long long>(stride[2]), tile);
+      case Opcode::Load:
+        return strprintf("ld.tile    r%u <- s%u, depth=%u", reg, stream,
+                         depth);
+      case Opcode::Store:
+        return strprintf("st.tile    s%u <- r%u, depth=%u", stream, reg,
+                         depth);
+      case Opcode::Gather:
+        return strprintf("ld.gather  r%u <- s%u[r%u]", dst, stream,
+                         src_b);
+      case Opcode::Compute:
+        return strprintf("v.%-8s r%u, r%u, r%u, imm=%g, n=%u",
+                         drx::toString(fn).c_str(), dst, src_a, src_b,
+                         static_cast<double>(imm), count);
+      case Opcode::Sync:
+        return "sync";
+      case Opcode::Halt:
+        return "halt";
+    }
+    return "?";
+}
+
+} // namespace dmx::drx

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The DRX instruction set (paper Sec. IV-B, Figure 7).
+ *
+ * The ISA has four instruction classes:
+ *  - loop configuration (CfgLoop): programs the Instruction Repeater
+ *    with <iterations> per loop dimension (up to 3 nested dims);
+ *  - off-chip memory access (CfgStream / Load / Store / Gather):
+ *    programs the Off-chip Data Access Engine with <base, stride,
+ *    iteration> descriptors and moves tiles between DRAM and the
+ *    software-managed scratchpad;
+ *  - compute (Compute with a VFunc): vector operations executed across
+ *    the Restructuring Engine lanes, plus the Transposition Engine's
+ *    block transpose;
+ *  - synchronization (Sync / Halt): program-order fences.
+ *
+ * There are no pack/unpack or vector-register-file semantics: tiles
+ * live in named scratchpad registers whose addresses are produced by
+ * the Strided Scratchpad Address Calculator, exactly as described in
+ * the paper.
+ */
+
+#ifndef DMX_DRX_ISA_HH
+#define DMX_DRX_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/dtype.hh"
+
+namespace dmx::drx
+{
+
+/** Maximum loop-nest depth supported by the Instruction Repeater. */
+inline constexpr unsigned max_loop_dims = 3;
+
+/** Number of stream descriptors in the Off-chip Data Access Engine. */
+inline constexpr unsigned max_streams = 8;
+
+/** Number of scratchpad tile registers. */
+inline constexpr unsigned max_regs = 12;
+
+/** Maximum elements in one scratchpad tile register. */
+inline constexpr unsigned max_tile_elems = 4096;
+
+/** Instruction opcodes. */
+enum class Opcode : std::uint8_t
+{
+    CfgLoop,   ///< configure loop dimension: dim, iters
+    CfgStream, ///< configure stream: stream, base, dtype, strides, tile
+    Load,      ///< scratch[reg] <- stream tile at current indices
+    Store,     ///< stream tile at current indices <- scratch[reg]
+    Gather,    ///< scratch[dst] <- dram[stream.base + idx[i]] (indexed)
+    Compute,   ///< vector op across RE lanes
+    Sync,      ///< fence: begin/end of the repeated body
+    Halt,      ///< end of program
+};
+
+/** Vector functions executed by the Restructuring Engines. */
+enum class VFunc : std::uint8_t
+{
+    Add,    ///< dst = a + b
+    Sub,    ///< dst = a - b
+    Mul,    ///< dst = a * b
+    Max,    ///< dst = max(a, b)
+    Min,    ///< dst = min(a, b)
+    Mac,    ///< dst += a * b
+    AddS,   ///< dst = a + imm
+    MulS,   ///< dst = a * imm
+    MaxS,   ///< dst = max(a, imm)
+    MinS,   ///< dst = min(a, imm)
+    Abs,    ///< dst = |a|
+    Sqrt,   ///< dst = sqrt(max(a,0))     (4-cycle unit)
+    Log1p,  ///< dst = log(1+max(a,0))    (4-cycle unit)
+    Exp,    ///< dst = exp(a)             (4-cycle unit)
+    RedSum, ///< dst[0] = sum(a)          (lane tree reduction)
+    Fill,   ///< dst[i] = imm, length = count
+    Copy,   ///< dst = a
+    TransB, ///< Transposition Engine: dst = transpose of a as rows x cols
+    DeintEven, ///< Transposition Engine: dst[i] = a[2i]
+    DeintOdd,  ///< Transposition Engine: dst[i] = a[2i+1]
+    Reset,  ///< dst length = 0 (scratchpad tile reuse)
+    Append, ///< dst.append(a) (grow the tile; used to build store tiles)
+    SegSum, ///< dst[i] = sum(a[i*count .. (i+1)*count)): banded matvec
+};
+
+/** @return mnemonic for an opcode. */
+std::string toString(Opcode op);
+
+/** @return mnemonic for a vector function. */
+std::string toString(VFunc fn);
+
+/** One DRX instruction (a union-of-fields encoding). */
+struct Instruction
+{
+    Opcode op = Opcode::Halt;
+
+    // CfgLoop
+    std::uint8_t dim = 0;       ///< loop dimension (0 = outermost)
+    std::uint32_t iters = 1;    ///< iteration count
+
+    // CfgStream / Load / Store / Gather
+    std::uint8_t stream = 0;    ///< stream descriptor index
+    std::uint64_t base = 0;     ///< DRAM byte address
+    DType dtype = DType::F32;   ///< element type in DRAM
+    std::int64_t stride[3] = {0, 0, 0}; ///< per-dim stride, in elements
+    std::uint32_t tile = 0;     ///< elements per tile
+
+    /**
+     * Optional run pattern within a tile: the tile's elements are
+     * tile/run_len groups of run_len consecutive elements, with group
+     * starts run_stride elements apart. run_len == 0 means the tile is
+     * fully contiguous. This is how the compiler expresses strided
+     * layout transforms (e.g. row->column field gathers) without index
+     * tables.
+     */
+    std::uint32_t run_len = 0;
+    std::int64_t run_stride = 0;
+
+    // Load/Store/Gather/Compute registers
+    std::uint8_t reg = 0;       ///< Load/Store target register
+    std::uint8_t dst = 0;       ///< Compute destination
+    std::uint8_t src_a = 0;     ///< Compute operand A
+    std::uint8_t src_b = 0;     ///< Compute operand B (or Gather index reg)
+
+    /**
+     * Execution depth: the instruction runs only when every loop index
+     * deeper than @p depth is zero (or, with @p post set, at its final
+     * value). This is how the compiler hoists loop-invariant tile loads
+     * out of inner loops (pre) and places store epilogues (post).
+     * Depth 2 (default) means "every iteration".
+     */
+    std::uint8_t depth = 2;
+
+    /** Epilogue placement: run at the last deeper-index iteration. */
+    bool post = false;
+
+    // Compute extras
+    VFunc fn = VFunc::Copy;
+    float imm = 0.0f;
+    std::uint32_t count = 0;    ///< Fill length / TransB rows
+    std::uint32_t count2 = 0;   ///< TransB cols
+
+    /** @return one-line disassembly. */
+    std::string disassemble() const;
+};
+
+} // namespace dmx::drx
+
+#endif // DMX_DRX_ISA_HH

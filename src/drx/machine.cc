@@ -1,0 +1,562 @@
+#include "drx/machine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/dtype.hh"
+#include "common/logging.hh"
+
+namespace dmx::drx
+{
+
+DrxMachine::DrxMachine(DrxConfig cfg) : _cfg(cfg)
+{
+    if (_cfg.lanes == 0)
+        dmx_fatal("DrxMachine: need at least one RE lane");
+    _dram.resize(_cfg.dram_bytes, 0);
+}
+
+std::uint64_t
+DrxMachine::alloc(std::uint64_t bytes)
+{
+    const std::uint64_t base = (_brk + 63) & ~63ull;
+    if (base + bytes > _dram.size())
+        dmx_fatal("DrxMachine::alloc: out of device DRAM "
+                  "(%llu requested at %llu of %zu)",
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(base), _dram.size());
+    _brk = base + bytes;
+    return base;
+}
+
+void
+DrxMachine::resetAlloc()
+{
+    _brk = 0;
+}
+
+void
+DrxMachine::write(std::uint64_t addr, const std::uint8_t *src,
+                  std::size_t len)
+{
+    if (addr + len > _dram.size())
+        dmx_fatal("DrxMachine::write: out of range");
+    std::memcpy(_dram.data() + addr, src, len);
+}
+
+std::vector<std::uint8_t>
+DrxMachine::read(std::uint64_t addr, std::size_t len) const
+{
+    if (addr + len > _dram.size())
+        dmx_fatal("DrxMachine::read: out of range");
+    return std::vector<std::uint8_t>(_dram.begin() + static_cast<long>(addr),
+                                     _dram.begin() +
+                                         static_cast<long>(addr + len));
+}
+
+Cycles
+DrxMachine::memCost(StreamState &s, std::uint64_t addr,
+                    std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    // Back-to-back sequential accesses on a stream run at the full
+    // DRAM rate; a small forward skip still burns the skipped bytes
+    // (the open row / prefetched burst covers them); a real
+    // discontinuity pays burst granularity.
+    std::uint64_t charged;
+    if (addr == s.next_seq_addr) {
+        charged = bytes;
+    } else if (s.next_seq_addr != ~0ull && addr > s.next_seq_addr &&
+               addr - s.next_seq_addr <= _cfg.min_burst_bytes) {
+        charged = (addr - s.next_seq_addr) + bytes;
+    } else {
+        charged = std::max<std::uint64_t>(bytes, _cfg.min_burst_bytes);
+    }
+    s.next_seq_addr = addr + bytes;
+    const double cycles = static_cast<double>(charged) /
+                          _cfg.dramBytesPerCycle();
+    return static_cast<Cycles>(std::ceil(cycles));
+}
+
+Cycles
+DrxMachine::vopCost(VFunc fn, std::size_t len) const
+{
+    const auto issues = static_cast<Cycles>(
+        (len + _cfg.lanes - 1) / _cfg.lanes);
+    switch (fn) {
+      case VFunc::Sqrt:
+      case VFunc::Log1p:
+      case VFunc::Exp:
+        return issues * 4; // multi-cycle functional unit
+      case VFunc::RedSum:
+      case VFunc::SegSum: {
+        // Lane tree reduction after the per-lane partial sums; short
+        // vectors only need a tree as deep as their live lanes.
+        Cycles tree = 0;
+        for (std::size_t l = std::min<std::size_t>(_cfg.lanes, len);
+             l > 1; l = (l + 1) >> 1)
+            ++tree;
+        return issues + tree;
+      }
+      case VFunc::Reset:
+        return 1;
+      default:
+        return std::max<Cycles>(issues, 1);
+    }
+}
+
+void
+DrxMachine::checkScratch(const std::vector<std::vector<float>> &regs) const
+{
+    std::uint64_t live = 0;
+    for (const auto &r : regs)
+        live += r.size() * sizeof(float);
+    // The access/execute overlap double-buffers the in-flight stream
+    // tiles; persistent (hoisted) tiles are resident once. The model
+    // checks total live bytes against the full scratchpad and relies
+    // on the compiler keeping stream tiles at <= half of it.
+    const std::uint64_t budget = _cfg.scratch_bytes;
+    if (live > budget)
+        dmx_fatal("DrxMachine: scratchpad overflow (%llu live > %llu)",
+                  static_cast<unsigned long long>(live),
+                  static_cast<unsigned long long>(budget));
+}
+
+RunResult
+DrxMachine::run(const Program &program)
+{
+    program.validate();
+
+    // Decode configuration section.
+    std::uint32_t iters[max_loop_dims] = {1, 1, 1};
+    StreamState streams[max_streams];
+    std::size_t body_begin = 0;
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        const Instruction &ins = program.code[i];
+        if (ins.op == Opcode::CfgLoop) {
+            iters[ins.dim] = ins.iters;
+        } else if (ins.op == Opcode::CfgStream) {
+            streams[ins.stream].cfg = ins;
+            streams[ins.stream].configured = true;
+        } else if (ins.op == Opcode::Sync) {
+            body_begin = i + 1;
+            break;
+        }
+    }
+    std::size_t body_end = body_begin;
+    while (program.code[body_end].op != Opcode::Halt)
+        ++body_end;
+
+    if (program.bodySize() * 4 > _cfg.icache_bytes)
+        dmx_fatal("DrxMachine: program body exceeds the instruction cache");
+
+    std::vector<std::vector<float>> regs(max_regs);
+    RunResult res;
+    // Configuration instructions issue once each.
+    res.compute_cycles += body_begin + 1;
+    res.dyn_instructions += body_begin + 1;
+
+    auto stream_ref = [&](std::uint8_t id) -> StreamState & {
+        StreamState &s = streams[id];
+        if (!s.configured)
+            dmx_fatal("DrxMachine: stream %u used but not configured", id);
+        return s;
+    };
+
+    auto elem_offset = [&](const StreamState &s, const std::uint32_t idx[3])
+        -> std::int64_t {
+        std::int64_t off = 0;
+        for (unsigned d = 0; d < max_loop_dims; ++d)
+            off += s.cfg.stride[d] * static_cast<std::int64_t>(idx[d]);
+        return off;
+    };
+
+    std::uint32_t idx[max_loop_dims] = {0, 0, 0};
+    for (idx[0] = 0; idx[0] < iters[0]; ++idx[0]) {
+        for (idx[1] = 0; idx[1] < iters[1]; ++idx[1]) {
+            for (idx[2] = 0; idx[2] < iters[2]; ++idx[2]) {
+                if (!_cfg.hardware_loops) {
+                    // Software loops: compare/branch/address updates.
+                    res.compute_cycles += 8;
+                }
+                for (std::size_t pc = body_begin; pc < body_end; ++pc) {
+                    const Instruction &ins = program.code[pc];
+                    // Pre/post placement check.
+                    bool run_now = true;
+                    for (unsigned d = ins.depth + 1; d < max_loop_dims;
+                         ++d) {
+                        const std::uint32_t want =
+                            ins.post ? iters[d] - 1 : 0;
+                        if (idx[d] != want)
+                            run_now = false;
+                    }
+                    if (!run_now)
+                        continue;
+                    ++res.dyn_instructions;
+
+                    switch (ins.op) {
+                      case Opcode::Load: {
+                        StreamState &s = stream_ref(ins.stream);
+                        const std::size_t esz = dtypeSize(s.cfg.dtype);
+                        const std::int64_t off = elem_offset(s, idx);
+                        const std::uint32_t run_len =
+                            s.cfg.run_len ? s.cfg.run_len : s.cfg.tile;
+                        const std::uint32_t groups =
+                            s.cfg.tile / run_len;
+                        auto &reg = regs[ins.reg];
+                        reg.resize(s.cfg.tile);
+                        for (std::uint32_t g = 0; g < groups; ++g) {
+                            const std::int64_t goff =
+                                off + (s.cfg.run_len
+                                           ? s.cfg.run_stride *
+                                                 static_cast<std::int64_t>(
+                                                     g)
+                                           : 0);
+                            const std::uint64_t addr =
+                                s.cfg.base +
+                                static_cast<std::uint64_t>(goff) * esz;
+                            const std::uint64_t bytes = run_len * esz;
+                            if (goff < 0 || addr + bytes > _dram.size())
+                                dmx_fatal("DrxMachine: load out of range "
+                                          "(program '%s')",
+                                          program.name.c_str());
+                            for (std::uint32_t e = 0; e < run_len; ++e)
+                                reg[g * run_len + e] = loadAsFloat(
+                                    _dram.data() + addr + e * esz,
+                                    s.cfg.dtype);
+                            res.mem_cycles += memCost(s, addr, bytes);
+                            res.bytes_read += bytes;
+                        }
+                        checkScratch(regs);
+                        res.compute_cycles += 1; // issue
+                        break;
+                      }
+                      case Opcode::Store: {
+                        StreamState &s = stream_ref(ins.stream);
+                        const std::size_t esz = dtypeSize(s.cfg.dtype);
+                        const std::int64_t off = elem_offset(s, idx);
+                        const auto &reg = regs[ins.reg];
+                        if (reg.size() != s.cfg.tile)
+                            dmx_fatal("DrxMachine: store size mismatch "
+                                      "(reg %zu vs tile %u, program '%s')",
+                                      reg.size(), s.cfg.tile,
+                                      program.name.c_str());
+                        const std::uint32_t run_len =
+                            s.cfg.run_len ? s.cfg.run_len : s.cfg.tile;
+                        const std::uint32_t groups =
+                            s.cfg.tile / run_len;
+                        for (std::uint32_t g = 0; g < groups; ++g) {
+                            const std::int64_t goff =
+                                off + (s.cfg.run_len
+                                           ? s.cfg.run_stride *
+                                                 static_cast<std::int64_t>(
+                                                     g)
+                                           : 0);
+                            const std::uint64_t addr =
+                                s.cfg.base +
+                                static_cast<std::uint64_t>(goff) * esz;
+                            const std::uint64_t bytes = run_len * esz;
+                            if (goff < 0 || addr + bytes > _dram.size())
+                                dmx_fatal("DrxMachine: store out of "
+                                          "range (program '%s')",
+                                          program.name.c_str());
+                            for (std::uint32_t e = 0; e < run_len; ++e)
+                                storeFromFloat(
+                                    _dram.data() + addr + e * esz,
+                                    s.cfg.dtype, reg[g * run_len + e]);
+                            res.mem_cycles += memCost(s, addr, bytes);
+                            res.bytes_written += bytes;
+                        }
+                        res.compute_cycles += 1;
+                        break;
+                      }
+                      case Opcode::Gather: {
+                        StreamState &s = stream_ref(ins.stream);
+                        const std::size_t esz = dtypeSize(s.cfg.dtype);
+                        const std::int64_t off = elem_offset(s, idx);
+                        const auto &idx_reg = regs[ins.src_b];
+                        auto &dst = regs[ins.dst];
+                        // Run-compressed mode: each index addresses a
+                        // run of `count` consecutive elements.
+                        const std::size_t expand =
+                            ins.count > 1 ? ins.count : 1;
+                        dst.resize(idx_reg.size() * expand);
+                        // Coalesce runs of consecutive indices: the
+                        // Off-chip engine merges them into bursts.
+                        std::uint64_t bytes = 0;
+                        Cycles mem = 0;
+                        std::size_t run_start = 0;
+                        std::uint64_t last_end = ~0ull;
+                        auto flush_run = [&](std::size_t upto) {
+                            if (upto == run_start)
+                                return;
+                            const std::uint64_t run_bytes =
+                                (upto - run_start) * esz;
+                            const std::uint64_t start_addr =
+                                s.cfg.base +
+                                (static_cast<std::uint64_t>(off) +
+                                 static_cast<std::uint64_t>(
+                                     idx_reg[run_start])) *
+                                    esz;
+                            std::uint64_t charged;
+                            if (start_addr == last_end) {
+                                charged = run_bytes;
+                            } else if (last_end != ~0ull &&
+                                       start_addr > last_end &&
+                                       start_addr - last_end <=
+                                           _cfg.min_burst_bytes) {
+                                charged = (start_addr - last_end) +
+                                          run_bytes;
+                            } else {
+                                charged = std::max<std::uint64_t>(
+                                    run_bytes, _cfg.min_burst_bytes);
+                            }
+                            last_end = start_addr + run_bytes;
+                            mem += static_cast<Cycles>(std::ceil(
+                                static_cast<double>(charged) /
+                                _cfg.dramBytesPerCycle()));
+                            bytes += run_bytes;
+                        };
+                        if (expand > 1) {
+                            // One DMA descriptor per index.
+                            for (std::size_t e = 0; e < idx_reg.size();
+                                 ++e) {
+                                const auto index =
+                                    static_cast<std::uint64_t>(
+                                        idx_reg[e]);
+                                const std::uint64_t addr =
+                                    s.cfg.base +
+                                    (static_cast<std::uint64_t>(off) +
+                                     index) *
+                                        esz;
+                                const std::uint64_t run_bytes =
+                                    expand * esz;
+                                if (addr + run_bytes > _dram.size())
+                                    dmx_fatal("DrxMachine: gather out "
+                                              "of range (program '%s')",
+                                              program.name.c_str());
+                                for (std::size_t k = 0; k < expand; ++k)
+                                    dst[e * expand + k] = loadAsFloat(
+                                        _dram.data() + addr + k * esz,
+                                        s.cfg.dtype);
+                                std::uint64_t charged;
+                                if (addr == last_end) {
+                                    charged = run_bytes;
+                                } else if (last_end != ~0ull &&
+                                           addr > last_end &&
+                                           addr - last_end <=
+                                               _cfg.min_burst_bytes) {
+                                    charged =
+                                        (addr - last_end) + run_bytes;
+                                } else {
+                                    charged = std::max<std::uint64_t>(
+                                        run_bytes,
+                                        _cfg.min_burst_bytes);
+                                }
+                                last_end = addr + run_bytes;
+                                mem += static_cast<Cycles>(std::ceil(
+                                    static_cast<double>(charged) /
+                                    _cfg.dramBytesPerCycle()));
+                                bytes += run_bytes;
+                            }
+                        } else {
+                            for (std::size_t e = 0; e < idx_reg.size();
+                                 ++e) {
+                                const auto index =
+                                    static_cast<std::uint64_t>(
+                                        idx_reg[e]);
+                                const std::uint64_t addr =
+                                    s.cfg.base +
+                                    (static_cast<std::uint64_t>(off) +
+                                     index) *
+                                        esz;
+                                if (addr + esz > _dram.size())
+                                    dmx_fatal("DrxMachine: gather out "
+                                              "of range (program '%s')",
+                                              program.name.c_str());
+                                dst[e] = loadAsFloat(_dram.data() + addr,
+                                                     s.cfg.dtype);
+                                if (e > run_start &&
+                                    static_cast<std::uint64_t>(
+                                        idx_reg[e - 1]) + 1 != index) {
+                                    flush_run(e);
+                                    run_start = e;
+                                }
+                            }
+                            flush_run(idx_reg.size());
+                        }
+                        checkScratch(regs);
+                        res.mem_cycles += mem;
+                        res.bytes_read += bytes;
+                        res.compute_cycles +=
+                            vopCost(VFunc::Copy, dst.size());
+                        break;
+                      }
+                      case Opcode::Compute: {
+                        auto &dst = regs[ins.dst];
+                        const auto &a = regs[ins.src_a];
+                        const auto &b = regs[ins.src_b];
+                        const VFunc fn = ins.fn;
+                        auto need_ab = [&](bool two) {
+                            if (two && a.size() != b.size())
+                                dmx_fatal("DrxMachine: operand length "
+                                          "mismatch (%zu vs %zu) in '%s'",
+                                          a.size(), b.size(),
+                                          program.name.c_str());
+                        };
+                        std::size_t cost_len = a.size();
+                        switch (fn) {
+                          case VFunc::Add: case VFunc::Sub:
+                          case VFunc::Mul: case VFunc::Max:
+                          case VFunc::Min: {
+                            need_ab(true);
+                            std::vector<float> out(a.size());
+                            for (std::size_t e = 0; e < a.size(); ++e) {
+                                const float x = a[e], y = b[e];
+                                out[e] = fn == VFunc::Add ? x + y
+                                       : fn == VFunc::Sub ? x - y
+                                       : fn == VFunc::Mul ? x * y
+                                       : fn == VFunc::Max
+                                             ? std::max(x, y)
+                                             : std::min(x, y);
+                            }
+                            dst = std::move(out);
+                            break;
+                          }
+                          case VFunc::Mac: {
+                            need_ab(true);
+                            if (dst.size() != a.size())
+                                dmx_fatal("DrxMachine: mac accumulator "
+                                          "length mismatch in '%s'",
+                                          program.name.c_str());
+                            for (std::size_t e = 0; e < a.size(); ++e)
+                                dst[e] += a[e] * b[e];
+                            break;
+                          }
+                          case VFunc::AddS: case VFunc::MulS:
+                          case VFunc::MaxS: case VFunc::MinS:
+                          case VFunc::Abs: case VFunc::Sqrt:
+                          case VFunc::Log1p: case VFunc::Exp:
+                          case VFunc::Copy: {
+                            std::vector<float> out(a.size());
+                            for (std::size_t e = 0; e < a.size(); ++e) {
+                                const float x = a[e];
+                                switch (fn) {
+                                  case VFunc::AddS:
+                                    out[e] = x + ins.imm; break;
+                                  case VFunc::MulS:
+                                    out[e] = x * ins.imm; break;
+                                  case VFunc::MaxS:
+                                    out[e] = std::max(x, ins.imm); break;
+                                  case VFunc::MinS:
+                                    out[e] = std::min(x, ins.imm); break;
+                                  case VFunc::Abs:
+                                    out[e] = std::fabs(x); break;
+                                  case VFunc::Sqrt:
+                                    out[e] = std::sqrt(
+                                        std::max(x, 0.0f));
+                                    break;
+                                  case VFunc::Log1p:
+                                    out[e] = std::log1p(
+                                        std::max(x, 0.0f));
+                                    break;
+                                  case VFunc::Exp:
+                                    out[e] = std::exp(x); break;
+                                  default:
+                                    out[e] = x; break;
+                                }
+                            }
+                            dst = std::move(out);
+                            break;
+                          }
+                          case VFunc::RedSum: {
+                            float acc = 0.0f;
+                            for (float v : a)
+                                acc += v;
+                            dst.assign(1, acc);
+                            break;
+                          }
+                          case VFunc::Fill:
+                            dst.assign(ins.count, ins.imm);
+                            cost_len = ins.count;
+                            break;
+                          case VFunc::TransB: {
+                            const std::size_t r = ins.count,
+                                              c = ins.count2;
+                            if (a.size() != r * c)
+                                dmx_fatal("DrxMachine: transb shape "
+                                          "mismatch in '%s'",
+                                          program.name.c_str());
+                            std::vector<float> out(a.size());
+                            for (std::size_t y = 0; y < r; ++y)
+                                for (std::size_t x = 0; x < c; ++x)
+                                    out[x * r + y] = a[y * c + x];
+                            dst = std::move(out);
+                            break;
+                          }
+                          case VFunc::DeintEven:
+                          case VFunc::DeintOdd: {
+                            if (a.size() % 2 != 0)
+                                dmx_fatal("DrxMachine: deint needs even "
+                                          "length in '%s'",
+                                          program.name.c_str());
+                            const std::size_t half = a.size() / 2;
+                            const std::size_t base =
+                                fn == VFunc::DeintOdd ? 1 : 0;
+                            std::vector<float> out(half);
+                            for (std::size_t e = 0; e < half; ++e)
+                                out[e] = a[2 * e + base];
+                            dst = std::move(out);
+                            cost_len = half;
+                            break;
+                          }
+                          case VFunc::SegSum: {
+                            const std::size_t seg = ins.count;
+                            if (seg == 0 || a.size() % seg != 0)
+                                dmx_fatal("DrxMachine: segsum width %u "
+                                          "does not divide %zu in '%s'",
+                                          ins.count, a.size(),
+                                          program.name.c_str());
+                            std::vector<float> out(a.size() / seg);
+                            for (std::size_t s2 = 0; s2 < out.size();
+                                 ++s2) {
+                                float acc = 0.0f;
+                                for (std::size_t e = 0; e < seg; ++e)
+                                    acc += a[s2 * seg + e];
+                                out[s2] = acc;
+                            }
+                            dst = std::move(out);
+                            break;
+                          }
+                          case VFunc::Reset:
+                            dst.clear();
+                            break;
+                          case VFunc::Append:
+                            dst.insert(dst.end(), a.begin(), a.end());
+                            break;
+                        }
+                        checkScratch(regs);
+                        res.compute_cycles += vopCost(fn, cost_len);
+                        break;
+                      }
+                      default:
+                        dmx_panic("DrxMachine: unexpected opcode in body");
+                    }
+                }
+            }
+        }
+    }
+
+    // Pipeline fill/drain.
+    constexpr Cycles startup = 64;
+    res.total_cycles =
+        (_cfg.double_buffer
+             ? std::max(res.compute_cycles, res.mem_cycles)
+             : res.compute_cycles + res.mem_cycles) +
+        startup;
+    return res;
+}
+
+} // namespace dmx::drx

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Functional and cycle-level simulator of the DRX microarchitecture
+ * (paper Sec. IV-B, Figure 6).
+ *
+ * The machine models:
+ *  - the Instruction Repeater: a configured loop nest replays the body
+ *    with per-instruction pre/post placement (hardware loops, no branch
+ *    overhead when cfg.hardware_loops is on);
+ *  - the Strided Scratchpad Address Calculator + scratchpad registers:
+ *    named tiles of floats, with live-capacity checking against the
+ *    64 KB scratchpad;
+ *  - the Restructuring Engine lanes: vector ops cost
+ *    ceil(len/lanes) * unit_latency cycles;
+ *  - the Transposition Engine (TransB / Deint*);
+ *  - the Off-chip Data Access Engine: tile loads/stores charged against
+ *    DRAM bandwidth, with burst-granularity penalties for short or
+ *    non-sequential accesses, and index-coalescing gathers.
+ *
+ * Timing is decoupled access/execute: with double buffering the total
+ * cycle count is max(compute, memory) + pipeline fill, modelling the
+ * paper's overlapping of the Off-chip engine with the REs.
+ */
+
+#ifndef DMX_DRX_MACHINE_HH
+#define DMX_DRX_MACHINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "drx/program.hh"
+
+namespace dmx::drx
+{
+
+/** Hardware configuration of one DRX instance. */
+struct DrxConfig
+{
+    unsigned lanes = 128;              ///< Restructuring Engine lanes
+    std::uint64_t scratch_bytes = 64 * kib;
+    std::uint64_t icache_bytes = 64 * kib;
+    double freq_hz = 1e9;              ///< 1 GHz ASIC (250 MHz on FPGA)
+    double dram_bytes_per_sec = 25e9;  ///< one DDR4-3200 channel
+    std::uint64_t dram_bytes = 256 * mib; ///< modelled DRAM capacity
+    bool hardware_loops = true;        ///< Instruction Repeater (ablation)
+    bool double_buffer = true;         ///< access/execute overlap (ablation)
+    unsigned min_burst_bytes = 64;     ///< DRAM burst granularity
+
+    /** @return DRAM bytes transferred per DRX cycle at full rate. */
+    double
+    dramBytesPerCycle() const
+    {
+        return dram_bytes_per_sec / freq_hz;
+    }
+};
+
+/** Result of executing one program. */
+struct RunResult
+{
+    Cycles total_cycles = 0;
+    Cycles compute_cycles = 0;
+    Cycles mem_cycles = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t dyn_instructions = 0;
+
+    RunResult &
+    operator+=(const RunResult &o)
+    {
+        total_cycles += o.total_cycles;
+        compute_cycles += o.compute_cycles;
+        mem_cycles += o.mem_cycles;
+        bytes_read += o.bytes_read;
+        bytes_written += o.bytes_written;
+        dyn_instructions += o.dyn_instructions;
+        return *this;
+    }
+
+    /** @return wall-clock duration at @p freq_hz, in ticks. */
+    Tick
+    time(double freq_hz) const
+    {
+        return ClockDomain{freq_hz}.cyclesToTicks(total_cycles);
+    }
+};
+
+/**
+ * One DRX device: private DRAM plus the execution pipeline.
+ *
+ * Typical use: alloc() buffers, write() inputs and constants, run()
+ * one or more programs, read() outputs.
+ */
+class DrxMachine
+{
+  public:
+    explicit DrxMachine(DrxConfig cfg = {});
+
+    const DrxConfig &config() const { return _cfg; }
+
+    /**
+     * Allocate @p bytes of device DRAM (64-byte aligned bump allocator).
+     * @return base address of the allocation
+     */
+    std::uint64_t alloc(std::uint64_t bytes);
+
+    /** Release every allocation (addresses become invalid). */
+    void resetAlloc();
+
+    /** Copy bytes into device DRAM. */
+    void write(std::uint64_t addr, const std::uint8_t *src,
+               std::size_t len);
+
+    /** Copy bytes out of device DRAM. */
+    std::vector<std::uint8_t> read(std::uint64_t addr,
+                                   std::size_t len) const;
+
+    /**
+     * Execute @p program functionally and return its timing.
+     * @throws via fatal on invalid programs or out-of-range accesses
+     */
+    RunResult run(const Program &program);
+
+  private:
+    struct StreamState
+    {
+        Instruction cfg;       ///< the CfgStream instruction
+        bool configured = false;
+        std::uint64_t next_seq_addr = ~0ull; ///< sequential detector
+    };
+
+    /** Charge a DRAM access of @p bytes starting at @p addr. */
+    Cycles memCost(StreamState &s, std::uint64_t addr,
+                   std::uint64_t bytes) const;
+
+    /** @return cycles for a vector op over @p len elements. */
+    Cycles vopCost(VFunc fn, std::size_t len) const;
+
+    /** Check live scratchpad usage after a register grows. */
+    void checkScratch(const std::vector<std::vector<float>> &regs) const;
+
+    DrxConfig _cfg;
+    std::vector<std::uint8_t> _dram;
+    std::uint64_t _brk = 0;
+};
+
+} // namespace dmx::drx
+
+#endif // DMX_DRX_MACHINE_HH

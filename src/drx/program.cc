@@ -1,0 +1,325 @@
+#include "drx/program.hh"
+
+#include "common/logging.hh"
+
+namespace dmx::drx
+{
+
+std::size_t
+Program::bodySize() const
+{
+    std::size_t n = 0;
+    bool in_body = false;
+    for (const Instruction &ins : code) {
+        if (ins.op == Opcode::Sync) {
+            in_body = true;
+        } else if (ins.op == Opcode::Halt) {
+            in_body = false;
+        } else if (in_body) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::string out = "; drx program: " + name + "\n";
+    for (const Instruction &ins : code) {
+        const bool body = ins.op != Opcode::CfgLoop &&
+                          ins.op != Opcode::CfgStream &&
+                          ins.op != Opcode::Sync && ins.op != Opcode::Halt;
+        out += (body ? "    " : "") + ins.disassemble() + "\n";
+    }
+    return out;
+}
+
+void
+Program::validate() const
+{
+    bool seen_sync = false;
+    bool seen_halt = false;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Instruction &ins = code[i];
+        if (seen_halt)
+            dmx_fatal("program '%s': instruction after halt", name.c_str());
+        switch (ins.op) {
+          case Opcode::CfgLoop:
+            if (seen_sync)
+                dmx_fatal("program '%s': cfg.loop after sync",
+                          name.c_str());
+            if (ins.dim >= max_loop_dims)
+                dmx_fatal("program '%s': loop dim %u out of range",
+                          name.c_str(), ins.dim);
+            if (ins.iters == 0)
+                dmx_fatal("program '%s': zero-iteration loop",
+                          name.c_str());
+            break;
+          case Opcode::CfgStream:
+            if (seen_sync)
+                dmx_fatal("program '%s': cfg.stream after sync",
+                          name.c_str());
+            if (ins.stream >= max_streams)
+                dmx_fatal("program '%s': stream %u out of range",
+                          name.c_str(), ins.stream);
+            if (ins.tile == 0 || ins.tile > max_tile_elems)
+                dmx_fatal("program '%s': tile %u out of range (max %u)",
+                          name.c_str(), ins.tile, max_tile_elems);
+            break;
+          case Opcode::Load:
+          case Opcode::Store:
+            if (!seen_sync)
+                dmx_fatal("program '%s': tile access before sync",
+                          name.c_str());
+            if (ins.reg >= max_regs || ins.stream >= max_streams)
+                dmx_fatal("program '%s': bad reg/stream index",
+                          name.c_str());
+            break;
+          case Opcode::Gather:
+            if (!seen_sync)
+                dmx_fatal("program '%s': gather before sync",
+                          name.c_str());
+            if (ins.dst >= max_regs || ins.src_b >= max_regs ||
+                ins.stream >= max_streams)
+                dmx_fatal("program '%s': bad gather operands",
+                          name.c_str());
+            break;
+          case Opcode::Compute:
+            if (!seen_sync)
+                dmx_fatal("program '%s': compute before sync",
+                          name.c_str());
+            if (ins.dst >= max_regs || ins.src_a >= max_regs ||
+                ins.src_b >= max_regs)
+                dmx_fatal("program '%s': bad compute register",
+                          name.c_str());
+            if (ins.fn == VFunc::Fill &&
+                (ins.count == 0 || ins.count > max_tile_elems))
+                dmx_fatal("program '%s': bad fill count %u", name.c_str(),
+                          ins.count);
+            break;
+          case Opcode::Sync:
+            if (seen_sync)
+                dmx_fatal("program '%s': multiple sync", name.c_str());
+            seen_sync = true;
+            break;
+          case Opcode::Halt:
+            seen_halt = true;
+            break;
+        }
+    }
+    if (!seen_sync)
+        dmx_fatal("program '%s': missing sync", name.c_str());
+    if (!seen_halt)
+        dmx_fatal("program '%s': missing halt", name.c_str());
+}
+
+ProgramBuilder::ProgramBuilder(std::string name)
+{
+    _prog.name = std::move(name);
+}
+
+ProgramBuilder &
+ProgramBuilder::loop(unsigned dim, std::uint32_t iters)
+{
+    Instruction ins;
+    ins.op = Opcode::CfgLoop;
+    ins.dim = static_cast<std::uint8_t>(dim);
+    ins.iters = iters;
+    _prog.code.push_back(ins);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::streamCfg(unsigned stream, std::uint64_t base, DType dtype,
+                          std::int64_t s0, std::int64_t s1, std::int64_t s2,
+                          std::uint32_t tile)
+{
+    Instruction ins;
+    ins.op = Opcode::CfgStream;
+    ins.stream = static_cast<std::uint8_t>(stream);
+    ins.base = base;
+    ins.dtype = dtype;
+    ins.stride[0] = s0;
+    ins.stride[1] = s1;
+    ins.stride[2] = s2;
+    ins.tile = tile;
+    _prog.code.push_back(ins);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::runs(std::uint32_t run_len, std::int64_t run_stride)
+{
+    if (_prog.code.empty() ||
+        _prog.code.back().op != Opcode::CfgStream)
+        dmx_fatal("ProgramBuilder::runs: no cfg.stream to modify");
+    Instruction &ins = _prog.code.back();
+    if (run_len == 0 || ins.tile % run_len != 0)
+        dmx_fatal("ProgramBuilder::runs: run_len %u must divide tile %u",
+                  run_len, ins.tile);
+    ins.run_len = run_len;
+    ins.run_stride = run_stride;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::sync()
+{
+    Instruction ins;
+    ins.op = Opcode::Sync;
+    _prog.code.push_back(ins);
+    _synced = true;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::load(unsigned reg, unsigned stream, unsigned depth)
+{
+    Instruction ins;
+    ins.op = Opcode::Load;
+    ins.reg = static_cast<std::uint8_t>(reg);
+    ins.stream = static_cast<std::uint8_t>(stream);
+    ins.depth = static_cast<std::uint8_t>(depth);
+    _prog.code.push_back(ins);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::store(unsigned stream, unsigned reg, unsigned depth)
+{
+    Instruction ins;
+    ins.op = Opcode::Store;
+    ins.stream = static_cast<std::uint8_t>(stream);
+    ins.reg = static_cast<std::uint8_t>(reg);
+    ins.depth = static_cast<std::uint8_t>(depth);
+    _prog.code.push_back(ins);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::gather(unsigned dst, unsigned stream, unsigned idx_reg,
+                       std::uint32_t run_len)
+{
+    Instruction ins;
+    ins.op = Opcode::Gather;
+    ins.dst = static_cast<std::uint8_t>(dst);
+    ins.stream = static_cast<std::uint8_t>(stream);
+    ins.src_b = static_cast<std::uint8_t>(idx_reg);
+    ins.count = run_len;
+    _prog.code.push_back(ins);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::compute(VFunc fn, unsigned dst, unsigned src_a,
+                        unsigned src_b)
+{
+    Instruction ins;
+    ins.op = Opcode::Compute;
+    ins.fn = fn;
+    ins.dst = static_cast<std::uint8_t>(dst);
+    ins.src_a = static_cast<std::uint8_t>(src_a);
+    ins.src_b = static_cast<std::uint8_t>(src_b);
+    _prog.code.push_back(ins);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::compute1(VFunc fn, unsigned dst, unsigned src_a, float imm)
+{
+    Instruction ins;
+    ins.op = Opcode::Compute;
+    ins.fn = fn;
+    ins.dst = static_cast<std::uint8_t>(dst);
+    ins.src_a = static_cast<std::uint8_t>(src_a);
+    ins.imm = imm;
+    _prog.code.push_back(ins);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::fill(unsigned dst, float imm, std::uint32_t count)
+{
+    Instruction ins;
+    ins.op = Opcode::Compute;
+    ins.fn = VFunc::Fill;
+    ins.dst = static_cast<std::uint8_t>(dst);
+    ins.imm = imm;
+    ins.count = count;
+    _prog.code.push_back(ins);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::transpose(unsigned dst, unsigned src, std::uint32_t rows,
+                          std::uint32_t cols)
+{
+    Instruction ins;
+    ins.op = Opcode::Compute;
+    ins.fn = VFunc::TransB;
+    ins.dst = static_cast<std::uint8_t>(dst);
+    ins.src_a = static_cast<std::uint8_t>(src);
+    ins.count = rows;
+    ins.count2 = cols;
+    _prog.code.push_back(ins);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::segsum(unsigned dst, unsigned src, std::uint32_t width)
+{
+    Instruction ins;
+    ins.op = Opcode::Compute;
+    ins.fn = VFunc::SegSum;
+    ins.dst = static_cast<std::uint8_t>(dst);
+    ins.src_a = static_cast<std::uint8_t>(src);
+    ins.count = width;
+    _prog.code.push_back(ins);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::reset(unsigned dst)
+{
+    Instruction ins;
+    ins.op = Opcode::Compute;
+    ins.fn = VFunc::Reset;
+    ins.dst = static_cast<std::uint8_t>(dst);
+    _prog.code.push_back(ins);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::append(unsigned dst, unsigned src)
+{
+    Instruction ins;
+    ins.op = Opcode::Compute;
+    ins.fn = VFunc::Append;
+    ins.dst = static_cast<std::uint8_t>(dst);
+    ins.src_a = static_cast<std::uint8_t>(src);
+    _prog.code.push_back(ins);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::at(unsigned depth, bool post)
+{
+    if (_prog.code.empty())
+        dmx_fatal("ProgramBuilder::at: no instruction to modify");
+    _prog.code.back().depth = static_cast<std::uint8_t>(depth);
+    _prog.code.back().post = post;
+    return *this;
+}
+
+Program
+ProgramBuilder::build()
+{
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    _prog.code.push_back(halt);
+    _prog.validate();
+    return std::move(_prog);
+}
+
+} // namespace dmx::drx

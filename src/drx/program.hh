@@ -1,0 +1,131 @@
+/**
+ * @file
+ * DRX programs and a validating builder.
+ *
+ * Program structure (enforced by validate()):
+ *   [CfgStream | CfgLoop]*  Sync  [Load | Store | Gather | Compute]*  Halt
+ *
+ * The section before Sync programs the Instruction Repeater and the
+ * Off-chip Data Access Engine; the body between Sync and Halt is what
+ * the Repeater executes once per iteration of the configured loop nest.
+ */
+
+#ifndef DMX_DRX_PROGRAM_HH
+#define DMX_DRX_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "drx/isa.hh"
+
+namespace dmx::drx
+{
+
+/** A complete DRX program. */
+struct Program
+{
+    std::string name;
+    std::vector<Instruction> code;
+
+    /** @return total body instructions (between Sync and Halt). */
+    std::size_t bodySize() const;
+
+    /** @return multi-line disassembly. */
+    std::string disassemble() const;
+
+    /**
+     * Check structural invariants (section ordering, register/stream
+     * indices in range, tile sizes within scratchpad capacity).
+     * @throws via fatal on violations
+     */
+    void validate() const;
+};
+
+/** Fluent builder for DRX programs. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /** Configure loop dimension @p dim to run @p iters iterations. */
+    ProgramBuilder &loop(unsigned dim, std::uint32_t iters);
+
+    /**
+     * Configure stream descriptor @p stream.
+     *
+     * @param stream descriptor index
+     * @param base   DRAM byte address of element 0
+     * @param dtype  element type in DRAM
+     * @param s0,s1,s2 per-loop-dim strides in elements
+     * @param tile   elements moved per access
+     */
+    ProgramBuilder &streamCfg(unsigned stream, std::uint64_t base,
+                              DType dtype, std::int64_t s0, std::int64_t s1,
+                              std::int64_t s2, std::uint32_t tile);
+
+    /**
+     * Attach a run pattern to the most recent cfg.stream (see
+     * Instruction::run_len).
+     */
+    ProgramBuilder &runs(std::uint32_t run_len, std::int64_t run_stride);
+
+    /** Begin the repeated body. */
+    ProgramBuilder &sync();
+
+    /** Load a tile from @p stream into @p reg (at @p depth). */
+    ProgramBuilder &load(unsigned reg, unsigned stream, unsigned depth = 2);
+
+    /** Store @p reg to @p stream (at @p depth). */
+    ProgramBuilder &store(unsigned stream, unsigned reg,
+                          unsigned depth = 2);
+
+    /**
+     * Indexed DRAM gather: dst[i] = stream[idx_reg[i]]. With
+     * @p run_len > 1, each index addresses run_len consecutive
+     * elements (descriptor-style DMA).
+     */
+    ProgramBuilder &gather(unsigned dst, unsigned stream,
+                           unsigned idx_reg, std::uint32_t run_len = 1);
+
+    /** Two-operand vector op. */
+    ProgramBuilder &compute(VFunc fn, unsigned dst, unsigned src_a,
+                            unsigned src_b);
+
+    /** One-operand vector op (optionally with an immediate). */
+    ProgramBuilder &compute1(VFunc fn, unsigned dst, unsigned src_a,
+                             float imm = 0.0f);
+
+    /** Fill @p dst with @p count copies of @p imm. */
+    ProgramBuilder &fill(unsigned dst, float imm, std::uint32_t count);
+
+    /** Block transpose: dst = transpose(src) viewed as rows x cols. */
+    ProgramBuilder &transpose(unsigned dst, unsigned src,
+                              std::uint32_t rows, std::uint32_t cols);
+
+    /** Segmented sum: dst[i] = sum of src's i-th width-sized chunk. */
+    ProgramBuilder &segsum(unsigned dst, unsigned src,
+                           std::uint32_t width);
+
+    /** Reset a scratch register's length to zero. */
+    ProgramBuilder &reset(unsigned dst);
+
+    /** Append the contents of @p src to @p dst. */
+    ProgramBuilder &append(unsigned dst, unsigned src);
+
+    /**
+     * Adjust the depth/post placement of the most recently added body
+     * instruction (see Instruction::depth).
+     */
+    ProgramBuilder &at(unsigned depth, bool post = false);
+
+    /** Finish with Halt, validate, and return the program. */
+    Program build();
+
+  private:
+    Program _prog;
+    bool _synced = false;
+};
+
+} // namespace dmx::drx
+
+#endif // DMX_DRX_PROGRAM_HH

@@ -1,0 +1,259 @@
+#include "kernels/aes.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace dmx::kernels
+{
+
+namespace
+{
+
+constexpr std::uint8_t sbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16,
+};
+
+constexpr std::uint8_t rcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
+                                   0x20, 0x40, 0x80, 0x1b, 0x36};
+
+std::uint8_t
+xtime(std::uint8_t x)
+{
+    return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+/** GF(2^128) multiply for GHASH (right-shift convention, NIST SP800-38D). */
+AesBlock
+gfMul(const AesBlock &x, const AesBlock &y)
+{
+    AesBlock z{};
+    AesBlock v = y;
+    for (int i = 0; i < 128; ++i) {
+        const int byte = i / 8;
+        const int bit = 7 - (i % 8);
+        if ((x[byte] >> bit) & 1) {
+            for (int b = 0; b < 16; ++b)
+                z[b] ^= v[b];
+        }
+        const bool lsb = v[15] & 1;
+        for (int b = 15; b > 0; --b)
+            v[b] = static_cast<std::uint8_t>((v[b] >> 1) | (v[b - 1] << 7));
+        v[0] >>= 1;
+        if (lsb)
+            v[0] ^= 0xe1;
+    }
+    return z;
+}
+
+/** GHASH accumulator. */
+class Ghash
+{
+  public:
+    explicit Ghash(const AesBlock &h) : _h(h) {}
+
+    void
+    update(const std::uint8_t *data, std::size_t len)
+    {
+        std::size_t off = 0;
+        while (off < len) {
+            AesBlock blk{};
+            const std::size_t chunk = std::min<std::size_t>(16, len - off);
+            std::memcpy(blk.data(), data + off, chunk);
+            for (int i = 0; i < 16; ++i)
+                _y[i] ^= blk[i];
+            _y = gfMul(_y, _h);
+            off += chunk;
+        }
+    }
+
+    /** Finish with the standard len(A)||len(C) block (A empty here). */
+    AesBlock
+    finish(std::uint64_t cipher_bytes)
+    {
+        AesBlock lens{};
+        const std::uint64_t cbits = cipher_bytes * 8;
+        for (int i = 0; i < 8; ++i)
+            lens[15 - i] = static_cast<std::uint8_t>(cbits >> (8 * i));
+        for (int i = 0; i < 16; ++i)
+            _y[i] ^= lens[i];
+        _y = gfMul(_y, _h);
+        return _y;
+    }
+
+  private:
+    AesBlock _h;
+    AesBlock _y{};
+};
+
+AesBlock
+counterBlock(const AesBlock &iv, std::uint32_t counter)
+{
+    AesBlock ctr{};
+    std::memcpy(ctr.data(), iv.data(), 12);
+    ctr[12] = static_cast<std::uint8_t>(counter >> 24);
+    ctr[13] = static_cast<std::uint8_t>(counter >> 16);
+    ctr[14] = static_cast<std::uint8_t>(counter >> 8);
+    ctr[15] = static_cast<std::uint8_t>(counter);
+    return ctr;
+}
+
+} // namespace
+
+Aes128::Aes128(const AesKey &key)
+{
+    std::memcpy(_round_keys.data(), key.data(), 16);
+    for (int i = 4; i < 44; ++i) {
+        std::uint8_t t[4];
+        std::memcpy(t, &_round_keys[(i - 1) * 4], 4);
+        if (i % 4 == 0) {
+            const std::uint8_t tmp = t[0];
+            t[0] = static_cast<std::uint8_t>(sbox[t[1]] ^ rcon[i / 4]);
+            t[1] = sbox[t[2]];
+            t[2] = sbox[t[3]];
+            t[3] = sbox[tmp];
+        }
+        for (int b = 0; b < 4; ++b)
+            _round_keys[i * 4 + b] =
+                static_cast<std::uint8_t>(_round_keys[(i - 4) * 4 + b] ^
+                                          t[b]);
+    }
+}
+
+AesBlock
+Aes128::encryptBlock(const AesBlock &in) const
+{
+    AesBlock s = in;
+    auto add_round_key = [&](int round) {
+        for (int i = 0; i < 16; ++i)
+            s[i] ^= _round_keys[round * 16 + i];
+    };
+    auto sub_bytes = [&] {
+        for (auto &b : s)
+            b = sbox[b];
+    };
+    auto shift_rows = [&] {
+        AesBlock t = s;
+        // state is column-major: s[col*4 + row]
+        for (int r = 1; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+                s[c * 4 + r] = t[((c + r) % 4) * 4 + r];
+    };
+    auto mix_columns = [&] {
+        for (int c = 0; c < 4; ++c) {
+            std::uint8_t *col = &s[c * 4];
+            const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2],
+                               a3 = col[3];
+            col[0] = static_cast<std::uint8_t>(xtime(a0) ^ xtime(a1) ^ a1 ^
+                                               a2 ^ a3);
+            col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ xtime(a2) ^
+                                               a2 ^ a3);
+            col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^
+                                               xtime(a3) ^ a3);
+            col[3] = static_cast<std::uint8_t>(xtime(a0) ^ a0 ^ a1 ^ a2 ^
+                                               xtime(a3));
+        }
+    };
+
+    add_round_key(0);
+    for (int round = 1; round < 10; ++round) {
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(round);
+    }
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+    return s;
+}
+
+void
+Aes128::ctrTransform(std::vector<std::uint8_t> &data, const AesBlock &iv,
+                     OpCount *ops) const
+{
+    std::uint32_t counter = 2;
+    for (std::size_t off = 0; off < data.size(); off += 16) {
+        const AesBlock ks = encryptBlock(counterBlock(iv, counter++));
+        const std::size_t chunk = std::min<std::size_t>(16, data.size() - off);
+        for (std::size_t i = 0; i < chunk; ++i)
+            data[off + i] ^= ks[i];
+    }
+    if (ops) {
+        // ~20 table lookups+xors per byte for AES rounds.
+        ops->int_ops += data.size() * 20;
+        ops->bytes_read += data.size();
+        ops->bytes_written += data.size();
+    }
+}
+
+GcmSealed
+gcmEncrypt(const AesKey &key, const AesBlock &iv,
+           const std::vector<std::uint8_t> &plaintext, OpCount *ops)
+{
+    const Aes128 aes(key);
+    GcmSealed out;
+    out.ciphertext = plaintext;
+    aes.ctrTransform(out.ciphertext, iv, ops);
+
+    const AesBlock h = aes.encryptBlock(AesBlock{});
+    Ghash ghash(h);
+    ghash.update(out.ciphertext.data(), out.ciphertext.size());
+    AesBlock s = ghash.finish(out.ciphertext.size());
+
+    const AesBlock j0_mask = aes.encryptBlock(counterBlock(iv, 1));
+    for (int i = 0; i < 16; ++i)
+        out.tag[i] = static_cast<std::uint8_t>(s[i] ^ j0_mask[i]);
+    if (ops)
+        ops->int_ops += plaintext.size() * 8; // GHASH cost
+    return out;
+}
+
+std::vector<std::uint8_t>
+gcmDecrypt(const AesKey &key, const AesBlock &iv, const GcmSealed &sealed,
+           bool &ok, OpCount *ops)
+{
+    const Aes128 aes(key);
+    const AesBlock h = aes.encryptBlock(AesBlock{});
+    Ghash ghash(h);
+    ghash.update(sealed.ciphertext.data(), sealed.ciphertext.size());
+    AesBlock s = ghash.finish(sealed.ciphertext.size());
+    const AesBlock j0_mask = aes.encryptBlock(counterBlock(iv, 1));
+
+    std::uint8_t diff = 0;
+    for (int i = 0; i < 16; ++i)
+        diff |= static_cast<std::uint8_t>((s[i] ^ j0_mask[i]) ^
+                                          sealed.tag[i]);
+    ok = diff == 0;
+    if (!ok)
+        return {};
+
+    std::vector<std::uint8_t> plain = sealed.ciphertext;
+    aes.ctrTransform(plain, iv, ops);
+    if (ops)
+        ops->int_ops += plain.size() * 8;
+    return plain;
+}
+
+} // namespace dmx::kernels

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * AES-128 in CTR mode with GCM authentication (encrypt-then-GHASH).
+ *
+ * The Personal Information Redaction pipeline decrypts privacy-sensitive
+ * text before scanning it; the paper accelerates AES-GCM with a Vitis
+ * HLS core, this is the functional equivalent (table-based, byte
+ * oriented - correctness over host speed).
+ */
+
+#ifndef DMX_KERNELS_AES_HH
+#define DMX_KERNELS_AES_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/opcount.hh"
+
+namespace dmx::kernels
+{
+
+/** 128-bit key/block convenience types. */
+using AesKey = std::array<std::uint8_t, 16>;
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/** Expanded AES-128 key schedule (11 round keys). */
+class Aes128
+{
+  public:
+    /** @param key the 128-bit cipher key */
+    explicit Aes128(const AesKey &key);
+
+    /** Encrypt a single 16-byte block (ECB primitive). */
+    AesBlock encryptBlock(const AesBlock &in) const;
+
+    /**
+     * CTR-mode keystream transform (encrypt == decrypt).
+     *
+     * @param data  bytes to transform in place
+     * @param iv    96-bit IV (first 12 bytes used), counter starts at 2
+     *              to match GCM's layout (counter 1 is the tag mask)
+     * @param ops   optional op accounting
+     */
+    void ctrTransform(std::vector<std::uint8_t> &data, const AesBlock &iv,
+                      OpCount *ops = nullptr) const;
+
+  private:
+    std::array<std::uint8_t, 176> _round_keys{};
+};
+
+/** Authenticated ciphertext. */
+struct GcmSealed
+{
+    std::vector<std::uint8_t> ciphertext;
+    AesBlock tag{};
+};
+
+/**
+ * AES-128-GCM encryption.
+ *
+ * @param key       cipher key
+ * @param iv        96-bit IV in the first 12 bytes
+ * @param plaintext message to protect
+ * @param ops       optional op accounting
+ */
+GcmSealed gcmEncrypt(const AesKey &key, const AesBlock &iv,
+                     const std::vector<std::uint8_t> &plaintext,
+                     OpCount *ops = nullptr);
+
+/**
+ * AES-128-GCM decryption with tag verification.
+ *
+ * @param key    cipher key
+ * @param iv     96-bit IV in the first 12 bytes
+ * @param sealed ciphertext plus tag
+ * @param ok     set to true when the tag verified
+ * @param ops    optional op accounting
+ * @return plaintext (empty and ok=false on tag mismatch)
+ */
+std::vector<std::uint8_t> gcmDecrypt(const AesKey &key, const AesBlock &iv,
+                                     const GcmSealed &sealed, bool &ok,
+                                     OpCount *ops = nullptr);
+
+} // namespace dmx::kernels
+
+#endif // DMX_KERNELS_AES_HH

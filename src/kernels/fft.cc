@@ -1,0 +1,113 @@
+#include "kernels/fft.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace dmx::kernels
+{
+
+namespace
+{
+
+bool
+isPow2(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+OpCount
+fft(std::vector<Complex> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    if (!isPow2(n))
+        dmx_fatal("fft: size %zu is not a power of two", n);
+    OpCount ops;
+    ops.bytes_read = n * sizeof(Complex);
+    ops.bytes_written = n * sizeof(Complex);
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    const float sign = inverse ? 1.0f : -1.0f;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const float angle =
+            sign * 2.0f * std::numbers::pi_v<float> /
+            static_cast<float>(len);
+        const Complex wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            Complex w(1.0f, 0.0f);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const Complex u = data[i + k];
+                const Complex v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+                // butterfly: 1 cmul (6 flops) + 2 cadd (4 flops) + twiddle
+                ops.flops += 16;
+            }
+        }
+    }
+
+    if (inverse) {
+        const float inv_n = 1.0f / static_cast<float>(n);
+        for (Complex &c : data)
+            c *= inv_n;
+        ops.flops += 2 * n;
+    }
+    return ops;
+}
+
+Stft
+stft(const std::vector<float> &samples, std::size_t fft_size,
+     std::size_t hop, OpCount *ops)
+{
+    if (!isPow2(fft_size))
+        dmx_fatal("stft: fft_size %zu is not a power of two", fft_size);
+    if (hop == 0)
+        dmx_fatal("stft: hop must be nonzero");
+
+    Stft out;
+    out.bins = fft_size / 2 + 1;
+    if (samples.size() < fft_size)
+        return out;
+    out.frames = (samples.size() - fft_size) / hop + 1;
+    out.values.resize(out.frames * out.bins);
+
+    // Precompute the Hann window.
+    std::vector<float> window(fft_size);
+    for (std::size_t i = 0; i < fft_size; ++i) {
+        window[i] = 0.5f - 0.5f * std::cos(
+            2.0f * std::numbers::pi_v<float> * static_cast<float>(i) /
+            static_cast<float>(fft_size - 1));
+    }
+
+    std::vector<Complex> frame(fft_size);
+    OpCount total;
+    for (std::size_t f = 0; f < out.frames; ++f) {
+        const std::size_t base = f * hop;
+        for (std::size_t i = 0; i < fft_size; ++i)
+            frame[i] = Complex(samples[base + i] * window[i], 0.0f);
+        total.flops += fft_size;
+        total.bytes_read += fft_size * sizeof(float);
+        total += fft(frame, false);
+        for (std::size_t b = 0; b < out.bins; ++b)
+            out.values[f * out.bins + b] = frame[b];
+        total.bytes_written += out.bins * sizeof(Complex);
+    }
+    if (ops)
+        *ops += total;
+    return out;
+}
+
+} // namespace dmx::kernels

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Radix-2 FFT and short-time Fourier transform (STFT).
+ *
+ * Used by the Sound Detection and Brain Stimulation benchmark pipelines
+ * as their first accelerated kernel (the paper uses Vitis HLS FFT IP;
+ * this is the functional equivalent).
+ */
+
+#ifndef DMX_KERNELS_FFT_HH
+#define DMX_KERNELS_FFT_HH
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "kernels/opcount.hh"
+
+namespace dmx::kernels
+{
+
+using Complex = std::complex<float>;
+
+/**
+ * In-place iterative radix-2 decimation-in-time FFT.
+ *
+ * @param data  complex samples; size must be a power of two
+ * @param inverse when true computes the (scaled) inverse transform
+ * @return operation counts
+ */
+OpCount fft(std::vector<Complex> &data, bool inverse = false);
+
+/** Result of a short-time Fourier transform. */
+struct Stft
+{
+    std::size_t frames = 0;       ///< number of analysis windows
+    std::size_t bins = 0;         ///< frequency bins per frame (n/2+1)
+    std::vector<Complex> values;  ///< frames x bins, row-major
+};
+
+/**
+ * Short-time Fourier transform with a Hann window.
+ *
+ * @param samples  real input audio samples
+ * @param fft_size power-of-two window size
+ * @param hop      samples between adjacent windows
+ * @param ops      optional accumulator for operation counts
+ * @return frames x (fft_size/2+1) complex spectra
+ */
+Stft stft(const std::vector<float> &samples, std::size_t fft_size,
+          std::size_t hop, OpCount *ops = nullptr);
+
+} // namespace dmx::kernels
+
+#endif // DMX_KERNELS_FFT_HH

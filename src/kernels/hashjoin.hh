@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Columnar tables and an equi hash join (build + probe).
+ *
+ * The Database Hash Join pipeline joins two decompressed tables as its
+ * second accelerated kernel; this is the functional implementation the
+ * accelerator model wraps.
+ */
+
+#ifndef DMX_KERNELS_HASHJOIN_HH
+#define DMX_KERNELS_HASHJOIN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/opcount.hh"
+
+namespace dmx::kernels
+{
+
+/** A simple two-column table: int64 key plus int64 payload. */
+struct Table
+{
+    std::vector<std::int64_t> keys;
+    std::vector<std::int64_t> payloads;
+
+    std::size_t rows() const { return keys.size(); }
+
+    /** Append one row. */
+    void
+    add(std::int64_t key, std::int64_t payload)
+    {
+        keys.push_back(key);
+        payloads.push_back(payload);
+    }
+
+    /** Serialize to a flat byte buffer (row-major key,payload pairs). */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Inverse of serialize(). */
+    static Table deserialize(const std::vector<std::uint8_t> &bytes);
+};
+
+/** One joined output row. */
+struct JoinedRow
+{
+    std::int64_t key;
+    std::int64_t left_payload;
+    std::int64_t right_payload;
+
+    bool
+    operator==(const JoinedRow &o) const
+    {
+        return key == o.key && left_payload == o.left_payload &&
+               right_payload == o.right_payload;
+    }
+};
+
+/**
+ * Equi-join @p build and @p probe on their key columns.
+ *
+ * Builds an open-addressing hash table over @p build, then streams
+ * @p probe through it. Handles duplicate keys on both sides (full
+ * cross product per matching key).
+ *
+ * @param build smaller relation (hash table side)
+ * @param probe larger relation (streamed side)
+ * @param ops   optional op accounting
+ * @return joined rows, in probe order
+ */
+std::vector<JoinedRow> hashJoin(const Table &build, const Table &probe,
+                                OpCount *ops = nullptr);
+
+} // namespace dmx::kernels
+
+#endif // DMX_KERNELS_HASHJOIN_HH

@@ -1,0 +1,146 @@
+#include "kernels/lz.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dmx::kernels
+{
+
+namespace
+{
+
+constexpr std::size_t min_match = 4;
+constexpr std::size_t max_match = 255;
+constexpr std::size_t max_offset = 65535;
+constexpr std::size_t hash_bits = 15;
+
+std::uint32_t
+hash4(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    v = static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+    return (v * 2654435761u) >> (32 - hash_bits);
+}
+
+} // namespace
+
+Bytes
+lzCompress(const Bytes &input, OpCount *ops)
+{
+    Bytes out;
+    out.reserve(input.size() / 2 + 16);
+    // Heap-allocated: 32 Ki entries would be too large for the stack.
+    std::vector<std::int64_t> table(std::size_t(1) << hash_bits, -1);
+
+    std::size_t lit_start = 0;
+    std::uint64_t work = 0;
+
+    auto flush_literals = [&](std::size_t upto) {
+        std::size_t pos = lit_start;
+        while (pos < upto) {
+            const std::size_t run = std::min<std::size_t>(255, upto - pos);
+            out.push_back(0x00);
+            out.push_back(static_cast<std::uint8_t>(run));
+            out.insert(out.end(), input.begin() + static_cast<long>(pos),
+                       input.begin() + static_cast<long>(pos + run));
+            pos += run;
+        }
+        lit_start = upto;
+    };
+
+    std::size_t i = 0;
+    while (i + min_match <= input.size()) {
+        const std::uint32_t h = hash4(&input[i]);
+        const std::int64_t cand = table[h];
+        table[h] = static_cast<std::int64_t>(i);
+        ++work;
+
+        if (cand >= 0 &&
+            static_cast<std::size_t>(i - cand) <= max_offset &&
+            std::equal(input.begin() + cand,
+                       input.begin() + cand + min_match,
+                       input.begin() + static_cast<long>(i))) {
+            // Extend the match forward.
+            std::size_t len = min_match;
+            const std::size_t limit =
+                std::min(max_match, input.size() - i);
+            while (len < limit &&
+                   input[static_cast<std::size_t>(cand) + len] ==
+                       input[i + len]) {
+                ++len;
+            }
+            work += len;
+            flush_literals(i);
+            const auto off = static_cast<std::uint16_t>(i - cand);
+            out.push_back(0x01);
+            out.push_back(static_cast<std::uint8_t>(len));
+            out.push_back(static_cast<std::uint8_t>(off & 0xff));
+            out.push_back(static_cast<std::uint8_t>(off >> 8));
+            i += len;
+            lit_start = i;
+        } else {
+            ++i;
+        }
+    }
+    flush_literals(input.size());
+
+    if (ops) {
+        ops->int_ops += work * 4 + input.size() * 2;
+        ops->bytes_read += input.size();
+        ops->bytes_written += out.size();
+    }
+    return out;
+}
+
+Bytes
+lzDecompress(const Bytes &compressed, OpCount *ops)
+{
+    Bytes out;
+    out.reserve(compressed.size() * 2);
+    std::size_t i = 0;
+    while (i < compressed.size()) {
+        const std::uint8_t tag = compressed[i++];
+        if (i >= compressed.size())
+            dmx_fatal("lzDecompress: truncated token header");
+        const std::size_t len = compressed[i++];
+        if (tag == 0x00) {
+            if (len == 0 || i + len > compressed.size())
+                dmx_fatal("lzDecompress: bad literal run");
+            out.insert(out.end(),
+                       compressed.begin() + static_cast<long>(i),
+                       compressed.begin() + static_cast<long>(i + len));
+            i += len;
+        } else if (tag == 0x01) {
+            if (i + 2 > compressed.size())
+                dmx_fatal("lzDecompress: truncated match token");
+            const std::size_t off =
+                static_cast<std::size_t>(compressed[i]) |
+                (static_cast<std::size_t>(compressed[i + 1]) << 8);
+            i += 2;
+            if (off == 0 || off > out.size() || len < min_match)
+                dmx_fatal("lzDecompress: invalid match (off=%zu len=%zu)",
+                          off, len);
+            // Byte-by-byte copy: offsets may overlap the output tail.
+            const std::size_t base = out.size() - off;
+            for (std::size_t k = 0; k < len; ++k)
+                out.push_back(out[base + k]);
+        } else {
+            dmx_fatal("lzDecompress: unknown token 0x%02x", tag);
+        }
+    }
+    if (ops) {
+        // Decompression is inherently serial and branchy: token
+        // dispatch, bounds checks and byte-wise match copies cost far
+        // more than a straight memcpy per output byte.
+        ops->int_ops += out.size() * 8 + compressed.size() * 2;
+        ops->bytes_read += compressed.size();
+        ops->bytes_written += out.size();
+    }
+    return out;
+}
+
+} // namespace dmx::kernels

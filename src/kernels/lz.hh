@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A byte-oriented LZ77 compressor/decompressor.
+ *
+ * The Database Hash Join pipeline stores tables compressed and
+ * decompresses them as its first accelerated kernel. The paper uses a
+ * Gzip (DEFLATE) HLS core; we substitute an LZ77 token format without
+ * the Huffman entropy stage - the accelerator-relevant behaviour
+ * (sequential dependency, byte-granular output, match copying) is the
+ * same, while the format stays small enough to verify exhaustively.
+ *
+ * Token stream format:
+ *   0x00 len  <len literal bytes>            (len in 1..255)
+ *   0x01 len  off_lo off_hi                  (match: copy len from -off)
+ */
+
+#ifndef DMX_KERNELS_LZ_HH
+#define DMX_KERNELS_LZ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/opcount.hh"
+
+namespace dmx::kernels
+{
+
+using Bytes = std::vector<std::uint8_t>;
+
+/**
+ * Compress @p input.
+ *
+ * @param input bytes to compress
+ * @param ops   optional op accounting
+ * @return token stream (see file header for the format)
+ */
+Bytes lzCompress(const Bytes &input, OpCount *ops = nullptr);
+
+/**
+ * Decompress a token stream produced by lzCompress().
+ *
+ * @param compressed token stream
+ * @param ops        optional op accounting
+ * @return original bytes
+ * @throws std::runtime_error (via fatal) on malformed streams
+ */
+Bytes lzDecompress(const Bytes &compressed, OpCount *ops = nullptr);
+
+} // namespace dmx::kernels
+
+#endif // DMX_KERNELS_LZ_HH

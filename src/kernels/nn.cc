@@ -1,0 +1,358 @@
+#include "kernels/nn.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace dmx::kernels
+{
+
+Tensor::Tensor(std::vector<std::size_t> s) : shape(std::move(s))
+{
+    std::size_t n = 1;
+    for (std::size_t d : shape)
+        n *= d;
+    data.assign(n, 0.0f);
+}
+
+std::size_t
+Tensor::size() const
+{
+    std::size_t n = 1;
+    for (std::size_t d : shape)
+        n *= d;
+    return n;
+}
+
+void
+Tensor::randomize(std::uint64_t seed, float scale)
+{
+    Rng rng(seed);
+    for (float &v : data)
+        v = static_cast<float>(rng.uniform(-scale, scale));
+}
+
+Tensor
+conv2d(const Tensor &input, const Tensor &kernel, OpCount *ops)
+{
+    if (input.shape.size() != 4 || kernel.shape.size() != 4)
+        dmx_fatal("conv2d: expected NCHW input and OIKK kernel");
+    const std::size_t batch = input.dim(0), cin = input.dim(1),
+                      h = input.dim(2), w = input.dim(3);
+    const std::size_t cout = kernel.dim(0), kin = kernel.dim(1),
+                      kh = kernel.dim(2), kw = kernel.dim(3);
+    if (kin != cin)
+        dmx_fatal("conv2d: channel mismatch (%zu vs %zu)", kin, cin);
+    const std::size_t pad_h = kh / 2, pad_w = kw / 2;
+
+    Tensor out({batch, cout, h, w});
+    for (std::size_t n = 0; n < batch; ++n) {
+        for (std::size_t oc = 0; oc < cout; ++oc) {
+            for (std::size_t y = 0; y < h; ++y) {
+                for (std::size_t x = 0; x < w; ++x) {
+                    float acc = 0.0f;
+                    for (std::size_t ic = 0; ic < cin; ++ic) {
+                        for (std::size_t ky = 0; ky < kh; ++ky) {
+                            const std::ptrdiff_t iy =
+                                static_cast<std::ptrdiff_t>(y + ky) -
+                                static_cast<std::ptrdiff_t>(pad_h);
+                            if (iy < 0 ||
+                                iy >= static_cast<std::ptrdiff_t>(h))
+                                continue;
+                            for (std::size_t kx = 0; kx < kw; ++kx) {
+                                const std::ptrdiff_t ix =
+                                    static_cast<std::ptrdiff_t>(x + kx) -
+                                    static_cast<std::ptrdiff_t>(pad_w);
+                                if (ix < 0 ||
+                                    ix >= static_cast<std::ptrdiff_t>(w))
+                                    continue;
+                                const float iv = input.data[
+                                    ((n * cin + ic) * h +
+                                     static_cast<std::size_t>(iy)) * w +
+                                    static_cast<std::size_t>(ix)];
+                                const float kv = kernel.data[
+                                    ((oc * cin + ic) * kh + ky) * kw + kx];
+                                acc += iv * kv;
+                            }
+                        }
+                    }
+                    out.data[((n * cout + oc) * h + y) * w + x] = acc;
+                }
+            }
+        }
+    }
+    if (ops) {
+        ops->flops += 2ull * batch * cout * h * w * cin * kh * kw;
+        ops->bytes_read += (input.size() + kernel.size()) * sizeof(float);
+        ops->bytes_written += out.size() * sizeof(float);
+    }
+    return out;
+}
+
+void
+reluInPlace(Tensor &t, OpCount *ops)
+{
+    for (float &v : t.data)
+        v = std::max(0.0f, v);
+    if (ops) {
+        ops->flops += t.size();
+        ops->bytes_read += t.size() * sizeof(float);
+        ops->bytes_written += t.size() * sizeof(float);
+    }
+}
+
+Tensor
+maxpool2x2(const Tensor &input, OpCount *ops)
+{
+    if (input.shape.size() != 4)
+        dmx_fatal("maxpool2x2: expected NCHW");
+    const std::size_t batch = input.dim(0), c = input.dim(1),
+                      h = input.dim(2), w = input.dim(3);
+    const std::size_t oh = h / 2, ow = w / 2;
+    Tensor out({batch, c, oh, ow});
+    for (std::size_t n = 0; n < batch; ++n) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            for (std::size_t y = 0; y < oh; ++y) {
+                for (std::size_t x = 0; x < ow; ++x) {
+                    float m = -1e30f;
+                    for (std::size_t dy = 0; dy < 2; ++dy)
+                        for (std::size_t dx = 0; dx < 2; ++dx)
+                            m = std::max(m, input.data[
+                                ((n * c + ch) * h + 2 * y + dy) * w +
+                                2 * x + dx]);
+                    out.data[((n * c + ch) * oh + y) * ow + x] = m;
+                }
+            }
+        }
+    }
+    if (ops) {
+        ops->flops += out.size() * 4;
+        ops->bytes_read += input.size() * sizeof(float);
+        ops->bytes_written += out.size() * sizeof(float);
+    }
+    return out;
+}
+
+Tensor
+dense(const Tensor &x, const Tensor &w, const Tensor &b, OpCount *ops)
+{
+    if (w.shape.size() != 2 || b.shape.size() != 1)
+        dmx_fatal("dense: W must be 2-D and b 1-D");
+    const std::size_t out_dim = w.dim(0), in_dim = w.dim(1);
+    if (x.size() != in_dim)
+        dmx_fatal("dense: input size %zu != %zu", x.size(), in_dim);
+    if (b.dim(0) != out_dim)
+        dmx_fatal("dense: bias size mismatch");
+    Tensor y({1, out_dim});
+    for (std::size_t o = 0; o < out_dim; ++o) {
+        float acc = b.data[o];
+        for (std::size_t i = 0; i < in_dim; ++i)
+            acc += w.data[o * in_dim + i] * x.data[i];
+        y.data[o] = acc;
+    }
+    if (ops) {
+        ops->flops += 2ull * out_dim * in_dim;
+        ops->bytes_read += (x.size() + w.size() + b.size()) * sizeof(float);
+        ops->bytes_written += y.size() * sizeof(float);
+    }
+    return y;
+}
+
+void
+softmaxRows(Tensor &t, OpCount *ops)
+{
+    if (t.shape.size() != 2)
+        dmx_fatal("softmaxRows: expected 2-D tensor");
+    const std::size_t rows = t.dim(0), cols = t.dim(1);
+    for (std::size_t r = 0; r < rows; ++r) {
+        float *row = &t.data[r * cols];
+        const float mx = *std::max_element(row, row + cols);
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < cols; ++c) {
+            row[c] = std::exp(row[c] - mx);
+            sum += row[c];
+        }
+        for (std::size_t c = 0; c < cols; ++c)
+            row[c] /= sum;
+    }
+    if (ops)
+        ops->flops += t.size() * 6;
+}
+
+Tensor
+selfAttention(const Tensor &x, const Tensor &wq, const Tensor &wk,
+              const Tensor &wv, OpCount *ops)
+{
+    if (x.shape.size() != 2)
+        dmx_fatal("selfAttention: expected (seq x dim)");
+    const std::size_t seq = x.dim(0), dim = x.dim(1);
+
+    auto matmul = [&](const Tensor &a, const Tensor &w) {
+        // a: (seq x dim), w: (dim x dim) -> (seq x dim)
+        Tensor r({seq, dim});
+        for (std::size_t s = 0; s < seq; ++s)
+            for (std::size_t o = 0; o < dim; ++o) {
+                float acc = 0.0f;
+                for (std::size_t i = 0; i < dim; ++i)
+                    acc += a.data[s * dim + i] * w.data[i * dim + o];
+                r.data[s * dim + o] = acc;
+            }
+        return r;
+    };
+
+    const Tensor q = matmul(x, wq);
+    const Tensor k = matmul(x, wk);
+    const Tensor v = matmul(x, wv);
+
+    Tensor scores({seq, seq});
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim));
+    for (std::size_t i = 0; i < seq; ++i)
+        for (std::size_t j = 0; j < seq; ++j) {
+            float acc = 0.0f;
+            for (std::size_t d = 0; d < dim; ++d)
+                acc += q.data[i * dim + d] * k.data[j * dim + d];
+            scores.data[i * seq + j] = acc * scale;
+        }
+    softmaxRows(scores, nullptr);
+
+    Tensor out({seq, dim});
+    for (std::size_t i = 0; i < seq; ++i)
+        for (std::size_t d = 0; d < dim; ++d) {
+            float acc = 0.0f;
+            for (std::size_t j = 0; j < seq; ++j)
+                acc += scores.data[i * seq + j] * v.data[j * dim + d];
+            out.data[i * dim + d] = acc;
+        }
+
+    if (ops) {
+        ops->flops += 2ull * seq * dim * dim * 3 // projections
+                      + 2ull * seq * seq * dim * 2 // scores + weighted sum
+                      + 6ull * seq * seq;          // softmax
+        ops->bytes_read += (x.size() * 3 + wq.size() * 3) * sizeof(float);
+        ops->bytes_written += out.size() * sizeof(float);
+    }
+    return out;
+}
+
+TinyCnn::TinyCnn(std::size_t in_channels, std::size_t classes,
+                 std::uint64_t seed)
+    : _classes(classes), _conv1({16, in_channels, 3, 3}),
+      _conv2({32, 16, 3, 3})
+{
+    _conv1.randomize(seed * 31 + 1);
+    _conv2.randomize(seed * 31 + 2);
+    // Head operates on 32 channels per 4x4-downsampled cell.
+    _head_w = Tensor({classes, 32});
+    _head_b = Tensor({classes});
+    _head_w.randomize(seed * 31 + 3);
+    _head_b.randomize(seed * 31 + 4);
+}
+
+Tensor
+TinyCnn::detect(const Tensor &image, OpCount *ops) const
+{
+    Tensor f = conv2d(image, _conv1, ops);
+    reluInPlace(f, ops);
+    f = maxpool2x2(f, ops);
+    f = conv2d(f, _conv2, ops);
+    reluInPlace(f, ops);
+    f = maxpool2x2(f, ops);
+
+    // Per-cell classification over the 32-channel feature map.
+    const std::size_t c = f.dim(1), h = f.dim(2), w = f.dim(3);
+    Tensor scores({h * w, _classes});
+    Tensor cell({1, c});
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            for (std::size_t ch = 0; ch < c; ++ch)
+                cell.data[ch] = f.data[(ch * h + y) * w + x];
+            Tensor logit = dense(cell, _head_w, _head_b, ops);
+            std::copy(logit.data.begin(), logit.data.end(),
+                      scores.data.begin() +
+                          static_cast<std::ptrdiff_t>(
+                              (y * w + x) * _classes));
+        }
+    }
+    softmaxRows(scores, ops);
+    return scores;
+}
+
+MlpPolicy::MlpPolicy(std::size_t obs_dim, std::size_t actions,
+                     std::size_t hidden, std::uint64_t seed)
+    : _actions(actions), _w1({hidden, obs_dim}), _b1({hidden}),
+      _w2({hidden, hidden}), _b2({hidden}), _w3({actions, hidden}),
+      _b3({actions})
+{
+    _w1.randomize(seed + 1);
+    _b1.randomize(seed + 2);
+    _w2.randomize(seed + 3);
+    _b2.randomize(seed + 4);
+    _w3.randomize(seed + 5);
+    _b3.randomize(seed + 6);
+}
+
+Tensor
+MlpPolicy::act(const Tensor &obs, OpCount *ops) const
+{
+    Tensor h1 = dense(obs, _w1, _b1, ops);
+    reluInPlace(h1, ops);
+    Tensor h2 = dense(h1, _w2, _b2, ops);
+    reluInPlace(h2, ops);
+    Tensor logits = dense(h2, _w3, _b3, ops);
+    softmaxRows(logits, ops);
+    return logits;
+}
+
+NerEncoder::NerEncoder(std::size_t dim, std::size_t labels,
+                       std::uint64_t seed)
+    : _dim(dim), _labels(labels), _wq({dim, dim}), _wk({dim, dim}),
+      _wv({dim, dim}), _ff1_w({4 * dim, dim}), _ff1_b({4 * dim}),
+      _ff2_w({dim, 4 * dim}), _ff2_b({dim}), _head_w({labels, dim}),
+      _head_b({labels})
+{
+    _wq.randomize(seed + 11);
+    _wk.randomize(seed + 12);
+    _wv.randomize(seed + 13);
+    _ff1_w.randomize(seed + 14);
+    _ff1_b.randomize(seed + 15);
+    _ff2_w.randomize(seed + 16);
+    _ff2_b.randomize(seed + 17);
+    _head_w.randomize(seed + 18);
+    _head_b.randomize(seed + 19);
+}
+
+Tensor
+NerEncoder::classify(const Tensor &tokens, OpCount *ops) const
+{
+    if (tokens.shape.size() != 2 || tokens.dim(1) != _dim)
+        dmx_fatal("NerEncoder: expected (seq x %zu)", _dim);
+    const std::size_t seq = tokens.dim(0);
+
+    Tensor attended = selfAttention(tokens, _wq, _wk, _wv, ops);
+    // Residual connection.
+    for (std::size_t i = 0; i < attended.size(); ++i)
+        attended.data[i] += tokens.data[i];
+
+    Tensor out({seq, _labels});
+    Tensor token({1, _dim});
+    for (std::size_t s = 0; s < seq; ++s) {
+        std::copy_n(attended.data.begin() +
+                        static_cast<std::ptrdiff_t>(s * _dim),
+                    _dim, token.data.begin());
+        Tensor h = dense(token, _ff1_w, _ff1_b, ops);
+        reluInPlace(h, ops);
+        Tensor ff = dense(h, _ff2_w, _ff2_b, ops);
+        for (std::size_t i = 0; i < _dim; ++i)
+            ff.data[i] += token.data[i]; // second residual
+        Tensor logits = dense(ff, _head_w, _head_b, ops);
+        std::copy(logits.data.begin(), logits.data.end(),
+                  out.data.begin() +
+                      static_cast<std::ptrdiff_t>(s * _labels));
+    }
+    softmaxRows(out, ops);
+    return out;
+}
+
+} // namespace dmx::kernels

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Minimal neural-network inference kernels.
+ *
+ * Three model shapes from the paper's benchmarks are provided:
+ *  - TinyCnn: convolutional object-detection head (Video Surveillance),
+ *  - MlpPolicy: proximal-policy-optimization actor (Brain Stimulation),
+ *  - NerEncoder: a single-block transformer token classifier (the
+ *    Personal Info Redaction three-kernel extension, Sec. VII-C).
+ *
+ * Weights are deterministic functions of a seed; the system evaluation
+ * cares about shapes/op counts and end-to-end data flow, not accuracy.
+ */
+
+#ifndef DMX_KERNELS_NN_HH
+#define DMX_KERNELS_NN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/opcount.hh"
+
+namespace dmx::kernels
+{
+
+/** Dense row-major float tensor with an explicit shape. */
+struct Tensor
+{
+    std::vector<std::size_t> shape;
+    std::vector<float> data;
+
+    Tensor() = default;
+
+    /** Allocate a zeroed tensor of the given shape. */
+    explicit Tensor(std::vector<std::size_t> s);
+
+    /** @return product of all dimensions. */
+    std::size_t size() const;
+
+    /** @return dimension @p i. */
+    std::size_t dim(std::size_t i) const { return shape.at(i); }
+
+    /** Fill with deterministic pseudo-random weights in [-scale, scale]. */
+    void randomize(std::uint64_t seed, float scale = 0.1f);
+};
+
+/** 2-D convolution, NCHW, stride 1, zero padding to keep H/W. */
+Tensor conv2d(const Tensor &input, const Tensor &kernel, OpCount *ops);
+
+/** Elementwise max(0, x). */
+void reluInPlace(Tensor &t, OpCount *ops);
+
+/** 2x2 max pooling with stride 2 (NCHW). */
+Tensor maxpool2x2(const Tensor &input, OpCount *ops);
+
+/** Fully connected layer: y = W x + b. W is (out x in), b is (out). */
+Tensor dense(const Tensor &x, const Tensor &w, const Tensor &b,
+             OpCount *ops);
+
+/** Row-wise softmax over the last dimension of a 2-D tensor. */
+void softmaxRows(Tensor &t, OpCount *ops);
+
+/** Single-head scaled-dot-product self-attention over (seq x dim). */
+Tensor selfAttention(const Tensor &x, const Tensor &wq, const Tensor &wk,
+                     const Tensor &wv, OpCount *ops);
+
+/**
+ * Object-detection CNN: two conv+pool stages and a per-cell class head.
+ */
+class TinyCnn
+{
+  public:
+    /**
+     * @param in_channels input image channels (e.g. 3)
+     * @param classes     detection classes per grid cell
+     * @param seed        weight seed
+     */
+    TinyCnn(std::size_t in_channels, std::size_t classes,
+            std::uint64_t seed);
+
+    /**
+     * Run detection on an image.
+     * @param image NCHW tensor (batch 1)
+     * @param ops   op accounting
+     * @return grid of per-cell class scores (cells x classes)
+     */
+    Tensor detect(const Tensor &image, OpCount *ops) const;
+
+    std::size_t classes() const { return _classes; }
+
+  private:
+    std::size_t _classes;
+    Tensor _conv1, _conv2; // (out,in,3,3)
+    Tensor _head_w, _head_b;
+};
+
+/** PPO actor network: 2 hidden layers + action logits. */
+class MlpPolicy
+{
+  public:
+    /**
+     * @param obs_dim observation vector length
+     * @param actions discrete action count
+     * @param hidden  hidden width
+     * @param seed    weight seed
+     */
+    MlpPolicy(std::size_t obs_dim, std::size_t actions, std::size_t hidden,
+              std::uint64_t seed);
+
+    /**
+     * @param obs observation (1 x obs_dim tensor)
+     * @param ops op accounting
+     * @return action probabilities (1 x actions)
+     */
+    Tensor act(const Tensor &obs, OpCount *ops) const;
+
+    std::size_t actions() const { return _actions; }
+
+  private:
+    std::size_t _actions;
+    Tensor _w1, _b1, _w2, _b2, _w3, _b3;
+};
+
+/** One-block transformer encoder with a token-classification head. */
+class NerEncoder
+{
+  public:
+    /**
+     * @param dim     model width
+     * @param labels  token label count (e.g. O / PII)
+     * @param seed    weight seed
+     */
+    NerEncoder(std::size_t dim, std::size_t labels, std::uint64_t seed);
+
+    /**
+     * Classify each token embedding.
+     * @param tokens (seq x dim) embeddings
+     * @param ops    op accounting
+     * @return per-token label probabilities (seq x labels)
+     */
+    Tensor classify(const Tensor &tokens, OpCount *ops) const;
+
+    std::size_t dim() const { return _dim; }
+    std::size_t labels() const { return _labels; }
+
+  private:
+    std::size_t _dim, _labels;
+    Tensor _wq, _wk, _wv, _ff1_w, _ff1_b, _ff2_w, _ff2_b, _head_w, _head_b;
+};
+
+} // namespace dmx::kernels
+
+#endif // DMX_KERNELS_NN_HH

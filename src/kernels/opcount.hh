@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Operation accounting shared by all functional kernels.
+ *
+ * Every kernel reports the work it performed; the accelerator latency
+ * models convert these counts into FPGA/ASIC cycle estimates, and the
+ * CPU model converts them into host execution time.
+ */
+
+#ifndef DMX_KERNELS_OPCOUNT_HH
+#define DMX_KERNELS_OPCOUNT_HH
+
+#include <cstdint>
+
+namespace dmx::kernels
+{
+
+/** Work performed by one kernel invocation. */
+struct OpCount
+{
+    std::uint64_t flops = 0;         ///< floating-point operations
+    std::uint64_t int_ops = 0;       ///< integer/logic operations
+    std::uint64_t bytes_read = 0;    ///< input traffic
+    std::uint64_t bytes_written = 0; ///< output traffic
+
+    OpCount &
+    operator+=(const OpCount &o)
+    {
+        flops += o.flops;
+        int_ops += o.int_ops;
+        bytes_read += o.bytes_read;
+        bytes_written += o.bytes_written;
+        return *this;
+    }
+
+    /** @return total bytes moved. */
+    std::uint64_t bytes() const { return bytes_read + bytes_written; }
+
+    /** @return total operations. */
+    std::uint64_t ops() const { return flops + int_ops; }
+};
+
+} // namespace dmx::kernels
+
+#endif // DMX_KERNELS_OPCOUNT_HH

@@ -1,0 +1,344 @@
+#include "kernels/regex.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace dmx::kernels
+{
+
+namespace
+{
+
+std::bitset<256>
+classFor(char escape)
+{
+    std::bitset<256> cls;
+    auto add_range = [&](unsigned char lo, unsigned char hi) {
+        for (unsigned c = lo; c <= hi; ++c)
+            cls.set(c);
+    };
+    switch (escape) {
+      case 'd':
+        add_range('0', '9');
+        break;
+      case 'w':
+        add_range('a', 'z');
+        add_range('A', 'Z');
+        add_range('0', '9');
+        cls.set('_');
+        break;
+      case 's':
+        cls.set(' ');
+        cls.set('\t');
+        cls.set('\n');
+        cls.set('\r');
+        cls.set('\f');
+        cls.set('\v');
+        break;
+      case 'D':
+      case 'W':
+      case 'S': {
+        std::bitset<256> pos =
+            classFor(static_cast<char>(escape - 'A' + 'a'));
+        cls = ~pos;
+        break;
+      }
+      default:
+        // Escaped literal (\., \\, \+, ...).
+        cls.set(static_cast<unsigned char>(escape));
+        break;
+    }
+    return cls;
+}
+
+} // namespace
+
+Regex::Regex(const std::string &pattern)
+{
+    std::size_t i = 0;
+    Frag frag = parseAlternation(pattern, i);
+    if (i != pattern.size())
+        dmx_fatal("regex: unexpected '%c' at offset %zu", pattern[i], i);
+    const std::int32_t accept = addState(State{});
+    patchAll(frag.dangling, accept);
+    _start = frag.start;
+}
+
+std::int32_t
+Regex::addState(State s)
+{
+    _states.push_back(s);
+    return static_cast<std::int32_t>(_states.size() - 1);
+}
+
+void
+Regex::patchAll(const std::vector<Patch> &list, std::int32_t target)
+{
+    for (const Patch &p : list) {
+        if (p.second)
+            _states[p.state].out2 = target;
+        else
+            _states[p.state].out = target;
+    }
+}
+
+Regex::Frag
+Regex::parseAlternation(const std::string &p, std::size_t &i)
+{
+    Frag left = parseConcat(p, i);
+    while (i < p.size() && p[i] == '|') {
+        ++i;
+        Frag right = parseConcat(p, i);
+        State split;
+        split.kind = State::Kind::Split;
+        split.out = left.start;
+        split.out2 = right.start;
+        const std::int32_t s = addState(split);
+        Frag merged;
+        merged.start = s;
+        merged.dangling = left.dangling;
+        merged.dangling.insert(merged.dangling.end(),
+                               right.dangling.begin(),
+                               right.dangling.end());
+        left = std::move(merged);
+    }
+    return left;
+}
+
+Regex::Frag
+Regex::parseConcat(const std::string &p, std::size_t &i)
+{
+    Frag result;
+    result.start = -1;
+    while (i < p.size() && p[i] != '|' && p[i] != ')') {
+        Frag next = parseRepeat(p, i);
+        if (result.start == -1) {
+            result = std::move(next);
+        } else {
+            patchAll(result.dangling, next.start);
+            result.dangling = std::move(next.dangling);
+        }
+    }
+    if (result.start == -1) {
+        // Empty concatenation: a single split that falls straight through.
+        State eps;
+        eps.kind = State::Kind::Split;
+        const std::int32_t s = addState(eps);
+        result.start = s;
+        result.dangling = {{s, false}, {s, true}};
+    }
+    return result;
+}
+
+Regex::Frag
+Regex::parseRepeat(const std::string &p, std::size_t &i)
+{
+    Frag atom = parseAtom(p, i);
+    while (i < p.size() &&
+           (p[i] == '*' || p[i] == '+' || p[i] == '?')) {
+        const char q = p[i++];
+        State split;
+        split.kind = State::Kind::Split;
+        split.out = atom.start;
+        const std::int32_t s = addState(split);
+        Frag result;
+        if (q == '*') {
+            patchAll(atom.dangling, s);
+            result.start = s;
+            result.dangling = {{s, true}};
+        } else if (q == '+') {
+            patchAll(atom.dangling, s);
+            result.start = atom.start;
+            result.dangling = {{s, true}};
+        } else { // '?'
+            result.start = s;
+            result.dangling = atom.dangling;
+            result.dangling.push_back({s, true});
+        }
+        atom = std::move(result);
+    }
+    return atom;
+}
+
+Regex::Frag
+Regex::parseAtom(const std::string &p, std::size_t &i)
+{
+    if (i >= p.size())
+        dmx_fatal("regex: pattern ends where an atom was expected");
+    const char c = p[i];
+    if (c == '(') {
+        ++i;
+        Frag inner = parseAlternation(p, i);
+        if (i >= p.size() || p[i] != ')')
+            dmx_fatal("regex: missing ')'");
+        ++i;
+        return inner;
+    }
+    if (c == '*' || c == '+' || c == '?' || c == ')' || c == '|')
+        dmx_fatal("regex: unexpected '%c' at offset %zu", c, i);
+
+    State st;
+    st.kind = State::Kind::Char;
+    if (c == '[') {
+        ++i;
+        st.cls = parseClass(p, i);
+    } else if (c == '.') {
+        ++i;
+        st.cls.set();
+        st.cls.reset('\n');
+    } else if (c == '\\') {
+        if (i + 1 >= p.size())
+            dmx_fatal("regex: dangling backslash");
+        st.cls = classFor(p[i + 1]);
+        i += 2;
+    } else {
+        st.cls.set(static_cast<unsigned char>(c));
+        ++i;
+    }
+    const std::int32_t s = addState(st);
+    Frag frag;
+    frag.start = s;
+    frag.dangling = {{s, false}};
+    return frag;
+}
+
+std::bitset<256>
+Regex::parseClass(const std::string &p, std::size_t &i)
+{
+    std::bitset<256> cls;
+    bool negate = false;
+    if (i < p.size() && p[i] == '^') {
+        negate = true;
+        ++i;
+    }
+    bool first = true;
+    while (i < p.size() && (p[i] != ']' || first)) {
+        first = false;
+        if (p[i] == '\\' && i + 1 < p.size()) {
+            cls |= classFor(p[i + 1]);
+            i += 2;
+            continue;
+        }
+        const auto lo = static_cast<unsigned char>(p[i]);
+        if (i + 2 < p.size() && p[i + 1] == '-' && p[i + 2] != ']') {
+            const auto hi = static_cast<unsigned char>(p[i + 2]);
+            if (hi < lo)
+                dmx_fatal("regex: inverted range %c-%c", lo, hi);
+            for (unsigned c = lo; c <= hi; ++c)
+                cls.set(c);
+            i += 3;
+        } else {
+            cls.set(lo);
+            ++i;
+        }
+    }
+    if (i >= p.size())
+        dmx_fatal("regex: missing ']'");
+    ++i; // consume ']'
+    return negate ? ~cls : cls;
+}
+
+void
+Regex::addEpsilonClosure(std::int32_t s, std::vector<std::int32_t> &list,
+                         std::vector<std::uint32_t> &mark,
+                         std::uint32_t gen) const
+{
+    if (s < 0 || mark[static_cast<std::size_t>(s)] == gen)
+        return;
+    mark[static_cast<std::size_t>(s)] = gen;
+    const State &st = _states[static_cast<std::size_t>(s)];
+    if (st.kind == State::Kind::Split) {
+        addEpsilonClosure(st.out, list, mark, gen);
+        addEpsilonClosure(st.out2, list, mark, gen);
+    } else {
+        list.push_back(s);
+    }
+}
+
+std::size_t
+Regex::matchAt(const std::string &text, std::size_t pos,
+               OpCount *ops) const
+{
+    std::vector<std::int32_t> current, next;
+    std::vector<std::uint32_t> mark(_states.size(), 0);
+    std::uint32_t gen = 1;
+    addEpsilonClosure(_start, current, mark, gen);
+
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    std::uint64_t steps = 0;
+    std::size_t scanned = 0;
+    auto check_accept = [&](std::size_t len) {
+        for (std::int32_t s : current) {
+            if (_states[static_cast<std::size_t>(s)].kind ==
+                State::Kind::Accept) {
+                best = len;
+                break;
+            }
+        }
+    };
+    check_accept(0);
+
+    for (std::size_t i = pos; i < text.size() && !current.empty(); ++i) {
+        const auto c = static_cast<unsigned char>(text[i]);
+        next.clear();
+        ++gen;
+        for (std::int32_t s : current) {
+            const State &st = _states[static_cast<std::size_t>(s)];
+            ++steps;
+            if (st.kind == State::Kind::Char && st.cls.test(c))
+                addEpsilonClosure(st.out, next, mark, gen);
+        }
+        std::swap(current, next);
+        check_accept(i - pos + 1);
+        scanned = i - pos + 1;
+    }
+    if (ops) {
+        // Each NFA thread step costs class test + state push + epsilon
+        // walk + list management on a CPU (~10 scalar ops).
+        ops->int_ops += steps * 10;
+        // Only the characters the NFA actually consumed before its
+        // thread list drained; charging the whole tail would make
+        // findAll() look quadratic in the text length.
+        ops->bytes_read += scanned + 1;
+    }
+    return best;
+}
+
+bool
+Regex::fullMatch(const std::string &text, OpCount *ops) const
+{
+    return matchAt(text, 0, ops) == text.size();
+}
+
+std::vector<Match>
+Regex::findAll(const std::string &text, OpCount *ops) const
+{
+    std::vector<Match> out;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        const std::size_t len = matchAt(text, i, ops);
+        if (len != std::numeric_limits<std::size_t>::max() && len > 0) {
+            out.push_back(Match{i, i + len});
+            i += len;
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+std::string
+redact(const Regex &re, const std::string &text, char fill, OpCount *ops)
+{
+    std::string out = text;
+    for (const Match &m : re.findAll(text, ops)) {
+        for (std::size_t i = m.begin; i < m.end; ++i)
+            out[i] = fill;
+    }
+    if (ops)
+        ops->bytes_written += out.size();
+    return out;
+}
+
+} // namespace dmx::kernels

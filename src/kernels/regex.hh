@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A Thompson-NFA regular expression engine.
+ *
+ * Supports literals, '.', character classes ([a-z0-9], negation), the
+ * escapes \d \w \s (and upper-case negations), quantifiers * + ?,
+ * alternation '|' and grouping '()'. Matching is performed by NFA
+ * simulation (no backtracking), which is the execution model the
+ * paper's regular-expression accelerator implements.
+ *
+ * The Personal Information Redaction pipeline uses findAll()/redact()
+ * to blank out personally identifiable information in decrypted text.
+ */
+
+#ifndef DMX_KERNELS_REGEX_HH
+#define DMX_KERNELS_REGEX_HH
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/opcount.hh"
+
+namespace dmx::kernels
+{
+
+/** A span of matched text. */
+struct Match
+{
+    std::size_t begin = 0; ///< byte offset of the first matched char
+    std::size_t end = 0;   ///< one past the last matched char
+
+    bool
+    operator==(const Match &o) const
+    {
+        return begin == o.begin && end == o.end;
+    }
+};
+
+/** Compiled regular expression (thread-compatible, immutable). */
+class Regex
+{
+  public:
+    /**
+     * Compile @p pattern.
+     * @throws std::runtime_error (via fatal) on malformed patterns.
+     */
+    explicit Regex(const std::string &pattern);
+
+    /** @return true when the whole input matches. */
+    bool fullMatch(const std::string &text, OpCount *ops = nullptr) const;
+
+    /**
+     * Longest match starting exactly at @p pos.
+     * @return match length, or SIZE_MAX when no match starts there.
+     */
+    std::size_t matchAt(const std::string &text, std::size_t pos,
+                        OpCount *ops = nullptr) const;
+
+    /** All non-overlapping leftmost-longest matches. */
+    std::vector<Match> findAll(const std::string &text,
+                               OpCount *ops = nullptr) const;
+
+    /** @return number of NFA states (size metric for the accelerator). */
+    std::size_t stateCount() const { return _states.size(); }
+
+  private:
+    /** NFA state: either a character-class edge or an epsilon split. */
+    struct State
+    {
+        enum class Kind { Char, Split, Accept } kind = Kind::Accept;
+        std::bitset<256> cls;  ///< valid when kind == Char
+        std::int32_t out = -1;  ///< next state
+        std::int32_t out2 = -1; ///< second branch when kind == Split
+    };
+
+    /** A dangling out-edge awaiting its target (index-based: the state
+     *  vector may reallocate while fragments are alive). */
+    struct Patch
+    {
+        std::int32_t state;
+        bool second; ///< patch out2 instead of out
+    };
+
+    struct Frag
+    {
+        std::int32_t start;
+        std::vector<Patch> dangling;
+    };
+
+    void patchAll(const std::vector<Patch> &list, std::int32_t target);
+
+    // Recursive-descent parser over the pattern.
+    Frag parseAlternation(const std::string &p, std::size_t &i);
+    Frag parseConcat(const std::string &p, std::size_t &i);
+    Frag parseRepeat(const std::string &p, std::size_t &i);
+    Frag parseAtom(const std::string &p, std::size_t &i);
+    std::bitset<256> parseClass(const std::string &p, std::size_t &i);
+    std::int32_t addState(State s);
+
+    void addEpsilonClosure(std::int32_t s,
+                           std::vector<std::int32_t> &list,
+                           std::vector<std::uint32_t> &mark,
+                           std::uint32_t gen) const;
+
+    std::vector<State> _states;
+    std::int32_t _start = -1;
+};
+
+/**
+ * Replace every match of @p re in @p text with @p fill characters.
+ *
+ * @return the redacted text (same length as the input).
+ */
+std::string redact(const Regex &re, const std::string &text,
+                   char fill = '#', OpCount *ops = nullptr);
+
+} // namespace dmx::kernels
+
+#endif // DMX_KERNELS_REGEX_HH

@@ -1,0 +1,101 @@
+#include "kernels/svm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dmx::kernels
+{
+
+LinearSvm::LinearSvm(std::size_t features, std::size_t classes)
+    : _features(features), _classes(classes),
+      _weights(classes * (features + 1), 0.0f)
+{
+    if (features == 0 || classes < 2)
+        dmx_fatal("LinearSvm: need >=1 feature and >=2 classes");
+}
+
+std::vector<float>
+LinearSvm::decision(const std::vector<float> &x, OpCount *ops) const
+{
+    if (x.size() != _features)
+        dmx_fatal("LinearSvm::decision: expected %zu features, got %zu",
+                  _features, x.size());
+    std::vector<float> scores(_classes, 0.0f);
+    const std::size_t stride = _features + 1;
+    for (std::size_t c = 0; c < _classes; ++c) {
+        const float *w = &_weights[c * stride];
+        float acc = w[_features]; // bias
+        for (std::size_t f = 0; f < _features; ++f)
+            acc += w[f] * x[f];
+        scores[c] = acc;
+    }
+    if (ops) {
+        ops->flops += 2ull * _classes * _features;
+        // The weight matrix is hot (it fits in cache / accelerator
+        // SRAM); charge it once per batch (see predictBatch), and only
+        // the sample traffic here.
+        ops->bytes_read += x.size() * sizeof(float);
+        ops->bytes_written += scores.size() * sizeof(float);
+    }
+    return scores;
+}
+
+std::size_t
+LinearSvm::predict(const std::vector<float> &x, OpCount *ops) const
+{
+    const auto scores = decision(x, ops);
+    return static_cast<std::size_t>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+std::vector<std::size_t>
+LinearSvm::predictBatch(const std::vector<float> &batch, std::size_t rows,
+                        OpCount *ops) const
+{
+    if (batch.size() != rows * _features)
+        dmx_fatal("LinearSvm::predictBatch: batch size mismatch");
+    if (ops)
+        ops->bytes_read += _weights.size() * sizeof(float);
+    std::vector<std::size_t> out(rows);
+    std::vector<float> x(_features);
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::copy_n(batch.begin() + static_cast<std::ptrdiff_t>(
+                        r * _features), _features, x.begin());
+        out[r] = predict(x, ops);
+    }
+    return out;
+}
+
+void
+LinearSvm::fit(const std::vector<float> &xs,
+               const std::vector<std::size_t> &ys, std::size_t rows,
+               unsigned epochs, float lr, float reg)
+{
+    if (xs.size() != rows * _features || ys.size() != rows)
+        dmx_fatal("LinearSvm::fit: shape mismatch");
+    const std::size_t stride = _features + 1;
+    for (unsigned e = 0; e < epochs; ++e) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float *x = &xs[r * _features];
+            for (std::size_t c = 0; c < _classes; ++c) {
+                float *w = &_weights[c * stride];
+                const float y = ys[r] == c ? 1.0f : -1.0f;
+                float margin = w[_features];
+                for (std::size_t f = 0; f < _features; ++f)
+                    margin += w[f] * x[f];
+                margin *= y;
+                for (std::size_t f = 0; f < _features; ++f) {
+                    float grad = reg * w[f];
+                    if (margin < 1.0f)
+                        grad -= y * x[f];
+                    w[f] -= lr * grad;
+                }
+                if (margin < 1.0f)
+                    w[_features] += lr * y;
+            }
+        }
+    }
+}
+
+} // namespace dmx::kernels

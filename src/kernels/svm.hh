@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Linear multi-class support vector machine (one-vs-rest inference plus
+ * a simple subgradient trainer for tests). The Sound Detection pipeline
+ * uses this as its second accelerated kernel (audio-genre classifier).
+ */
+
+#ifndef DMX_KERNELS_SVM_HH
+#define DMX_KERNELS_SVM_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/opcount.hh"
+
+namespace dmx::kernels
+{
+
+/** A trained (or loaded) linear one-vs-rest SVM. */
+class LinearSvm
+{
+  public:
+    /**
+     * @param features input dimensionality
+     * @param classes  number of one-vs-rest classifiers
+     */
+    LinearSvm(std::size_t features, std::size_t classes);
+
+    std::size_t features() const { return _features; }
+    std::size_t classes() const { return _classes; }
+
+    /** Direct weight access (class-major, features+1 with bias last). */
+    std::vector<float> &weights() { return _weights; }
+    const std::vector<float> &weights() const { return _weights; }
+
+    /**
+     * Compute per-class decision values for one sample.
+     *
+     * @param x   feature vector (size features())
+     * @param ops optional op accounting
+     * @return one score per class
+     */
+    std::vector<float> decision(const std::vector<float> &x,
+                                OpCount *ops = nullptr) const;
+
+    /** @return argmax class for one sample. */
+    std::size_t predict(const std::vector<float> &x,
+                        OpCount *ops = nullptr) const;
+
+    /**
+     * Batched prediction (the accelerated deployment shape).
+     *
+     * @param batch   samples, row-major (rows x features)
+     * @param rows    number of samples
+     * @param ops     optional op accounting
+     * @return predicted class per row
+     */
+    std::vector<std::size_t> predictBatch(const std::vector<float> &batch,
+                                          std::size_t rows,
+                                          OpCount *ops = nullptr) const;
+
+    /**
+     * Train with hinge-loss subgradient descent (pegasos-style).
+     *
+     * @param xs     samples, row-major
+     * @param ys     labels (one per row)
+     * @param rows   number of samples
+     * @param epochs passes over the data
+     * @param lr     learning rate
+     * @param reg    L2 regularization strength
+     */
+    void fit(const std::vector<float> &xs, const std::vector<std::size_t> &ys,
+             std::size_t rows, unsigned epochs = 20, float lr = 0.05f,
+             float reg = 1e-4f);
+
+  private:
+    std::size_t _features;
+    std::size_t _classes;
+    std::vector<float> _weights; // classes x (features + 1), bias last
+};
+
+} // namespace dmx::kernels
+
+#endif // DMX_KERNELS_SVM_HH

@@ -1,0 +1,249 @@
+#include "kernels/video.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace dmx::kernels
+{
+
+namespace
+{
+
+constexpr std::size_t block = 8;
+
+/** JPEG-style base luminance quantization table. */
+constexpr int base_quant[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+};
+
+/** Zig-zag scan order for an 8x8 block. */
+constexpr int zigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+};
+
+void
+quantTable(std::uint8_t quality, int out[64])
+{
+    // libjpeg-style quality scaling.
+    const int q = quality < 1 ? 1 : (quality > 100 ? 100 : quality);
+    const int scale = q < 50 ? 5000 / q : 200 - 2 * q;
+    for (int i = 0; i < 64; ++i) {
+        int v = (base_quant[i] * scale + 50) / 100;
+        out[i] = v < 1 ? 1 : (v > 255 ? 255 : v);
+    }
+}
+
+void
+dct8x8(const float in[64], float out[64])
+{
+    for (std::size_t u = 0; u < block; ++u) {
+        for (std::size_t v = 0; v < block; ++v) {
+            float acc = 0.0f;
+            for (std::size_t x = 0; x < block; ++x) {
+                for (std::size_t y = 0; y < block; ++y) {
+                    acc += in[x * block + y] *
+                           std::cos((2 * x + 1) * u *
+                                    std::numbers::pi_v<float> / 16.0f) *
+                           std::cos((2 * y + 1) * v *
+                                    std::numbers::pi_v<float> / 16.0f);
+                }
+            }
+            const float cu = u == 0 ? 1.0f / std::sqrt(2.0f) : 1.0f;
+            const float cv = v == 0 ? 1.0f / std::sqrt(2.0f) : 1.0f;
+            out[u * block + v] = 0.25f * cu * cv * acc;
+        }
+    }
+}
+
+void
+idct8x8(const float in[64], float out[64])
+{
+    for (std::size_t x = 0; x < block; ++x) {
+        for (std::size_t y = 0; y < block; ++y) {
+            float acc = 0.0f;
+            for (std::size_t u = 0; u < block; ++u) {
+                for (std::size_t v = 0; v < block; ++v) {
+                    const float cu =
+                        u == 0 ? 1.0f / std::sqrt(2.0f) : 1.0f;
+                    const float cv =
+                        v == 0 ? 1.0f / std::sqrt(2.0f) : 1.0f;
+                    acc += cu * cv * in[u * block + v] *
+                           std::cos((2 * x + 1) * u *
+                                    std::numbers::pi_v<float> / 16.0f) *
+                           std::cos((2 * y + 1) * v *
+                                    std::numbers::pi_v<float> / 16.0f);
+                }
+            }
+            out[x * block + y] = 0.25f * acc;
+        }
+    }
+}
+
+void
+emitI16(std::vector<std::uint8_t> &bits, std::int16_t v)
+{
+    bits.push_back(static_cast<std::uint8_t>(v & 0xff));
+    bits.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+std::int16_t
+readI16(const std::vector<std::uint8_t> &bits, std::size_t &pos)
+{
+    if (pos + 2 > bits.size())
+        dmx_fatal("videoDecode: truncated stream");
+    const auto v = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(bits[pos]) |
+        (static_cast<std::uint16_t>(bits[pos + 1]) << 8));
+    pos += 2;
+    return v;
+}
+
+} // namespace
+
+VideoStream
+videoEncode(const std::vector<Frame> &frames, std::uint8_t quality,
+            OpCount *ops)
+{
+    VideoStream stream;
+    if (frames.empty())
+        return stream;
+    stream.width = frames[0].width;
+    stream.height = frames[0].height;
+    stream.frames = frames.size();
+    stream.quality = quality;
+    if (stream.width % block != 0 || stream.height % block != 0)
+        dmx_fatal("videoEncode: dimensions must be multiples of 8");
+
+    int quant[64];
+    quantTable(quality, quant);
+
+    float pix[64], freq[64];
+    OpCount total;
+    for (const Frame &frame : frames) {
+        if (frame.width != stream.width || frame.height != stream.height)
+            dmx_fatal("videoEncode: inconsistent frame sizes");
+        for (std::size_t by = 0; by < stream.height; by += block) {
+            for (std::size_t bx = 0; bx < stream.width; bx += block) {
+                for (std::size_t y = 0; y < block; ++y)
+                    for (std::size_t x = 0; x < block; ++x)
+                        pix[y * block + x] =
+                            static_cast<float>(
+                                frame.at(bx + x, by + y)) - 128.0f;
+                dct8x8(pix, freq);
+                total.flops += 64 * 64 * 4;
+
+                // Quantize in zig-zag order and run-length encode zeros:
+                // (run, value) pairs, terminated by run=255.
+                std::uint8_t run = 0;
+                for (int i = 0; i < 64; ++i) {
+                    const int zi = zigzag[i];
+                    const int q = static_cast<int>(
+                        std::lround(freq[zi] / static_cast<float>(
+                                        quant[zi])));
+                    if (q == 0 && run < 254) {
+                        ++run;
+                        continue;
+                    }
+                    stream.bits.push_back(run);
+                    emitI16(stream.bits,
+                            static_cast<std::int16_t>(q));
+                    run = 0;
+                }
+                stream.bits.push_back(255); // end-of-block
+                total.int_ops += 64 * 3;
+            }
+        }
+        total.bytes_read += frame.pixels.size();
+    }
+    total.bytes_written += stream.bits.size();
+    if (ops)
+        *ops += total;
+    return stream;
+}
+
+std::vector<Frame>
+videoDecode(const VideoStream &stream, OpCount *ops)
+{
+    std::vector<Frame> frames;
+    if (stream.frames == 0)
+        return frames;
+
+    int quant[64];
+    quantTable(stream.quality, quant);
+
+    std::size_t pos = 0;
+    float freq[64], pix[64];
+    OpCount total;
+    for (std::size_t f = 0; f < stream.frames; ++f) {
+        Frame frame(stream.width, stream.height);
+        for (std::size_t by = 0; by < stream.height; by += block) {
+            for (std::size_t bx = 0; bx < stream.width; bx += block) {
+                for (float &v : freq)
+                    v = 0.0f;
+                int i = 0;
+                while (i < 64) {
+                    if (pos >= stream.bits.size())
+                        dmx_fatal("videoDecode: truncated block");
+                    const std::uint8_t run = stream.bits[pos++];
+                    if (run == 255)
+                        break; // rest of block is zero
+                    i += run;
+                    const std::int16_t q = readI16(stream.bits, pos);
+                    if (i >= 64)
+                        dmx_fatal("videoDecode: coefficient overrun");
+                    const int zi = zigzag[i];
+                    freq[zi] = static_cast<float>(q) *
+                               static_cast<float>(quant[zi]);
+                    ++i;
+                }
+                idct8x8(freq, pix);
+                total.flops += 64 * 64 * 4;
+                for (std::size_t y = 0; y < block; ++y) {
+                    for (std::size_t x = 0; x < block; ++x) {
+                        const float v = pix[y * block + x] + 128.0f;
+                        const int clamped = v < 0.0f
+                            ? 0 : (v > 255.0f ? 255
+                                              : static_cast<int>(
+                                                    std::lround(v)));
+                        frame.set(bx + x, by + y,
+                                  static_cast<std::uint8_t>(clamped));
+                    }
+                }
+                total.int_ops += 64 * 2;
+            }
+        }
+        total.bytes_written += frame.pixels.size();
+        frames.push_back(std::move(frame));
+    }
+    total.bytes_read += stream.bits.size();
+    if (ops)
+        *ops += total;
+    return frames;
+}
+
+double
+psnr(const Frame &a, const Frame &b)
+{
+    if (a.width != b.width || a.height != b.height)
+        dmx_fatal("psnr: frame size mismatch");
+    double mse = 0.0;
+    for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+        const double d = static_cast<double>(a.pixels[i]) -
+                         static_cast<double>(b.pixels[i]);
+        mse += d * d;
+    }
+    mse /= static_cast<double>(a.pixels.size());
+    if (mse == 0.0)
+        return 100.0;
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+} // namespace dmx::kernels

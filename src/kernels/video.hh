@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A block-transform intra-only video codec (DCT + quantization + RLE).
+ *
+ * The Video Surveillance pipeline decodes camera streams before object
+ * detection; the paper uses the VT1 instance's hard-IP H.264 decoder.
+ * We substitute an MJPEG-like intra codec: the decode path exercises the
+ * same stages (entropy decode, dequantize, inverse transform, block
+ * reassembly) that dominate a hardware video decoder's data flow.
+ */
+
+#ifndef DMX_KERNELS_VIDEO_HH
+#define DMX_KERNELS_VIDEO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/opcount.hh"
+
+namespace dmx::kernels
+{
+
+/** One grayscale frame (row-major, 8-bit). */
+struct Frame
+{
+    std::size_t width = 0;
+    std::size_t height = 0;
+    std::vector<std::uint8_t> pixels;
+
+    Frame() = default;
+    Frame(std::size_t w, std::size_t h)
+        : width(w), height(h), pixels(w * h, 0)
+    {
+    }
+
+    std::uint8_t
+    at(std::size_t x, std::size_t y) const
+    {
+        return pixels[y * width + x];
+    }
+
+    void
+    set(std::size_t x, std::size_t y, std::uint8_t v)
+    {
+        pixels[y * width + x] = v;
+    }
+};
+
+/** An encoded bitstream for a sequence of frames. */
+struct VideoStream
+{
+    std::size_t width = 0;
+    std::size_t height = 0;
+    std::size_t frames = 0;
+    std::uint8_t quality = 50; ///< 1 (worst) .. 100 (near lossless)
+    std::vector<std::uint8_t> bits;
+};
+
+/**
+ * Encode frames into a stream.
+ *
+ * @param frames  input frames (all the same size, multiples of 8)
+ * @param quality quantization quality, 1..100
+ * @param ops     optional op accounting
+ */
+VideoStream videoEncode(const std::vector<Frame> &frames,
+                        std::uint8_t quality = 50, OpCount *ops = nullptr);
+
+/**
+ * Decode a stream back into frames.
+ *
+ * @param stream encoded stream
+ * @param ops    optional op accounting
+ * @return decoded frames (lossy relative to the originals)
+ */
+std::vector<Frame> videoDecode(const VideoStream &stream,
+                               OpCount *ops = nullptr);
+
+/** @return peak signal-to-noise ratio between two frames, in dB. */
+double psnr(const Frame &a, const Frame &b);
+
+} // namespace dmx::kernels
+
+#endif // DMX_KERNELS_VIDEO_HH

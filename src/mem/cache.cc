@@ -1,0 +1,80 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace dmx::mem
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params) : _params(params)
+{
+    if (!isPow2(params.line_bytes))
+        dmx_fatal("%s: line size must be a power of two", params.name.c_str());
+    if (params.ways == 0)
+        dmx_fatal("%s: need at least one way", params.name.c_str());
+    const std::uint64_t lines = params.size_bytes / params.line_bytes;
+    if (lines == 0 || lines % params.ways != 0)
+        dmx_fatal("%s: size/line/ways do not divide evenly",
+                  params.name.c_str());
+    _num_sets = lines / params.ways;
+    if (!isPow2(_num_sets))
+        dmx_fatal("%s: set count must be a power of two", params.name.c_str());
+    _lines.resize(lines);
+}
+
+AccessResult
+Cache::access(Addr addr, bool write)
+{
+    const Addr line_addr = addr / _params.line_bytes;
+    const std::uint64_t set = line_addr & (_num_sets - 1);
+    // The full line address serves as the tag; keeping the set bits in
+    // the tag is harmless and avoids a shift by log2(sets).
+    const Addr tag = line_addr;
+    Line *base = &_lines[set * _params.ways];
+    ++_use_clock;
+
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < _params.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.last_use = _use_clock;
+            line.dirty |= write;
+            ++_hits;
+            return AccessResult::Hit;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.last_use < victim->last_use) {
+            victim = &line;
+        }
+    }
+
+    ++_misses;
+    if (victim->valid && victim->dirty)
+        ++_writebacks;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->last_use = _use_clock;
+    return AccessResult::Miss;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : _lines)
+        line = Line{};
+    _hits = _misses = _writebacks = _use_clock = 0;
+}
+
+} // namespace dmx::mem

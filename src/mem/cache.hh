@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A set-associative cache model with true-LRU replacement.
+ *
+ * This is a functional hit/miss model (no timing of its own); it is used
+ * by the CPU characterization path to reproduce the paper's Figure 5
+ * (MPKI of the data-restructuring operations) from the kernels' real
+ * address streams.
+ */
+
+#ifndef DMX_MEM_CACHE_HH
+#define DMX_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmx::mem
+{
+
+/** Physical (or virtual; the model does not care) byte address. */
+using Addr = std::uint64_t;
+
+/** Configuration of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t size_bytes = 32 * 1024;
+    std::uint32_t line_bytes = 64;
+    std::uint32_t ways = 8;
+};
+
+/** Outcome of a single cache lookup. */
+enum class AccessResult { Hit, Miss };
+
+/**
+ * Set-associative, write-allocate, true-LRU cache.
+ *
+ * Writebacks are counted but not modelled as traffic consumers; the
+ * characterization only needs hit/miss statistics.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Look up @p addr, allocating the line on a miss.
+     *
+     * @param addr  byte address
+     * @param write true for stores (marks the line dirty)
+     * @return Hit or Miss
+     */
+    AccessResult access(Addr addr, bool write);
+
+    /** Invalidate all lines and zero the statistics. */
+    void reset();
+
+    const CacheParams &params() const { return _params; }
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    std::uint64_t accesses() const { return _hits + _misses; }
+    std::uint64_t writebacks() const { return _writebacks; }
+
+    /** @return misses per kilo "instructions" given an instruction count. */
+    double
+    mpki(std::uint64_t instructions) const
+    {
+        if (instructions == 0)
+            return 0.0;
+        return 1000.0 * static_cast<double>(_misses) /
+               static_cast<double>(instructions);
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t last_use = 0;
+    };
+
+    CacheParams _params;
+    std::uint64_t _num_sets;
+    std::vector<Line> _lines; // _num_sets * ways, row-major by set
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _writebacks = 0;
+    std::uint64_t _use_clock = 0;
+};
+
+} // namespace dmx::mem
+
+#endif // DMX_MEM_CACHE_HH

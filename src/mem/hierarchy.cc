@@ -1,0 +1,45 @@
+#include "mem/hierarchy.hh"
+
+namespace dmx::mem
+{
+
+Hierarchy::Hierarchy(const HierarchyParams &params)
+    : _l1i(params.l1i), _l1d(params.l1d), _l2(params.l2)
+{
+}
+
+void
+Hierarchy::fetch(Addr pc)
+{
+    if (_l1i.access(pc, false) == AccessResult::Miss)
+        _l2.access(pc, false);
+}
+
+void
+Hierarchy::data(Addr addr, bool write)
+{
+    if (_l1d.access(addr, write) == AccessResult::Miss)
+        _l2.access(addr, write);
+}
+
+MpkiReport
+Hierarchy::report() const
+{
+    MpkiReport rep;
+    rep.instructions = _instructions;
+    rep.l1i = _l1i.mpki(_instructions);
+    rep.l1d = _l1d.mpki(_instructions);
+    rep.l2 = _l2.mpki(_instructions);
+    return rep;
+}
+
+void
+Hierarchy::reset()
+{
+    _l1i.reset();
+    _l1d.reset();
+    _l2.reset();
+    _instructions = 0;
+}
+
+} // namespace dmx::mem

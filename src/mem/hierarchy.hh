@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A two-level cache hierarchy (split L1I/L1D, unified L2) matching the
+ * Xeon-like host the paper characterizes in Section IV-A.
+ *
+ * The hierarchy is driven by the instruction and data address streams of
+ * the restructuring kernels; the resulting MPKI values feed the top-down
+ * CPU model (Figure 5).
+ */
+
+#ifndef DMX_MEM_HIERARCHY_HH
+#define DMX_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+
+namespace dmx::mem
+{
+
+/** Parameters of the modelled hierarchy. */
+struct HierarchyParams
+{
+    CacheParams l1i{"l1i", 32 * 1024, 64, 8};
+    CacheParams l1d{"l1d", 32 * 1024, 64, 8};
+    // 1 MB L2, as called out in the paper ("does not fit in the 1MB L2").
+    CacheParams l2{"l2", 1024 * 1024, 64, 16};
+};
+
+/** Aggregate MPKI report for a characterization run. */
+struct MpkiReport
+{
+    double l1i = 0;
+    double l1d = 0;
+    double l2 = 0;
+    std::uint64_t instructions = 0;
+};
+
+/** Split-L1, unified-L2 hierarchy with inclusive-ish fill behaviour. */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyParams &params = {});
+
+    /**
+     * Fetch one instruction line.
+     * @param pc instruction address
+     */
+    void fetch(Addr pc);
+
+    /**
+     * Perform a data access.
+     * @param addr  data address
+     * @param write true for stores
+     */
+    void data(Addr addr, bool write);
+
+    /** Account @p n retired instructions (for MPKI denominators). */
+    void retire(std::uint64_t n = 1) { _instructions += n; }
+
+    /** @return MPKI for each level given retired instructions so far. */
+    MpkiReport report() const;
+
+    const Cache &l1i() const { return _l1i; }
+    const Cache &l1d() const { return _l1d; }
+    const Cache &l2() const { return _l2; }
+    std::uint64_t instructions() const { return _instructions; }
+
+    /** Invalidate all levels and zero counters. */
+    void reset();
+
+  private:
+    Cache _l1i;
+    Cache _l1d;
+    Cache _l2;
+    std::uint64_t _instructions = 0;
+};
+
+} // namespace dmx::mem
+
+#endif // DMX_MEM_HIERARCHY_HH

@@ -1,0 +1,339 @@
+#include "pcie/fabric.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace dmx::pcie
+{
+
+namespace
+{
+
+/// A flow is considered drained when fewer than this many bytes remain.
+constexpr double completion_epsilon = 1.0;
+
+} // namespace
+
+Fabric::Fabric(sim::EventQueue &eq, std::string name, Params params)
+    : sim::SimObject(eq, std::move(name)), _params(params)
+{
+}
+
+NodeId
+Fabric::addNode(NodeKind kind, std::string name)
+{
+    _nodes.push_back(Node{kind, std::move(name), {}});
+    return static_cast<NodeId>(_nodes.size() - 1);
+}
+
+void
+Fabric::connect(NodeId a, NodeId b, Generation gen, unsigned lanes)
+{
+    connectCustom(a, b, linkBandwidth(gen, lanes));
+}
+
+void
+Fabric::connectCustom(NodeId a, NodeId b, BytesPerSec bandwidth)
+{
+    if (a >= _nodes.size() || b >= _nodes.size())
+        dmx_fatal("connect: node id out of range");
+    if (a == b)
+        dmx_fatal("connect: cannot self-connect node %u", a);
+    if (bandwidth <= 0)
+        dmx_fatal("connect: need positive bandwidth");
+    // Tree invariant: the two nodes must not already be connected.
+    if (!findPath(a, b).empty())
+        dmx_fatal("connect: %s and %s are already connected (tree only)",
+                  _nodes[a].name.c_str(), _nodes[b].name.c_str());
+
+    const auto link_id = static_cast<std::uint32_t>(_links.size());
+    _links.push_back(Link{a, b, bandwidth});
+    _link_stats.emplace_back();
+    _nodes[a].links.push_back(link_id);
+    _nodes[b].links.push_back(link_id);
+}
+
+std::vector<Fabric::DirectedLink>
+Fabric::findPath(NodeId src, NodeId dst) const
+{
+    if (src == dst)
+        return {};
+    // BFS over the tree; parent[] records the directed link taken.
+    std::vector<std::int64_t> parent_link(_nodes.size(), -1);
+    std::vector<NodeId> parent_node(_nodes.size(), src);
+    std::vector<bool> seen(_nodes.size(), false);
+    std::deque<NodeId> frontier{src};
+    seen[src] = true;
+    while (!frontier.empty()) {
+        const NodeId cur = frontier.front();
+        frontier.pop_front();
+        if (cur == dst)
+            break;
+        for (std::uint32_t link_id : _nodes[cur].links) {
+            const Link &link = _links[link_id];
+            const NodeId other = link.a == cur ? link.b : link.a;
+            if (seen[other])
+                continue;
+            seen[other] = true;
+            parent_link[other] = link_id;
+            parent_node[other] = cur;
+            frontier.push_back(other);
+        }
+    }
+    if (!seen[dst])
+        return {};
+    std::vector<DirectedLink> path;
+    for (NodeId cur = dst; cur != src; cur = parent_node[cur]) {
+        const auto link_id = static_cast<std::uint32_t>(parent_link[cur]);
+        const Link &link = _links[link_id];
+        // forward == the flow moves a -> b on this link.
+        const bool forward = link.b == cur;
+        path.push_back(DirectedLink{link_id, forward});
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+unsigned
+Fabric::pathLength(NodeId src, NodeId dst) const
+{
+    return static_cast<unsigned>(findPath(src, dst).size());
+}
+
+unsigned
+Fabric::switchesOnPath(NodeId src, NodeId dst) const
+{
+    const auto path = findPath(src, dst);
+    if (path.empty())
+        return 0;
+    unsigned switches = 0;
+    // Interior nodes of the path are every node except src and dst.
+    NodeId cur = src;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const Link &link = _links[path[i].link];
+        cur = path[i].forward ? link.b : link.a;
+        if (_nodes[cur].kind == NodeKind::Switch ||
+            _nodes[cur].kind == NodeKind::RootComplex) {
+            ++switches;
+        }
+    }
+    (void)cur;
+    return switches;
+}
+
+BytesPerSec
+Fabric::linkCapacity(std::size_t link) const
+{
+    if (link >= _links.size())
+        dmx_fatal("linkCapacity: link id out of range");
+    return _links[link].capacity;
+}
+
+FlowId
+Fabric::startFlow(NodeId src, NodeId dst, std::uint64_t bytes,
+                  FlowCallback callback)
+{
+    if (src >= _nodes.size() || dst >= _nodes.size())
+        dmx_fatal("startFlow: node id out of range");
+    if (src == dst)
+        dmx_fatal("startFlow: src == dst (%s)", _nodes[src].name.c_str());
+
+    Flow flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.remaining = static_cast<double>(bytes);
+    flow.path = findPath(src, dst);
+    if (flow.path.empty())
+        dmx_fatal("startFlow: no path between %s and %s",
+                  _nodes[src].name.c_str(), _nodes[dst].name.c_str());
+    flow.callback = std::move(callback);
+
+    // Start latency: DMA setup plus one traversal fee per interior node.
+    Tick latency = _params.dma_setup;
+    NodeId cur = src;
+    for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {
+        const Link &link = _links[flow.path[i].link];
+        cur = flow.path[i].forward ? link.b : link.a;
+        if (_nodes[cur].kind == NodeKind::Switch) {
+            latency += _params.switch_latency;
+            ++_switch_traversals;
+        } else if (_nodes[cur].kind == NodeKind::RootComplex) {
+            latency += _params.root_latency;
+        }
+    }
+    flow.eligible_at = now() + latency;
+    _total_bytes += bytes;
+
+    advanceProgress();
+    const FlowId id = _next_flow++;
+    _flows.emplace(id, std::move(flow));
+    solveRates();
+    scheduleNextCompletion();
+    return id;
+}
+
+void
+Fabric::advanceProgress()
+{
+    const Tick t = now();
+    if (t <= _last_update) {
+        _last_update = t;
+        return;
+    }
+    const double dt_sec = ticksToSeconds(t - _last_update);
+    for (auto &[id, flow] : _flows) {
+        if (flow.rate <= 0)
+            continue;
+        const double moved =
+            std::min(flow.remaining, flow.rate * dt_sec);
+        flow.remaining -= moved;
+        for (const DirectedLink &dl : flow.path) {
+            LinkStats &ls = _link_stats[dl.link];
+            ls.bytes += static_cast<std::uint64_t>(moved);
+            ls.busy_byte_seconds +=
+                (flow.rate / _links[dl.link].capacity) * dt_sec;
+        }
+    }
+    _last_update = t;
+}
+
+void
+Fabric::solveRates()
+{
+    // Progressive filling (max-min fairness). Each *direction* of a link
+    // has the full link capacity (PCIe is full duplex).
+    struct DirCap
+    {
+        double residual;
+        std::vector<FlowId> users; // unfrozen flows crossing this direction
+    };
+    std::map<DirectedLink, DirCap> caps;
+
+    const Tick t = now();
+    std::vector<FlowId> unfrozen;
+    for (auto &[id, flow] : _flows) {
+        flow.rate = 0;
+        if (flow.eligible_at > t || flow.remaining <= 0)
+            continue;
+        unfrozen.push_back(id);
+        for (const DirectedLink &dl : flow.path) {
+            auto [it, fresh] = caps.try_emplace(
+                dl, DirCap{_links[dl.link].capacity, {}});
+            it->second.users.push_back(id);
+            (void)fresh;
+        }
+    }
+
+    std::vector<bool> frozen_flag; // parallel to unfrozen order
+    std::map<FlowId, bool> frozen;
+    for (FlowId id : unfrozen)
+        frozen[id] = false;
+    (void)frozen_flag;
+
+    std::size_t remaining_flows = unfrozen.size();
+    while (remaining_flows > 0) {
+        // Find the tightest directed link.
+        double min_share = std::numeric_limits<double>::infinity();
+        for (auto &[dl, cap] : caps) {
+            std::size_t live = 0;
+            for (FlowId id : cap.users)
+                if (!frozen[id])
+                    ++live;
+            if (live == 0)
+                continue;
+            min_share = std::min(min_share,
+                                 cap.residual / static_cast<double>(live));
+        }
+        if (!std::isfinite(min_share))
+            break; // no constrained flows left (should not happen)
+
+        // Raise every unfrozen flow by min_share, charge links, freeze
+        // flows sitting on now-saturated links.
+        for (auto &[dl, cap] : caps) {
+            std::size_t live = 0;
+            for (FlowId id : cap.users)
+                if (!frozen[id])
+                    ++live;
+            cap.residual -= min_share * static_cast<double>(live);
+        }
+        for (FlowId id : unfrozen) {
+            if (!frozen[id])
+                _flows.at(id).rate += min_share;
+        }
+        for (auto &[dl, cap] : caps) {
+            if (cap.residual > 1e-3)
+                continue;
+            for (FlowId id : cap.users) {
+                if (!frozen[id]) {
+                    frozen[id] = true;
+                    --remaining_flows;
+                }
+            }
+        }
+    }
+}
+
+void
+Fabric::scheduleNextCompletion()
+{
+    _pending_check.cancel();
+    if (_flows.empty())
+        return;
+
+    const Tick t = now();
+    Tick earliest = max_tick;
+    for (const auto &[id, flow] : _flows) {
+        Tick candidate;
+        if (flow.eligible_at > t) {
+            candidate = flow.eligible_at;
+        } else if (flow.remaining <= completion_epsilon) {
+            candidate = t;
+        } else if (flow.rate > 0) {
+            const double sec = flow.remaining / flow.rate;
+            candidate = t + secondsToTicks(sec) + 1;
+        } else {
+            continue; // stalled; will be re-solved on the next change
+        }
+        earliest = std::min(earliest, candidate);
+    }
+    if (earliest == max_tick)
+        return;
+    earliest = std::max(earliest, t + 1);
+    _pending_check = eventq().schedule(
+        earliest, [this] { onCompletionCheck(); });
+}
+
+void
+Fabric::onCompletionCheck()
+{
+    advanceProgress();
+
+    // Collect finished flows first, then fire callbacks after the fabric
+    // state is consistent (callbacks often start follow-on flows).
+    std::vector<FlowCallback> done;
+    const Tick t = now();
+    for (auto it = _flows.begin(); it != _flows.end();) {
+        Flow &flow = it->second;
+        if (flow.eligible_at <= t &&
+            flow.remaining <= completion_epsilon) {
+            done.push_back(std::move(flow.callback));
+            it = _flows.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    solveRates();
+    scheduleNextCompletion();
+
+    for (FlowCallback &cb : done) {
+        if (cb)
+            cb();
+    }
+}
+
+} // namespace dmx::pcie

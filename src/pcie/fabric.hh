@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Flow-level PCIe fabric simulator.
+ *
+ * The fabric is a tree of nodes (one root complex, switches, endpoints)
+ * connected by full-duplex links. Data movement is modelled at flow
+ * granularity: a flow carries N bytes from one node to another along the
+ * unique tree path, sharing each directed link's capacity with all other
+ * concurrent flows under max-min fairness. Whenever the set of active
+ * flows changes, rates are re-solved and the earliest completion is
+ * rescheduled. This reproduces the paper's central contention effect:
+ * many accelerators oversubscribing the x8 upstream link of a switch.
+ *
+ * Latency model per flow: a fixed start latency (DMA engine setup and
+ * doorbell) plus 110 ns port-to-port latency per switch traversed plus
+ * the bandwidth-determined streaming time.
+ */
+
+#ifndef DMX_PCIE_FABRIC_HH
+#define DMX_PCIE_FABRIC_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pcie/generation.hh"
+#include "sim/sim_object.hh"
+
+namespace dmx::pcie
+{
+
+/** Index of a node in the fabric. */
+using NodeId = std::uint32_t;
+
+/** Index of an active flow. */
+using FlowId = std::uint64_t;
+
+/** What a node is; affects traversal latency accounting. */
+enum class NodeKind { RootComplex, Switch, EndPoint };
+
+/** Per-link static counters exposed for energy accounting. */
+struct LinkStats
+{
+    std::uint64_t bytes = 0;          ///< payload bytes moved (both dirs)
+    double busy_byte_seconds = 0;     ///< integral of rate/capacity dt
+};
+
+/** Completion callback: invoked at the simulated completion time. */
+using FlowCallback = std::function<void()>;
+
+/** Tunable fabric constants. */
+struct FabricParams
+{
+    /// Switch port-to-port forwarding latency (paper: 110 ns).
+    Tick switch_latency = 110 * tick_per_ns;
+    /// Root-complex traversal latency.
+    Tick root_latency = 150 * tick_per_ns;
+    /// Fixed software/DMA-engine setup cost charged to each flow.
+    Tick dma_setup = 500 * tick_per_ns;
+};
+
+/**
+ * The PCIe interconnect.
+ *
+ * Build the topology first (addNode/connect), then start flows. The
+ * topology must be a tree; connect() enforces acyclicity.
+ */
+class Fabric : public sim::SimObject
+{
+  public:
+    /** Back-compat alias: fabric parameters. */
+    using Params = FabricParams;
+
+    Fabric(sim::EventQueue &eq, std::string name, Params params = {});
+
+    /** Add a node of the given kind; @return its id. */
+    NodeId addNode(NodeKind kind, std::string name);
+
+    /**
+     * Connect two nodes with a full-duplex link.
+     *
+     * @param a     one node
+     * @param b     other node
+     * @param gen   PCIe generation of the link
+     * @param lanes lane count
+     */
+    void connect(NodeId a, NodeId b, Generation gen, unsigned lanes);
+
+    /**
+     * Connect two nodes with an arbitrary-bandwidth link (used for
+     * non-PCIe resources such as the host DRAM staging path, whose
+     * bandwidth does not scale with the PCIe generation).
+     */
+    void connectCustom(NodeId a, NodeId b, BytesPerSec bandwidth);
+
+    /**
+     * Begin moving @p bytes from @p src to @p dst.
+     *
+     * @param src      source node
+     * @param dst      destination node (must differ from src)
+     * @param bytes    payload size
+     * @param callback invoked when the last byte arrives
+     * @return flow id (also passed to nothing else; useful for debugging)
+     */
+    FlowId startFlow(NodeId src, NodeId dst, std::uint64_t bytes,
+                     FlowCallback callback);
+
+    /** @return number of in-flight flows. */
+    std::size_t activeFlows() const { return _flows.size(); }
+
+    /** @return nodes in the fabric. */
+    std::size_t nodeCount() const { return _nodes.size(); }
+
+    /** @return hops (links) on the unique path between two nodes. */
+    unsigned pathLength(NodeId src, NodeId dst) const;
+
+    /** @return switches traversed on the path between two nodes. */
+    unsigned switchesOnPath(NodeId src, NodeId dst) const;
+
+    /** @return cumulative per-link statistics, indexed by link id. */
+    const std::vector<LinkStats> &linkStats() const { return _link_stats; }
+
+    /** @return total payload bytes moved through the fabric. */
+    std::uint64_t totalBytes() const { return _total_bytes; }
+
+    /** @return total switch traversals (for energy accounting). */
+    std::uint64_t switchTraversals() const { return _switch_traversals; }
+
+    /** @return capacity of link @p link in bytes/second. */
+    BytesPerSec linkCapacity(std::size_t link) const;
+
+    const Params &params() const { return _params; }
+
+  private:
+    struct Node
+    {
+        NodeKind kind;
+        std::string name;
+        std::vector<std::uint32_t> links; ///< incident link ids
+    };
+
+    struct Link
+    {
+        NodeId a, b;
+        BytesPerSec capacity;
+    };
+
+    /** A directed use of a link: link id + direction flag (a->b?). */
+    struct DirectedLink
+    {
+        std::uint32_t link;
+        bool forward;
+
+        bool
+        operator<(const DirectedLink &o) const
+        {
+            return link != o.link ? link < o.link : forward < o.forward;
+        }
+    };
+
+    struct Flow
+    {
+        NodeId src, dst;
+        double remaining;              ///< bytes left to stream
+        double rate = 0;               ///< current bytes/second
+        Tick eligible_at;              ///< start latency absorbed until here
+        std::vector<DirectedLink> path;
+        FlowCallback callback;
+    };
+
+    /** Find the unique tree path between two nodes (directed links). */
+    std::vector<DirectedLink> findPath(NodeId src, NodeId dst) const;
+
+    /** Charge progress to all flows for time elapsed since last update. */
+    void advanceProgress();
+
+    /** Re-solve max-min fair rates for all eligible flows. */
+    void solveRates();
+
+    /** (Re)schedule the completion-check event. */
+    void scheduleNextCompletion();
+
+    /** Handle the completion-check event. */
+    void onCompletionCheck();
+
+    Params _params;
+    std::vector<Node> _nodes;
+    std::vector<Link> _links;
+    std::vector<LinkStats> _link_stats;
+    std::map<FlowId, Flow> _flows;
+    FlowId _next_flow = 0;
+    Tick _last_update = 0;
+    sim::EventHandle _pending_check;
+    std::uint64_t _total_bytes = 0;
+    std::uint64_t _switch_traversals = 0;
+};
+
+} // namespace dmx::pcie
+
+#endif // DMX_PCIE_FABRIC_HH

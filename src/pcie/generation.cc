@@ -1,0 +1,40 @@
+#include "pcie/generation.hh"
+
+#include "common/logging.hh"
+
+namespace dmx::pcie
+{
+
+std::string
+toString(Generation gen)
+{
+    switch (gen) {
+      case Generation::Gen3: return "Gen3";
+      case Generation::Gen4: return "Gen4";
+      case Generation::Gen5: return "Gen5";
+    }
+    return "Gen?";
+}
+
+BytesPerSec
+perLaneBandwidth(Generation gen)
+{
+    // GT/s * (128/130) / 8 bits-per-byte, in bytes/second.
+    constexpr double coding = 128.0 / 130.0;
+    switch (gen) {
+      case Generation::Gen3: return 8e9 * coding / 8.0;
+      case Generation::Gen4: return 16e9 * coding / 8.0;
+      case Generation::Gen5: return 32e9 * coding / 8.0;
+    }
+    dmx_panic("unknown PCIe generation");
+}
+
+BytesPerSec
+linkBandwidth(Generation gen, unsigned lanes)
+{
+    if (lanes == 0 || lanes > 16)
+        dmx_fatal("invalid PCIe lane count %u", lanes);
+    return perLaneBandwidth(gen) * lanes * protocol_efficiency;
+}
+
+} // namespace dmx::pcie

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * PCIe generation parameters: per-lane signalling rate, line coding and
+ * protocol efficiency. These feed Link bandwidth computations.
+ */
+
+#ifndef DMX_PCIE_GENERATION_HH
+#define DMX_PCIE_GENERATION_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace dmx::pcie
+{
+
+/** Supported PCI Express generations. */
+enum class Generation { Gen3, Gen4, Gen5 };
+
+/** @return human name, e.g. "Gen4". */
+std::string toString(Generation gen);
+
+/**
+ * Raw per-lane data rate after line coding, in bytes per second.
+ *
+ * Gen3: 8 GT/s with 128b/130b -> ~0.985 GB/s per lane.
+ * Gen4: 16 GT/s with 128b/130b -> ~1.969 GB/s per lane.
+ * Gen5: 32 GT/s with 128b/130b -> ~3.938 GB/s per lane.
+ */
+BytesPerSec perLaneBandwidth(Generation gen);
+
+/**
+ * Protocol efficiency applied on top of line coding: TLP/DLLP headers,
+ * flow-control credits and ACKs. ~0.87 for typical 256 B payloads.
+ */
+inline constexpr double protocol_efficiency = 0.87;
+
+/**
+ * Effective payload bandwidth of a link.
+ *
+ * @param gen   PCIe generation
+ * @param lanes lane count (x1..x16)
+ */
+BytesPerSec linkBandwidth(Generation gen, unsigned lanes);
+
+} // namespace dmx::pcie
+
+#endif // DMX_PCIE_GENERATION_HH

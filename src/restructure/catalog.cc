@@ -1,0 +1,217 @@
+#include "restructure/catalog.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace dmx::restructure
+{
+
+namespace
+{
+
+double
+hzToMel(double hz)
+{
+    return 2595.0 * std::log10(1.0 + hz / 700.0);
+}
+
+double
+melToHz(double mel)
+{
+    return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+} // namespace
+
+std::shared_ptr<const std::vector<float>>
+makeMelFilterbank(std::size_t mels, std::size_t bins, double sample_rate)
+{
+    if (mels == 0 || bins < 2)
+        dmx_fatal("makeMelFilterbank: need mels>0, bins>=2");
+    auto fb = std::make_shared<std::vector<float>>(mels * bins, 0.0f);
+
+    const double f_max = sample_rate / 2.0;
+    const double mel_max = hzToMel(f_max);
+    // mels+2 edge points define mels triangular filters.
+    std::vector<double> edges(mels + 2);
+    for (std::size_t i = 0; i < edges.size(); ++i)
+        edges[i] = melToHz(mel_max * static_cast<double>(i) /
+                           static_cast<double>(mels + 1));
+
+    const double bin_hz = f_max / static_cast<double>(bins - 1);
+    for (std::size_t m = 0; m < mels; ++m) {
+        const double lo = edges[m], mid = edges[m + 1], hi = edges[m + 2];
+        for (std::size_t b = 0; b < bins; ++b) {
+            const double f = static_cast<double>(b) * bin_hz;
+            double w = 0.0;
+            if (f > lo && f < mid) {
+                w = (f - lo) / (mid - lo);
+            } else if (f >= mid && f < hi) {
+                w = (hi - f) / (hi - mid);
+            }
+            (*fb)[m * bins + b] = static_cast<float>(w);
+        }
+    }
+    return fb;
+}
+
+std::shared_ptr<const std::vector<std::uint32_t>>
+makeResizeIndices(std::size_t src_h, std::size_t src_w, std::size_t dst)
+{
+    auto idx = std::make_shared<std::vector<std::uint32_t>>(dst * dst);
+    for (std::size_t y = 0; y < dst; ++y) {
+        const std::size_t sy = y * src_h / dst;
+        for (std::size_t x = 0; x < dst; ++x) {
+            const std::size_t sx = x * src_w / dst;
+            (*idx)[y * dst + x] =
+                static_cast<std::uint32_t>(sy * src_w + sx);
+        }
+    }
+    return idx;
+}
+
+Kernel
+melSpectrogram(std::size_t frames, std::size_t bins, std::size_t mels,
+               double sample_rate)
+{
+    Kernel k;
+    k.name = "mel_spectrogram";
+    k.input = BufferDesc{DType::F32, {frames, 2 * bins}};
+    k.stages.push_back(magnitudeStage());
+    k.stages.push_back(
+        matVecStage(mels, bins, makeMelFilterbank(mels, bins, sample_rate)));
+    k.stages.push_back(mapStage({{MapFn::Log1p, 0.0f}}));
+    return k;
+}
+
+Kernel
+videoFrameRestructure(std::size_t src_h, std::size_t src_w,
+                      std::size_t dst)
+{
+    Kernel k;
+    k.name = "video_frame_restructure";
+    k.input = BufferDesc{DType::U8, {src_h, src_w}};
+    k.stages.push_back(castStage(DType::F32));
+    k.stages.push_back(mapStage(
+        {{MapFn::Scale, 1.0f / 255.0f}, {MapFn::Offset, -0.5f}}));
+    k.stages.push_back(
+        gatherStage(makeResizeIndices(src_h, src_w, dst), {dst, dst}));
+    k.stages.push_back(castStage(DType::F16));
+    return k;
+}
+
+Kernel
+brainSignalRestructure(std::size_t frames, std::size_t bins,
+                       std::size_t bands)
+{
+    Kernel k;
+    k.name = "brain_signal_restructure";
+    k.input = BufferDesc{DType::F32, {frames, 2 * bins}};
+    k.stages.push_back(magnitudeStage());
+
+    // Band-averaging matrix: contiguous equal-width bands.
+    auto w = std::make_shared<std::vector<float>>(bands * bins, 0.0f);
+    const std::size_t width = bins / bands;
+    if (width == 0)
+        dmx_fatal("brainSignalRestructure: bands > bins");
+    for (std::size_t band = 0; band < bands; ++band) {
+        const std::size_t lo = band * width;
+        const std::size_t hi =
+            band + 1 == bands ? bins : lo + width;
+        for (std::size_t b = lo; b < hi; ++b)
+            (*w)[band * bins + b] =
+                1.0f / static_cast<float>(hi - lo);
+    }
+    k.stages.push_back(matVecStage(bands, bins, std::move(w)));
+    k.stages.push_back(mapStage({{MapFn::Log1p, 0.0f}}));
+    k.stages.push_back(castStage(DType::F16));
+    return k;
+}
+
+Kernel
+textRecordRestructure(std::size_t len, std::size_t record,
+                      std::size_t padded)
+{
+    if (record == 0 || len % record != 0)
+        dmx_fatal("textRecordRestructure: len %zu not a multiple of "
+                  "record %zu", len, record);
+    if (padded < record)
+        dmx_fatal("textRecordRestructure: padded < record");
+    const std::size_t records = len / record;
+
+    Kernel k;
+    k.name = "text_record_restructure";
+    k.input = BufferDesc{DType::U8, {len}};
+    // Reshape (identity gather) into records, then pad each record.
+    auto idx = std::make_shared<std::vector<std::uint32_t>>(len);
+    for (std::size_t i = 0; i < len; ++i)
+        (*idx)[i] = static_cast<std::uint32_t>(i);
+    k.stages.push_back(gatherStage(std::move(idx), {records, record}));
+    k.stages.push_back(padStage(padded, 0.0f));
+    return k;
+}
+
+Kernel
+nerTokenRestructure(std::size_t len, std::size_t seq, std::size_t dim)
+{
+    if (len == 0)
+        dmx_fatal("nerTokenRestructure: empty text");
+    Kernel k;
+    k.name = "ner_token_restructure";
+    k.input = BufferDesc{DType::U8, {len}};
+    auto idx = std::make_shared<std::vector<std::uint32_t>>(seq * dim);
+    for (std::size_t i = 0; i < idx->size(); ++i)
+        (*idx)[i] = static_cast<std::uint32_t>(i % len);
+    k.stages.push_back(gatherStage(std::move(idx), {seq, dim}));
+    k.stages.push_back(castStage(DType::F32));
+    k.stages.push_back(mapStage(
+        {{MapFn::Scale, 1.0f / 255.0f}, {MapFn::Offset, -0.5f}}));
+    return k;
+}
+
+Kernel
+dbColumnarize(std::size_t rows, bool partition, std::uint64_t seed)
+{
+    Kernel k;
+    k.name = partition ? "db_partition_columnarize" : "db_columnarize";
+    k.input = BufferDesc{DType::U8, {rows, 16}};
+
+    // Optional hash-partition permutation of the row order; without it
+    // the gather is a pure affine layout transform.
+    std::vector<std::uint32_t> perm(rows);
+    for (std::size_t r = 0; r < rows; ++r)
+        perm[r] = static_cast<std::uint32_t>(r);
+    if (partition) {
+        Rng rng(seed);
+        for (std::size_t r = rows; r > 1; --r)
+            std::swap(perm[r - 1], perm[rng.below(r)]);
+    }
+
+    auto idx = std::make_shared<std::vector<std::uint32_t>>(rows * 16);
+    std::size_t o = 0;
+    for (std::size_t field = 0; field < 2; ++field)
+        for (std::size_t r = 0; r < rows; ++r)
+            for (std::size_t b = 0; b < 8; ++b)
+                (*idx)[o++] = static_cast<std::uint32_t>(
+                    perm[r] * 16 + field * 8 + b);
+    k.stages.push_back(gatherStage(std::move(idx), {2, rows, 8}));
+    return k;
+}
+
+Kernel
+vectorReduction(std::size_t n_sources, std::size_t elems)
+{
+    Kernel k;
+    k.name = "vector_reduction";
+    k.input = BufferDesc{DType::F32, {n_sources, elems}};
+    // Transpose so each output row holds one element's contributions,
+    // then reduce over them.
+    k.stages.push_back(transposeStage());
+    k.stages.push_back(reduceStage());
+    return k;
+}
+
+} // namespace dmx::restructure

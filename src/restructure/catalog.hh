@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The restructuring kernels used by the paper's five end-to-end
+ * benchmarks (Table I) and the collective-communication study.
+ *
+ * Each builder returns a Kernel (see ir.hh) describing the exact data
+ * motion between kernel-1's output format and kernel-2's input format.
+ */
+
+#ifndef DMX_RESTRUCTURE_CATALOG_HH
+#define DMX_RESTRUCTURE_CATALOG_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "restructure/ir.hh"
+
+namespace dmx::restructure
+{
+
+/**
+ * Triangular mel filter bank (mels x bins, row-major).
+ *
+ * @param mels        number of mel bins
+ * @param bins        number of linear frequency bins
+ * @param sample_rate audio sample rate (Hz)
+ */
+std::shared_ptr<const std::vector<float>>
+makeMelFilterbank(std::size_t mels, std::size_t bins, double sample_rate);
+
+/** Nearest-neighbour resize index table (dst*dst <- src_h x src_w). */
+std::shared_ptr<const std::vector<std::uint32_t>>
+makeResizeIndices(std::size_t src_h, std::size_t src_w, std::size_t dst);
+
+/**
+ * Sound Detection: FFT output -> SVM input.
+ * Complex spectra (frames x 2*bins f32) -> magnitude -> mel projection
+ * -> log compression. Output: frames x mels f32.
+ */
+Kernel melSpectrogram(std::size_t frames, std::size_t bins,
+                      std::size_t mels, double sample_rate = 16000.0);
+
+/**
+ * Video Surveillance: decoded frame -> object-detection input.
+ * u8 pixels (src_h x src_w) -> normalize to f32 -> nearest resize to
+ * dst x dst -> f16. Output: dst x dst f16.
+ */
+Kernel videoFrameRestructure(std::size_t src_h, std::size_t src_w,
+                             std::size_t dst);
+
+/**
+ * Brain Stimulation: FFT output -> reinforcement-learning observation.
+ * Complex spectra (frames x 2*bins f32) -> magnitude -> band averaging
+ * (bands x bins matrix) -> log -> f16. Output: frames x bands f16.
+ */
+Kernel brainSignalRestructure(std::size_t frames, std::size_t bins,
+                              std::size_t bands);
+
+/**
+ * Personal Info Redaction: decrypted text -> regex-accelerator records.
+ * u8 text (len) -> reblock into fixed records -> pad each record.
+ * Output: records x padded u8. len must be a multiple of record.
+ */
+Kernel textRecordRestructure(std::size_t len, std::size_t record,
+                             std::size_t padded);
+
+/**
+ * Personal Info Redaction (3-kernel extension): redacted text -> NER
+ * token embeddings. u8 text (len) -> gather into seq x dim (wraparound)
+ * -> normalize to f32. Output: seq x dim f32.
+ */
+Kernel nerTokenRestructure(std::size_t len, std::size_t seq,
+                           std::size_t dim);
+
+/**
+ * Database Hash Join: decompressed row-major table -> the join
+ * accelerator's columnar, partitioned layout.
+ * u8 rows (rows x 16, two int64 fields) -> field-major gather; with
+ * @p partition the rows are additionally shuffled into hash buckets
+ * (the bucket permutation is produced by the DRX's scalar pre-pass and
+ * applied as a gather).
+ * Output: 2 x rows x 8 u8.
+ */
+Kernel dbColumnarize(std::size_t rows, bool partition = false,
+                     std::uint64_t seed = 42);
+
+/**
+ * All-reduce summation step executed on a DRX (Sec. VII-C collectives):
+ * n_sources interleaved vectors -> elementwise sum. Input is
+ * (n_sources x elems) f32; output (1 x elems)... implemented as a
+ * transpose + row reduce. Output: elems x 1 f32.
+ */
+Kernel vectorReduction(std::size_t n_sources, std::size_t elems);
+
+} // namespace dmx::restructure
+
+#endif // DMX_RESTRUCTURE_CATALOG_HH

@@ -1,0 +1,221 @@
+#include "restructure/cpu_exec.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dmx::restructure
+{
+
+namespace
+{
+
+/** Apply one Map primitive. */
+float
+applyStep(const MapStep &step, float x)
+{
+    switch (step.fn) {
+      case MapFn::Scale:    return x * step.arg;
+      case MapFn::Offset:   return x + step.arg;
+      case MapFn::Abs:      return std::fabs(x);
+      case MapFn::Sqrt:     return std::sqrt(std::max(x, 0.0f));
+      case MapFn::Log1p:    return std::log1p(std::max(x, 0.0f));
+      case MapFn::Exp:      return std::exp(x);
+      case MapFn::ClampMin: return std::max(x, step.arg);
+      case MapFn::ClampMax: return std::min(x, step.arg);
+    }
+    dmx_panic("applyStep: bad MapFn");
+}
+
+/** Virtual base address of staging buffer @p i (ping-pong regions). */
+std::uint64_t
+bufferBase(std::size_t i)
+{
+    // 256 MB apart: staging buffers never alias.
+    return 0x100000000ull + static_cast<std::uint64_t>(i) * 0x10000000ull;
+}
+
+/** Typed element accessors against a byte buffer with tracing. */
+struct View
+{
+    const Bytes *bytes;
+    DType dtype;
+    std::uint64_t base;
+    MemTracer *tracer;
+
+    float
+    load(std::size_t idx) const
+    {
+        const std::size_t esz = dtypeSize(dtype);
+        if (tracer)
+            tracer->read(base + idx * esz, esz);
+        return loadAsFloat(bytes->data() + idx * esz, dtype);
+    }
+};
+
+struct MutView
+{
+    Bytes *bytes;
+    DType dtype;
+    std::uint64_t base;
+    MemTracer *tracer;
+
+    void
+    store(std::size_t idx, float v)
+    {
+        const std::size_t esz = dtypeSize(dtype);
+        if (tracer)
+            tracer->write(base + idx * esz, esz);
+        storeFromFloat(bytes->data() + idx * esz, dtype, v);
+    }
+};
+
+} // namespace
+
+Bytes
+executeOnCpu(const Kernel &kernel, const Bytes &input,
+             kernels::OpCount *ops, MemTracer *tracer)
+{
+    if (input.size() != kernel.input.bytes())
+        dmx_fatal("executeOnCpu('%s'): input is %zu bytes, expected %zu",
+                  kernel.name.c_str(), input.size(), kernel.input.bytes());
+
+    Bytes cur = input;
+    BufferDesc cur_desc = kernel.input;
+    kernels::OpCount total;
+
+    for (std::size_t si = 0; si < kernel.stages.size(); ++si) {
+        const Stage &st = kernel.stages[si];
+        const BufferDesc out_desc = kernel.descAfter(si + 1);
+        Bytes out(out_desc.bytes());
+
+        View in{&cur, cur_desc.dtype, bufferBase(si), tracer};
+        MutView dst{&out, out_desc.dtype, bufferBase(si + 1), tracer};
+
+        // Rough instruction cost per element for the retire() model:
+        // load + compute + store + loop bookkeeping.
+        std::uint64_t instr = 0;
+        const std::size_t body_bytes = 160; // tight loop body
+
+        switch (st.op) {
+          case StageOp::Map: {
+            const std::size_t n = cur_desc.elems();
+            for (std::size_t i = 0; i < n; ++i) {
+                float v = in.load(i);
+                for (const MapStep &step : st.steps)
+                    v = applyStep(step, v);
+                dst.store(i, v);
+            }
+            instr = n * (4 + st.steps.size());
+            total.flops += n * st.steps.size();
+            break;
+          }
+          case StageOp::Cast: {
+            const std::size_t n = cur_desc.elems();
+            for (std::size_t i = 0; i < n; ++i)
+                dst.store(i, in.load(i));
+            instr = n * 4;
+            total.int_ops += n;
+            break;
+          }
+          case StageOp::Transpose2D: {
+            const std::size_t rank = cur_desc.shape.size();
+            const std::size_t r = cur_desc.shape[rank - 2];
+            const std::size_t c = cur_desc.shape[rank - 1];
+            const std::size_t outer = cur_desc.elems() / (r * c);
+            for (std::size_t o = 0; o < outer; ++o)
+                for (std::size_t y = 0; y < r; ++y)
+                    for (std::size_t x = 0; x < c; ++x)
+                        dst.store(o * r * c + x * r + y,
+                                  in.load(o * r * c + y * c + x));
+            instr = cur_desc.elems() * 6;
+            total.int_ops += cur_desc.elems() * 2;
+            break;
+          }
+          case StageOp::MatVec: {
+            const std::size_t rows = cur_desc.rows();
+            const std::size_t cols = st.mat_cols;
+            const std::vector<float> &w = *st.weights;
+            for (std::size_t row = 0; row < rows; ++row) {
+                for (std::size_t m = 0; m < st.mat_rows; ++m) {
+                    float acc = 0.0f;
+                    for (std::size_t k = 0; k < cols; ++k) {
+                        acc += w[m * cols + k] * in.load(row * cols + k);
+                        if (tracer) {
+                            tracer->read(0x080000000ull +
+                                             (m * cols + k) * 4, 4);
+                        }
+                    }
+                    dst.store(row * st.mat_rows + m, acc);
+                }
+            }
+            instr = rows * st.mat_rows * cols * 3;
+            total.flops += 2ull * rows * st.mat_rows * cols;
+            break;
+          }
+          case StageOp::Gather: {
+            const std::vector<std::uint32_t> &idx = *st.indices;
+            for (std::size_t i = 0; i < idx.size(); ++i)
+                dst.store(i, in.load(idx[i]));
+            instr = idx.size() * 5;
+            total.int_ops += idx.size() * 4;
+            // Fancy indexing streams the index table as well as the
+            // data (numpy/MKL gather semantics).
+            total.bytes_read += idx.size() * 4;
+            break;
+          }
+          case StageOp::Magnitude: {
+            const std::size_t n = out_desc.elems();
+            for (std::size_t i = 0; i < n; ++i) {
+                const float re = in.load(2 * i);
+                const float im = in.load(2 * i + 1);
+                dst.store(i, std::sqrt(re * re + im * im));
+            }
+            instr = n * 7;
+            total.flops += n * 4;
+            break;
+          }
+          case StageOp::Reduce: {
+            const std::size_t rows = cur_desc.rows();
+            const std::size_t cols = cur_desc.inner();
+            for (std::size_t row = 0; row < rows; ++row) {
+                float acc = 0.0f;
+                for (std::size_t k = 0; k < cols; ++k)
+                    acc += in.load(row * cols + k);
+                dst.store(row, acc);
+            }
+            instr = rows * cols * 2;
+            total.flops += rows * cols;
+            break;
+          }
+          case StageOp::Pad: {
+            const std::size_t rows = cur_desc.rows();
+            const std::size_t cols = cur_desc.inner();
+            for (std::size_t row = 0; row < rows; ++row) {
+                for (std::size_t k = 0; k < st.pad_to; ++k) {
+                    const float v = k < cols ? in.load(row * cols + k)
+                                             : st.pad_value;
+                    dst.store(row * st.pad_to + k, v);
+                }
+            }
+            instr = rows * st.pad_to * 4;
+            total.int_ops += rows * st.pad_to;
+            break;
+          }
+        }
+
+        if (tracer)
+            tracer->retire(instr, body_bytes);
+        total.bytes_read += cur.size();
+        total.bytes_written += out.size();
+
+        cur = std::move(out);
+        cur_desc = out_desc;
+    }
+
+    if (ops)
+        *ops += total;
+    return cur;
+}
+
+} // namespace dmx::restructure

@@ -1,0 +1,287 @@
+#include "runtime/runtime.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace dmx::runtime
+{
+
+namespace
+{
+
+/** Default link for runtime devices: Gen3 x16 under one switch. */
+constexpr pcie::Generation runtime_gen = pcie::Generation::Gen3;
+
+} // namespace
+
+// --------------------------------------------------------------- Event
+
+// Completion chaining lives in a side table keyed by the shared state.
+// To keep Event copyable and cheap, the waiter list is attached to the
+// state object itself.
+struct EventWaiters
+{
+    std::vector<std::function<void()>> fns;
+};
+
+namespace
+{
+
+// One waiter registry per process is enough: entries are erased when
+// fired, and the keys are unique shared states.
+std::map<void *, EventWaiters> &
+waiterMap()
+{
+    static std::map<void *, EventWaiters> m;
+    return m;
+}
+
+void
+fireEvent(const std::shared_ptr<Event::State> &state, Tick at)
+{
+    state->done = true;
+    state->at = at;
+    auto &m = waiterMap();
+    const auto it = m.find(state.get());
+    if (it == m.end())
+        return;
+    auto fns = std::move(it->second.fns);
+    m.erase(it);
+    for (auto &fn : fns)
+        fn();
+}
+
+void
+whenDone(const std::shared_ptr<Event::State> &state,
+         std::function<void()> fn)
+{
+    if (!state || state->done) {
+        fn();
+        return;
+    }
+    waiterMap()[state.get()].fns.push_back(std::move(fn));
+}
+
+} // namespace
+
+// ------------------------------------------------------------ Platform
+
+Platform::Platform()
+{
+    _fabric = std::make_unique<pcie::Fabric>(_eq, "runtime.pcie");
+    _rc = _fabric->addNode(pcie::NodeKind::RootComplex, "rc");
+    _switch = _fabric->addNode(pcie::NodeKind::Switch, "sw0");
+    _fabric->connect(_rc, _switch, runtime_gen, 8);
+}
+
+Platform::~Platform() = default;
+
+DeviceId
+Platform::addAccelerator(const std::string &name, accel::Domain domain,
+                         KernelFn fn)
+{
+    Device dev;
+    dev.name = name;
+    dev.spec = accel::specFor(domain);
+    dev.fn = std::move(fn);
+    dev.unit =
+        std::make_unique<accel::DeviceUnit>(_eq, name, dev.spec.freq_hz);
+    dev.node = _fabric->addNode(pcie::NodeKind::EndPoint, name);
+    _fabric->connect(_switch, dev.node, runtime_gen, 16);
+    _devices.push_back(std::move(dev));
+    return _devices.size() - 1;
+}
+
+DeviceId
+Platform::addDrx(const std::string &name, const drx::DrxConfig &cfg)
+{
+    Device dev;
+    dev.name = name;
+    dev.is_drx = true;
+    dev.machine = std::make_unique<drx::DrxMachine>(cfg);
+    dev.unit =
+        std::make_unique<accel::DeviceUnit>(_eq, name, cfg.freq_hz);
+    dev.node = _fabric->addNode(pcie::NodeKind::EndPoint, name);
+    _fabric->connect(_switch, dev.node, runtime_gen, 16);
+    _devices.push_back(std::move(dev));
+    return _devices.size() - 1;
+}
+
+Context
+Platform::createContext()
+{
+    return Context(*this);
+}
+
+const std::string &
+Platform::deviceName(DeviceId id) const
+{
+    if (id >= _devices.size())
+        dmx_fatal("Platform::deviceName: bad device id %zu", id);
+    return _devices[id].name;
+}
+
+// ------------------------------------------------------------- Context
+
+Context::Context(Platform &p) : _platform(&p)
+{
+    for (std::size_t d = 0; d < p._devices.size(); ++d) {
+        _queues.emplace_back(
+            std::unique_ptr<CommandQueue>(new CommandQueue(*this, d)));
+    }
+}
+
+BufferId
+Context::createBuffer(Bytes data)
+{
+    _buffers.push_back(std::move(data));
+    return _buffers.size() - 1;
+}
+
+const Bytes &
+Context::read(BufferId id) const
+{
+    if (id >= _buffers.size())
+        dmx_fatal("Context::read: bad buffer id %zu", id);
+    return _buffers[id];
+}
+
+void
+Context::write(BufferId id, Bytes data)
+{
+    if (id >= _buffers.size())
+        dmx_fatal("Context::write: bad buffer id %zu", id);
+    _buffers[id] = std::move(data);
+}
+
+CommandQueue &
+Context::queue(DeviceId dev)
+{
+    if (dev >= _queues.size())
+        dmx_fatal("Context::queue: bad device id %zu", dev);
+    return *_queues[dev];
+}
+
+void
+Context::finish()
+{
+    _platform->drain();
+}
+
+// -------------------------------------------------------- CommandQueue
+
+Event
+CommandQueue::enqueueKernel(BufferId in, BufferId out)
+{
+    Platform &plat = _ctx->platform();
+    Platform::Device &dev = plat._devices[_device];
+    if (dev.is_drx)
+        dmx_fatal("enqueueKernel on DRX device '%s'; use "
+                  "enqueueRestructure", dev.name.c_str());
+
+    Event ev;
+    ev._state = std::make_shared<Event::State>();
+    auto state = ev._state;
+    Context *ctx = _ctx;
+    const DeviceId device = _device;
+
+    whenDone(_last._state, [ctx, device, in, out, state] {
+        Platform &p = ctx->platform();
+        Platform::Device &d = p._devices[device];
+        p._eq.scheduleIn(0, [ctx, device, in, out, state] {
+            Platform &p2 = ctx->platform();
+            Platform::Device &d2 = p2._devices[device];
+            kernels::OpCount ops;
+            Bytes result = d2.fn(ctx->read(in), ops);
+            const Cycles cycles = accel::kernelCycles(d2.spec, ops);
+            d2.unit->submit(cycles, [ctx, out, state,
+                                     result = std::move(result)] {
+                ctx->write(out, result);
+                fireEvent(state, ctx->platform().now());
+            });
+        });
+        (void)d;
+    });
+    _last = ev;
+    return ev;
+}
+
+Event
+CommandQueue::enqueueRestructure(const restructure::Kernel &kernel,
+                                 BufferId in, BufferId out)
+{
+    Platform &plat = _ctx->platform();
+    Platform::Device &dev = plat._devices[_device];
+    if (!dev.is_drx)
+        dmx_fatal("enqueueRestructure on accelerator '%s'",
+                  dev.name.c_str());
+
+    Event ev;
+    ev._state = std::make_shared<Event::State>();
+    auto state = ev._state;
+    Context *ctx = _ctx;
+    const DeviceId device = _device;
+    // Copy the kernel: the caller's object may go out of scope before
+    // the command reaches the head of the queue.
+    auto kcopy = std::make_shared<restructure::Kernel>(kernel);
+
+    whenDone(_last._state, [ctx, device, in, out, state, kcopy] {
+        Platform &p = ctx->platform();
+        p._eq.scheduleIn(0, [ctx, device, in, out, state, kcopy] {
+            Platform &p2 = ctx->platform();
+            Platform::Device &d2 = p2._devices[device];
+            d2.machine->resetAlloc();
+            restructure::Bytes result;
+            const drx::RunResult res = drx::runKernelOnDrx(
+                *kcopy, ctx->read(in), *d2.machine, &result);
+            d2.unit->submit(res.total_cycles,
+                            [ctx, out, state,
+                             result = std::move(result)] {
+                ctx->write(out, result);
+                fireEvent(state, ctx->platform().now());
+            });
+        });
+    });
+    _last = ev;
+    return ev;
+}
+
+Event
+CommandQueue::enqueueCopy(BufferId src, BufferId dst, DeviceId dst_device)
+{
+    Platform &plat = _ctx->platform();
+    if (dst_device >= plat._devices.size())
+        dmx_fatal("enqueueCopy: bad destination device %zu", dst_device);
+
+    Event ev;
+    ev._state = std::make_shared<Event::State>();
+    auto state = ev._state;
+    Context *ctx = _ctx;
+    const DeviceId from = _device;
+
+    whenDone(_last._state, [ctx, from, src, dst, dst_device, state] {
+        Platform &p = ctx->platform();
+        p._eq.scheduleIn(0, [ctx, from, src, dst, dst_device, state] {
+            Platform &p2 = ctx->platform();
+            const auto bytes =
+                static_cast<std::uint64_t>(ctx->read(src).size());
+            p2._fabric->startFlow(
+                p2._devices[from].node, p2._devices[dst_device].node,
+                bytes, [ctx, src, dst, state] {
+                    ctx->write(dst, ctx->read(src));
+                    fireEvent(state, ctx->platform().now());
+                });
+        });
+    });
+    _last = ev;
+    return ev;
+}
+
+void
+CommandQueue::finish()
+{
+    _ctx->platform().drain();
+}
+
+} // namespace dmx::runtime

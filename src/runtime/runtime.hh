@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The DMX host runtime (paper Sec. V): an OpenCL-style programming
+ * model with a host program, per-device in-order command queues, and
+ * kernels running on accelerators or DRXs.
+ *
+ * The runtime is fully functional *and* fully timed: enqueued kernels
+ * execute their real C++ implementations on real bytes, while the
+ * simulated clock advances according to the device latency models and
+ * the PCIe fabric. Examples use this API end-to-end; the figure
+ * harnesses use the lower-level sys:: simulator for statistical runs.
+ *
+ * Typical use:
+ *   Platform plat;
+ *   DeviceId fft  = plat.addAccelerator("fft0", Domain::FFT, fn);
+ *   DeviceId drx  = plat.addDrx("drx0", drx_cfg);
+ *   Context ctx   = plat.createContext();
+ *   BufferId in   = ctx.createBuffer(bytes);
+ *   CommandQueue& q = ctx.queue(fft);
+ *   Event e = q.enqueueKernel(in, out);          // non-blocking
+ *   ctx.finish();                                // drain all queues
+ */
+
+#ifndef DMX_RUNTIME_RUNTIME_HH
+#define DMX_RUNTIME_RUNTIME_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "drx/compiler.hh"
+#include "drx/machine.hh"
+#include "pcie/fabric.hh"
+#include "restructure/ir.hh"
+#include "sim/eventq.hh"
+
+namespace dmx::runtime
+{
+
+using Bytes = std::vector<std::uint8_t>;
+
+/** Functional kernel body: consumes input bytes, reports its work. */
+using KernelFn =
+    std::function<Bytes(const Bytes &, kernels::OpCount &)>;
+
+/** Opaque device handle. */
+using DeviceId = std::size_t;
+
+/** Opaque buffer handle. */
+using BufferId = std::size_t;
+
+/** Completion state shared with the host program. */
+class Event
+{
+  public:
+    Event() = default;
+
+    /** @return true once the command completed (in simulated time). */
+    bool complete() const { return _state && _state->done; }
+
+    /** @return simulated completion time (valid once complete()). */
+    Tick completeTime() const { return _state ? _state->at : 0; }
+
+    /** Shared completion record (public for the runtime internals). */
+    struct State
+    {
+        bool done = false;
+        Tick at = 0;
+    };
+
+  private:
+    friend class CommandQueue;
+    friend class Context;
+    std::shared_ptr<State> _state;
+};
+
+class Context;
+class Platform;
+
+/** An in-order command queue bound to one device. */
+class CommandQueue
+{
+  public:
+    /**
+     * Run the device's kernel on @p in, producing @p out.
+     * For accelerator devices the platform-registered KernelFn runs;
+     * for DRX devices @p restructure is compiled and executed.
+     */
+    Event enqueueKernel(BufferId in, BufferId out);
+
+    /** DRX devices only: enqueue a restructuring kernel. */
+    Event enqueueRestructure(const restructure::Kernel &kernel,
+                             BufferId in, BufferId out);
+
+    /**
+     * Enqueue a DMA of @p src's contents to @p dst residing on
+     * @p dst_device (p2p when both are devices; staged via host root
+     * complex only if the placement demands it - the runtime always
+     * uses p2p, mirroring DMX).
+     */
+    Event enqueueCopy(BufferId src, BufferId dst, DeviceId dst_device);
+
+    /** Block (drive simulation) until everything enqueued completed. */
+    void finish();
+
+  private:
+    friend class Context;
+    CommandQueue(Context &ctx, DeviceId dev)
+        : _ctx(&ctx), _device(dev)
+    {
+    }
+
+    Context *_ctx;
+    DeviceId _device;
+    Event _last; ///< in-order chaining: tail of the queue
+};
+
+/** Execution context: buffers plus one command queue per device. */
+class Context
+{
+  public:
+    // Queues hold back-pointers to this context: initialize with
+    // `Context ctx = platform.createContext();` (guaranteed elision)
+    // and do not move it afterwards.
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+    Context(Context &&) = delete;
+    Context &operator=(Context &&) = delete;
+
+    /** Allocate a buffer and optionally initialize its contents. */
+    BufferId createBuffer(Bytes data = {});
+
+    /** @return buffer contents (host view; call finish() first). */
+    const Bytes &read(BufferId id) const;
+
+    /** Replace buffer contents from the host. */
+    void write(BufferId id, Bytes data);
+
+    /** @return the in-order queue of @p dev. */
+    CommandQueue &queue(DeviceId dev);
+
+    /** Drive the simulation until all queues drain. */
+    void finish();
+
+    Platform &platform() { return *_platform; }
+
+  private:
+    friend class Platform;
+    friend class CommandQueue;
+    explicit Context(Platform &p);
+
+    Platform *_platform;
+    std::vector<Bytes> _buffers;
+    std::vector<std::unique_ptr<CommandQueue>> _queues;
+};
+
+/** The platform: devices, fabric and the simulated clock. */
+class Platform
+{
+  public:
+    Platform();
+    ~Platform();
+
+    Platform(const Platform &) = delete;
+    Platform &operator=(const Platform &) = delete;
+
+    /**
+     * Register an accelerator device.
+     *
+     * @param name   instance name
+     * @param domain latency-model domain (Table I)
+     * @param fn     functional kernel body
+     */
+    DeviceId addAccelerator(const std::string &name, accel::Domain domain,
+                            KernelFn fn);
+
+    /** Register a DRX device with its hardware configuration. */
+    DeviceId addDrx(const std::string &name, const drx::DrxConfig &cfg);
+
+    /** Create an execution context spanning all devices. */
+    Context createContext();
+
+    /** @return current simulated time. */
+    Tick now() const { return _eq.now(); }
+
+    /** @return number of registered devices. */
+    std::size_t deviceCount() const { return _devices.size(); }
+
+    /** @return device name. */
+    const std::string &deviceName(DeviceId id) const;
+
+    /** Drive the simulation until the event queue drains. */
+    void drain() { _eq.run(); }
+
+  private:
+    friend class Context;
+    friend class CommandQueue;
+
+    struct Device
+    {
+        std::string name;
+        bool is_drx = false;
+        accel::AcceleratorSpec spec{};
+        KernelFn fn;
+        std::unique_ptr<accel::DeviceUnit> unit;
+        std::unique_ptr<drx::DrxMachine> machine;
+        pcie::NodeId node = 0;
+    };
+
+    sim::EventQueue _eq;
+    std::unique_ptr<pcie::Fabric> _fabric;
+    pcie::NodeId _rc = 0;
+    pcie::NodeId _switch = 0;
+    std::vector<Device> _devices;
+};
+
+} // namespace dmx::runtime
+
+#endif // DMX_RUNTIME_RUNTIME_HH

@@ -1,0 +1,104 @@
+#include "sim/eventq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dmx::sim
+{
+
+EventHandle
+EventQueue::schedule(Tick when, std::function<void()> fn, Priority prio)
+{
+    if (when < _now) {
+        dmx_panic("event scheduled in the past: when=%llu now=%llu",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(_now));
+    }
+    Record rec;
+    rec.when = when;
+    rec.prio = static_cast<int>(prio);
+    rec.seq = _next_seq++;
+    rec.fn = std::move(fn);
+    rec.cancelled = std::make_shared<bool>(false);
+    rec.fired = std::make_shared<bool>(false);
+
+    EventHandle handle;
+    handle._cancelled = rec.cancelled;
+    handle._fired = rec.fired;
+
+    _heap.push_back(std::move(rec));
+    std::push_heap(_heap.begin(), _heap.end(), Later{});
+    return handle;
+}
+
+EventQueue::Record
+EventQueue::popTop()
+{
+    std::pop_heap(_heap.begin(), _heap.end(), Later{});
+    Record rec = std::move(_heap.back());
+    _heap.pop_back();
+    return rec;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!_heap.empty()) {
+        Record rec = popTop();
+        if (*rec.cancelled)
+            continue;
+        _now = rec.when;
+        *rec.fired = true;
+        ++_executed;
+        rec.fn();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run()
+{
+    while (runOne()) {
+    }
+    return _now;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!_heap.empty()) {
+        // Peek: skip cancelled records without advancing time.
+        if (*_heap.front().cancelled) {
+            popTop();
+            continue;
+        }
+        if (_heap.front().when > limit)
+            break;
+        runOne();
+    }
+    return _now;
+}
+
+std::size_t
+EventQueue::pendingCount() const
+{
+    std::size_t live = 0;
+    for (const Record &rec : _heap) {
+        if (!*rec.cancelled)
+            ++live;
+    }
+    return live;
+}
+
+void
+EventQueue::reset()
+{
+    _heap.clear();
+    _now = 0;
+    _next_seq = 0;
+    _executed = 0;
+}
+
+} // namespace dmx::sim

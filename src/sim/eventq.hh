@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The discrete-event simulation core.
+ *
+ * Events are closures scheduled at an absolute Tick. Ties are broken
+ * first by an explicit priority, then by insertion order, so simulation
+ * runs are fully deterministic.
+ */
+
+#ifndef DMX_SIM_EVENTQ_HH
+#define DMX_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace dmx::sim
+{
+
+/** Scheduling priority; lower runs first at equal ticks. */
+enum class Priority : int
+{
+    Interrupt = -10,   ///< interrupt delivery before normal work
+    Default = 0,
+    Stat = 10,         ///< sampling after the tick's real work
+};
+
+/**
+ * Handle to a scheduled event, allowing cancellation.
+ *
+ * Copies share cancellation state; cancelling any copy cancels the event.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Cancel the event if it has not fired yet. */
+    void
+    cancel()
+    {
+        if (_cancelled)
+            *_cancelled = true;
+    }
+
+    /** @return true if this handle refers to a scheduled (live) event. */
+    bool
+    pending() const
+    {
+        return _cancelled && !*_cancelled && !*_fired;
+    }
+
+  private:
+    friend class EventQueue;
+    std::shared_ptr<bool> _cancelled;
+    std::shared_ptr<bool> _fired;
+};
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * The queue is not thread-safe; the whole simulator is single-threaded
+ * by design (reproducibility beats parallel host speed at this scale).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** @return current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @param when absolute tick; must be >= now()
+     * @param fn   closure executed when the event fires
+     * @param prio tie-break priority
+     * @return a handle that can cancel the event
+     */
+    EventHandle schedule(Tick when, std::function<void()> fn,
+                         Priority prio = Priority::Default);
+
+    /** Schedule @p fn @p delay ticks from now. */
+    EventHandle
+    scheduleIn(Tick delay, std::function<void()> fn,
+               Priority prio = Priority::Default)
+    {
+        return schedule(_now + delay, std::move(fn), prio);
+    }
+
+    /**
+     * Run a single event (cancelled records are skipped silently).
+     * @return false when the queue is empty.
+     */
+    bool runOne();
+
+    /** Run until the queue drains; @return final simulated time. */
+    Tick run();
+
+    /**
+     * Run until simulated time would exceed @p limit. Events exactly at
+     * @p limit still execute.
+     * @return simulated time after the last executed event.
+     */
+    Tick runUntil(Tick limit);
+
+    /** @return number of pending, uncancelled events. */
+    std::size_t pendingCount() const;
+
+    /** @return total events executed since construction. */
+    std::uint64_t executedCount() const { return _executed; }
+
+    /** Drop every pending event and reset time to zero. */
+    void reset();
+
+  private:
+    struct Record
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        std::shared_ptr<bool> cancelled;
+        std::shared_ptr<bool> fired;
+    };
+
+    /** Heap order: the earliest (when, prio, seq) is the heap top. */
+    struct Later
+    {
+        bool
+        operator()(const Record &a, const Record &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop the heap top into a local and return it. */
+    Record popTop();
+
+    // A make-heap-managed vector rather than std::priority_queue so that
+    // pendingCount() can walk live records.
+    std::vector<Record> _heap;
+    Tick _now = 0;
+    std::uint64_t _next_seq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace dmx::sim
+
+#endif // DMX_SIM_EVENTQ_HH

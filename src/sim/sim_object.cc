@@ -1,0 +1,11 @@
+#include "sim/sim_object.hh"
+
+namespace dmx::sim
+{
+
+SimObject::SimObject(EventQueue &eq, std::string name)
+    : _eq(eq), _name(std::move(name)), _stats(_name)
+{
+}
+
+} // namespace dmx::sim

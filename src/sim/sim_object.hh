@@ -1,0 +1,74 @@
+/**
+ * @file
+ * SimObject: the common base for everything instantiated in a simulated
+ * system (devices, links, CPUs, accelerators). A SimObject has a name,
+ * a reference to the system event queue and an owned stats group.
+ */
+
+#ifndef DMX_SIM_SIM_OBJECT_HH
+#define DMX_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "sim/eventq.hh"
+
+namespace dmx::sim
+{
+
+/** Base class for named, event-driven simulation components. */
+class SimObject
+{
+  public:
+    /**
+     * @param eq   system event queue; must outlive the object
+     * @param name hierarchical dotted name, e.g. "system.pcie.sw0"
+     */
+    SimObject(EventQueue &eq, std::string name);
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    EventQueue &eventq() { return _eq; }
+    const EventQueue &eventq() const { return _eq; }
+    Tick now() const { return _eq.now(); }
+
+    stats::StatGroup &statGroup() { return _stats; }
+
+  private:
+    EventQueue &_eq;
+    std::string _name;
+    stats::StatGroup _stats;
+};
+
+/** A SimObject driven by a clock; converts cycles to event-queue ticks. */
+class ClockedObject : public SimObject
+{
+  public:
+    /**
+     * @param eq    system event queue
+     * @param name  hierarchical name
+     * @param clock clock domain this object runs in
+     */
+    ClockedObject(EventQueue &eq, std::string name, ClockDomain clock)
+        : SimObject(eq, std::move(name)), _clock(clock)
+    {
+    }
+
+    const ClockDomain &clock() const { return _clock; }
+
+    /** @return ticks consumed by @p cycles of this object's clock. */
+    Tick cyclesToTicks(Cycles cycles) const
+    {
+        return _clock.cyclesToTicks(cycles);
+    }
+
+  private:
+    ClockDomain _clock;
+};
+
+} // namespace dmx::sim
+
+#endif // DMX_SIM_SIM_OBJECT_HH

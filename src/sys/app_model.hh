@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Timed application models consumed by the system simulator.
+ *
+ * An AppModel is a pipeline of K kernels with K-1 data-motion steps.
+ * Timings are pre-derived (by src/apps) from the functional kernels'
+ * operation counts, the host CPU model, the accelerator latency models
+ * and the DRX cycle simulator, so the system simulation composes real
+ * per-component numbers.
+ */
+
+#ifndef DMX_SYS_APP_MODEL_HH
+#define DMX_SYS_APP_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace dmx::sys
+{
+
+/** One accelerated kernel stage. */
+struct KernelTiming
+{
+    std::string name;
+    double cpu_core_seconds = 0;  ///< host work in the All-CPU config
+    Cycles accel_cycles = 0;      ///< on its accelerator
+    double accel_freq_hz = 250e6; ///< accelerator clock
+    std::uint64_t out_bytes = 0;  ///< kernel output size
+    double accel_active_watts = 25.0;
+    double accel_idle_watts = 8.0;
+    /// Cores this kernel can use when run on the host (All-CPU config);
+    /// 0 means the pool default. Serial kernels (e.g. decompression)
+    /// set 1.
+    double max_host_cores = 0;
+};
+
+/** One data-motion (restructuring) step between two kernels. */
+struct MotionTiming
+{
+    std::string name;
+    double cpu_core_seconds = 0;  ///< restructuring work on the host
+    Cycles drx_cycles = 0;        ///< restructuring on a DRX
+    std::uint64_t in_bytes = 0;   ///< bytes entering the restructure
+    std::uint64_t out_bytes = 0;  ///< bytes leaving it
+};
+
+/** A complete end-to-end application. */
+struct AppModel
+{
+    std::string name;
+    std::vector<KernelTiming> kernels;  ///< size K >= 2
+    std::vector<MotionTiming> motions;  ///< size K-1
+    std::uint64_t input_bytes = 0;
+};
+
+} // namespace dmx::sys
+
+#endif // DMX_SYS_APP_MODEL_HH

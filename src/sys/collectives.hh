@@ -1,0 +1,64 @@
+/**
+ * @file
+ * One-to-many (broadcast) and many-to-one (all-reduce) data movement
+ * (paper Sec. V "One-to-many and many-to-one data movement" and the
+ * Figure 17 sensitivity study).
+ *
+ * Baseline: the source accelerator DMAs into host memory, the CPU
+ * restructures, and the driver then issues N DMA transfers
+ * *sequentially* to the destinations. All-reduce is two such stages
+ * (scatter-reduce, all-gather) with a host-side summation.
+ *
+ * DMX: Bump-in-the-Wire DRXs restructure and move data with p2p DMA,
+ * overlapping restructuring with the transfers; for all-reduce the
+ * destination DRX performs the summation (the vectorReduction kernel).
+ */
+
+#ifndef DMX_SYS_COLLECTIVES_HH
+#define DMX_SYS_COLLECTIVES_HH
+
+#include "cpu/host_model.hh"
+#include "drx/machine.hh"
+#include "pcie/generation.hh"
+
+namespace dmx::sys
+{
+
+/** Collective experiment parameters. */
+struct CollectiveConfig
+{
+    unsigned n_accels = 8;        ///< participants (4..32 in Fig. 17)
+    std::uint64_t bytes = 8 * mib;///< payload per participant
+    pcie::Generation gen = pcie::Generation::Gen3;
+    drx::DrxConfig drx;
+    cpu::HostParams host;
+    /// Host restructuring work for one payload (core-seconds).
+    double cpu_restructure_core_seconds = 0.015;
+    /// DRX restructuring cycles for one payload.
+    Cycles drx_restructure_cycles = 700'000;
+    /// DRX summation cycles for the full reduction.
+    Cycles drx_reduce_cycles = 2'000'000;
+};
+
+/** Latency of baseline vs DMX for one collective. */
+struct CollectiveResult
+{
+    double baseline_ms = 0;
+    double dmx_ms = 0;
+
+    double
+    speedup() const
+    {
+        return dmx_ms > 0 ? baseline_ms / dmx_ms : 0;
+    }
+};
+
+/** One-to-many broadcast from accelerator 0 to all the others. */
+CollectiveResult simulateBroadcast(const CollectiveConfig &cfg);
+
+/** All-reduce (scatter-reduce + all-gather) across all accelerators. */
+CollectiveResult simulateAllReduce(const CollectiveConfig &cfg);
+
+} // namespace dmx::sys
+
+#endif // DMX_SYS_COLLECTIVES_HH

@@ -1,0 +1,31 @@
+#include "sys/energy.hh"
+
+#include "sys/calibration.hh"
+
+namespace dmx::sys
+{
+
+EnergyReport
+computeEnergy(const EnergyInputs &in)
+{
+    EnergyReport rep;
+    rep.host_joules = in.host_busy_core_seconds * watts_per_busy_core +
+                      in.makespan_seconds * watts_host_uncore;
+
+    const double accel_idle_seconds =
+        in.makespan_seconds * in.accel_count - in.accel_busy_seconds;
+    rep.accel_joules =
+        in.accel_busy_seconds * in.accel_active_watts +
+        (accel_idle_seconds > 0 ? accel_idle_seconds : 0) *
+            in.accel_idle_watts;
+
+    rep.drx_joules = in.drx_busy_seconds * watts_drx_active +
+                     in.makespan_seconds * in.drx_count *
+                         in.drx_static_watts_per_unit;
+
+    rep.pcie_joules =
+        static_cast<double>(in.pcie_bytes) * joules_per_pcie_byte;
+    return rep;
+}
+
+} // namespace dmx::sys

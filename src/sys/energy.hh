@@ -1,0 +1,57 @@
+/**
+ * @file
+ * System energy accounting (paper Sec. VI, "Energy evaluation").
+ *
+ * Energy integrates component busy/static power over the simulated
+ * makespan plus per-byte PCIe transfer energy:
+ *   - host: busy core-seconds x core power + uncore x makespan,
+ *   - accelerators: busy x active + (makespan - busy) x idle,
+ *   - DRX units: busy x active + per-unit static x makespan (the static
+ *     term is what separates Bump-in-the-Wire from Standalone at scale),
+ *   - fabric: bytes moved x energy/byte.
+ */
+
+#ifndef DMX_SYS_ENERGY_HH
+#define DMX_SYS_ENERGY_HH
+
+#include <cstdint>
+
+namespace dmx::sys
+{
+
+/** Inputs to the energy computation, gathered after a simulation. */
+struct EnergyInputs
+{
+    double makespan_seconds = 0;
+    double host_busy_core_seconds = 0;
+    double accel_busy_seconds = 0;   ///< summed over accelerators
+    unsigned accel_count = 0;
+    double accel_active_watts = 25;  ///< average across the suite
+    double accel_idle_watts = 8;
+    double drx_busy_seconds = 0;     ///< summed over DRX units
+    unsigned drx_count = 0;
+    double drx_static_watts_per_unit = 0;
+    std::uint64_t pcie_bytes = 0;
+};
+
+/** Per-component energy in joules. */
+struct EnergyReport
+{
+    double host_joules = 0;
+    double accel_joules = 0;
+    double drx_joules = 0;
+    double pcie_joules = 0;
+
+    double
+    total() const
+    {
+        return host_joules + accel_joules + drx_joules + pcie_joules;
+    }
+};
+
+/** @return the energy report for @p in (see file header for the model). */
+EnergyReport computeEnergy(const EnergyInputs &in);
+
+} // namespace dmx::sys
+
+#endif // DMX_SYS_ENERGY_HH

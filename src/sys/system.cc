@@ -1,0 +1,573 @@
+#include "sys/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/eventq.hh"
+#include "sys/calibration.hh"
+
+namespace dmx::sys
+{
+
+std::string
+toString(Placement p)
+{
+    switch (p) {
+      case Placement::AllCpu:         return "all-cpu";
+      case Placement::MultiAxl:       return "multi-axl";
+      case Placement::IntegratedDrx:  return "integrated";
+      case Placement::StandaloneDrx:  return "standalone";
+      case Placement::BumpInTheWire:  return "bump-in-the-wire";
+      case Placement::PcieIntegrated: return "pcie-integrated";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Time phases attributed per request. */
+enum class Phase { Kernel, Restructure, Movement };
+
+/** The whole live simulation state. */
+class SystemSim
+{
+  public:
+    SystemSim(const SystemConfig &cfg, const std::vector<AppModel> &apps);
+    RunStats run();
+
+  private:
+    struct AppInstance
+    {
+        const AppModel *model = nullptr;
+        std::vector<accel::DeviceUnit *> accel_units;
+        std::vector<pcie::NodeId> accel_nodes;
+        std::vector<pcie::NodeId> drx_nodes;          ///< BitW: per accel
+        std::vector<accel::DeviceUnit *> drx_units;   ///< per motion site
+        std::vector<pcie::NodeId> switch_drx_nodes;   ///< PcieIntegrated
+        std::unique_ptr<driver::DrxQueues> queues;    ///< BitW occupancy
+
+        unsigned requests_done = 0;
+        Tick request_start = 0;
+        Tick phase_start = 0;
+        Tick flow_start = 0;
+        double time_ms[3] = {0, 0, 0};           ///< per Phase totals
+        std::vector<double> stage_ms;            ///< 2K-1 stage totals
+        double latency_ms_sum = 0;
+    };
+
+    void startRequest(std::size_t a);
+    void startKernel(std::size_t a, std::size_t k);
+    void kernelDone(std::size_t a, std::size_t k);
+    void startMotion(std::size_t a, std::size_t k);
+    void restructureDone(std::size_t a, std::size_t k);
+    void deliverToNext(std::size_t a, std::size_t k);
+    void requestDone(std::size_t a);
+
+    /** Close the current phase, attributing elapsed time. */
+    void closePhase(AppInstance &app, Phase phase, std::size_t stage);
+
+    /** Driver notification latency then continue with @p next. */
+    void notifyThen(std::size_t a, std::function<void()> next);
+
+    const SystemConfig &_cfg;
+    sim::EventQueue _eq;
+    std::unique_ptr<pcie::Fabric> _fabric;
+    std::unique_ptr<cpu::CorePool> _pool;
+    std::unique_ptr<driver::InterruptController> _irq;
+    std::vector<std::unique_ptr<accel::DeviceUnit>> _units;
+    std::vector<AppInstance> _apps;
+    pcie::NodeId _rc = 0;
+    pcie::NodeId _hostmem = 0; ///< DRAM staging behind the root complex
+    Tick _last_done = 0;
+    double _accel_watts_sum = 0;
+    unsigned _accel_count = 0;
+    unsigned _drx_unit_count = 0;
+    std::vector<accel::DeviceUnit *> _accel_unit_ptrs;
+    std::vector<accel::DeviceUnit *> _drx_unit_ptrs;
+};
+
+SystemSim::SystemSim(const SystemConfig &cfg,
+                     const std::vector<AppModel> &apps)
+    : _cfg(cfg)
+{
+    if (apps.empty())
+        dmx_fatal("simulateSystem: no application models");
+    if (cfg.n_apps == 0)
+        dmx_fatal("simulateSystem: need at least one application");
+
+    _pool = std::make_unique<cpu::CorePool>(
+        _eq, "host.pool", cfg.host.cores, cfg.host.max_job_cores);
+    _irq = std::make_unique<driver::InterruptController>(
+        _eq, "host.irq", cfg.irq, _pool.get());
+
+    const bool uses_fabric = cfg.placement != Placement::AllCpu;
+    if (uses_fabric) {
+        pcie::FabricParams fparams;
+        fparams.switch_latency = switch_port_latency;
+        _fabric = std::make_unique<pcie::Fabric>(_eq, "pcie", fparams);
+        _rc = _fabric->addNode(pcie::NodeKind::RootComplex, "rc");
+        // Host-staged transfers land in DRAM: that path's bandwidth is
+        // shared across all applications and does not scale with the
+        // PCIe generation.
+        _hostmem = _fabric->addNode(pcie::NodeKind::EndPoint, "hostmem");
+        _fabric->connectCustom(_rc, _hostmem,
+                               host_staging_bytes_per_sec);
+    }
+
+    // Shared DRX units. The on-CPU DRX serves the whole socket, so it
+    // integrates several RE-array contexts (each equivalent to one
+    // bump-in-the-wire unit); jobs from different applications land on
+    // different contexts, but each job runs at single-unit speed.
+    std::vector<accel::DeviceUnit *> integrated_units;
+    if (cfg.placement == Placement::IntegratedDrx) {
+        constexpr unsigned contexts = 4;
+        for (unsigned c = 0; c < contexts; ++c) {
+            _units.push_back(std::make_unique<accel::DeviceUnit>(
+                _eq, "drx.integrated" + std::to_string(c),
+                cfg.drx.freq_hz));
+            integrated_units.push_back(_units.back().get());
+            _drx_unit_ptrs.push_back(_units.back().get());
+        }
+        _drx_unit_count = 1; // one physical on-CPU device
+    }
+    std::vector<accel::DeviceUnit *> standalone_cards;
+    std::vector<pcie::NodeId> standalone_nodes;
+
+    // Switch packing.
+    pcie::NodeId cur_switch = 0;
+    unsigned cur_ports = ports_per_switch; // force a switch on first app
+    unsigned switch_count = 0;
+    std::vector<pcie::NodeId> switch_ids;
+    const unsigned up_lanes =
+        cfg.upstream_lanes != 0
+            ? cfg.upstream_lanes
+            : (cfg.gen == pcie::Generation::Gen3 ? upstream_lanes : 16);
+    auto ensure_ports = [&](unsigned needed) {
+        if (!uses_fabric)
+            return;
+        if (cur_ports + needed > ports_per_switch) {
+            cur_switch = _fabric->addNode(
+                pcie::NodeKind::Switch,
+                "sw" + std::to_string(switch_count++));
+            _fabric->connect(_rc, cur_switch, cfg.gen, up_lanes);
+            switch_ids.push_back(cur_switch);
+            cur_ports = 0;
+            if (cfg.placement == Placement::PcieIntegrated) {
+                // In-switch DRX: fat internal attach (line rate).
+                const pcie::NodeId n = _fabric->addNode(
+                    pcie::NodeKind::EndPoint,
+                    "swdrx" + std::to_string(switch_count - 1));
+                _fabric->connect(cur_switch, n,
+                                 pcie::Generation::Gen5, 16);
+            }
+        }
+        cur_ports += needed;
+    };
+
+    for (unsigned i = 0; i < cfg.n_apps; ++i) {
+        AppInstance inst;
+        inst.model = &apps[i % apps.size()];
+        const std::size_t kcount = inst.model->kernels.size();
+        if (kcount < 2 || inst.model->motions.size() != kcount - 1)
+            dmx_fatal("AppModel '%s': malformed pipeline",
+                      inst.model->name.c_str());
+        inst.stage_ms.assign(2 * kcount - 1, 0.0);
+
+        // Port demand: K accelerator chains, plus possibly a new
+        // Standalone card serving this and the next app.
+        unsigned needed = static_cast<unsigned>(kcount);
+        const bool new_card =
+            cfg.placement == Placement::StandaloneDrx &&
+            i % apps_per_standalone_card == 0;
+        if (new_card)
+            ++needed;
+        ensure_ports(needed);
+
+        if (new_card) {
+            standalone_nodes.push_back(_fabric->addNode(
+                pcie::NodeKind::EndPoint,
+                "drxcard" + std::to_string(standalone_cards.size())));
+            // Standalone cards carry the same single-DDR4-channel cap
+            // as any DRX.
+            _fabric->connectCustom(
+                cur_switch, standalone_nodes.back(),
+                std::min(pcie::linkBandwidth(cfg.gen, downstream_lanes),
+                         cfg.drx.dram_bytes_per_sec));
+            _units.push_back(std::make_unique<accel::DeviceUnit>(
+                _eq,
+                "drx.card" + std::to_string(standalone_cards.size()),
+                standalone_drx_freq_hz));
+            standalone_cards.push_back(_units.back().get());
+            _drx_unit_ptrs.push_back(standalone_cards.back());
+            ++_drx_unit_count;
+        }
+
+        for (std::size_t k = 0; k < kcount; ++k) {
+            const KernelTiming &kt = inst.model->kernels[k];
+            _units.push_back(std::make_unique<accel::DeviceUnit>(
+                _eq,
+                "app" + std::to_string(i) + ".accel" + std::to_string(k),
+                kt.accel_freq_hz));
+            inst.accel_units.push_back(_units.back().get());
+            if (cfg.placement != Placement::AllCpu) {
+                // All-CPU has no accelerator hardware to power.
+                _accel_unit_ptrs.push_back(_units.back().get());
+                _accel_watts_sum += kt.accel_active_watts;
+                ++_accel_count;
+            }
+
+            if (!uses_fabric)
+                continue;
+            if (cfg.placement == Placement::BumpInTheWire) {
+                // Chain: switch - DRX - accelerator. Traffic in and out
+                // of a DRX is additionally capped by its single DDR4
+                // channel (the paper sizes it to match an x8 Gen4
+                // link), so DRX-side links stop scaling past Gen4.
+                const auto drx_link_bw = std::min(
+                    pcie::linkBandwidth(cfg.gen, downstream_lanes),
+                    cfg.drx.dram_bytes_per_sec);
+                const pcie::NodeId drx_node = _fabric->addNode(
+                    pcie::NodeKind::EndPoint,
+                    "app" + std::to_string(i) + ".drx" +
+                        std::to_string(k));
+                _fabric->connectCustom(cur_switch, drx_node,
+                                       drx_link_bw);
+                const pcie::NodeId accel_node = _fabric->addNode(
+                    pcie::NodeKind::EndPoint,
+                    "app" + std::to_string(i) + ".accel" +
+                        std::to_string(k));
+                _fabric->connectCustom(drx_node, accel_node,
+                                       drx_link_bw);
+                inst.drx_nodes.push_back(drx_node);
+                inst.accel_nodes.push_back(accel_node);
+                _units.push_back(std::make_unique<accel::DeviceUnit>(
+                    _eq,
+                    "app" + std::to_string(i) + ".drxunit" +
+                        std::to_string(k),
+                    cfg.drx.freq_hz));
+                inst.drx_units.push_back(_units.back().get());
+                _drx_unit_ptrs.push_back(_units.back().get());
+                ++_drx_unit_count;
+            } else {
+                const pcie::NodeId accel_node = _fabric->addNode(
+                    pcie::NodeKind::EndPoint,
+                    "app" + std::to_string(i) + ".accel" +
+                        std::to_string(k));
+                _fabric->connect(cur_switch, accel_node, cfg.gen,
+                                 downstream_lanes);
+                inst.accel_nodes.push_back(accel_node);
+            }
+        }
+
+        if (cfg.placement == Placement::BumpInTheWire) {
+            inst.queues = std::make_unique<driver::DrxQueues>(
+                drx_queue_mem_bytes, drx_queue_pair_bytes,
+                static_cast<unsigned>(kcount));
+        }
+        if (cfg.placement == Placement::IntegratedDrx) {
+            inst.drx_units.assign(
+                kcount, integrated_units[i % integrated_units.size()]);
+        }
+        if (cfg.placement == Placement::StandaloneDrx) {
+            inst.drx_units.assign(kcount, standalone_cards.back());
+            inst.drx_nodes.assign(kcount, standalone_nodes.back());
+        }
+        if (cfg.placement == Placement::PcieIntegrated) {
+            // The in-switch DRX node for this app's switch is the node
+            // added right after the switch itself; recover it by name
+            // order: it is the last "swdrx" created at ensure_ports.
+            // Store the switch id; flows route accel->accel directly.
+            inst.switch_drx_nodes.assign(kcount, cur_switch);
+        }
+
+        _apps.push_back(std::move(inst));
+    }
+}
+
+void
+SystemSim::closePhase(AppInstance &app, Phase phase, std::size_t stage)
+{
+    const double dt = ticksToMs(_eq.now() - app.phase_start);
+    app.time_ms[static_cast<int>(phase)] += dt;
+    if (stage < app.stage_ms.size())
+        app.stage_ms[stage] += dt;
+    app.phase_start = _eq.now();
+}
+
+void
+SystemSim::notifyThen(std::size_t a, std::function<void()> next)
+{
+    (void)a;
+    const Tick latency = _irq->notify();
+    _eq.scheduleIn(latency, std::move(next));
+}
+
+void
+SystemSim::startRequest(std::size_t a)
+{
+    AppInstance &app = _apps[a];
+    app.request_start = _eq.now();
+    app.phase_start = _eq.now();
+    startKernel(a, 0);
+}
+
+void
+SystemSim::startKernel(std::size_t a, std::size_t k)
+{
+    AppInstance &app = _apps[a];
+    const KernelTiming &kt = app.model->kernels[k];
+    app.phase_start = _eq.now();
+    if (_cfg.placement == Placement::AllCpu) {
+        _pool->submit(kt.cpu_core_seconds, kt.max_host_cores,
+                      [this, a, k] { kernelDone(a, k); });
+    } else {
+        app.accel_units[k]->submit(kt.accel_cycles,
+                                   [this, a, k] { kernelDone(a, k); });
+    }
+}
+
+void
+SystemSim::kernelDone(std::size_t a, std::size_t k)
+{
+    AppInstance &app = _apps[a];
+    closePhase(app, Phase::Kernel, 2 * k);
+    if (k + 1 == app.model->kernels.size()) {
+        if (_cfg.placement == Placement::AllCpu) {
+            requestDone(a);
+        } else {
+            // Final completion interrupt back to the host program.
+            notifyThen(a, [this, a] { requestDone(a); });
+        }
+        return;
+    }
+    if (_cfg.placement == Placement::AllCpu) {
+        startMotion(a, k);
+        return;
+    }
+    // Completion interrupt; the driver then programs the DMA.
+    notifyThen(a, [this, a, k] { startMotion(a, k); });
+}
+
+void
+SystemSim::startMotion(std::size_t a, std::size_t k)
+{
+    AppInstance &app = _apps[a];
+    const MotionTiming &mt = app.model->motions[k];
+    switch (_cfg.placement) {
+      case Placement::AllCpu:
+        // No movement: restructure directly on the host.
+        app.phase_start = _eq.now();
+        _pool->submit(mt.cpu_core_seconds,
+                      [this, a, k] { restructureDone(a, k); });
+        return;
+      case Placement::MultiAxl:
+      case Placement::IntegratedDrx:
+        // Stage through host memory.
+        _fabric->startFlow(app.accel_nodes[k], _hostmem, mt.in_bytes,
+                           [this, a, k] {
+            AppInstance &ap = _apps[a];
+            closePhase(ap, Phase::Movement, 2 * k + 1);
+            const MotionTiming &m = ap.model->motions[k];
+            if (_cfg.placement == Placement::MultiAxl) {
+                _pool->submit(m.cpu_core_seconds, [this, a, k] {
+                    restructureDone(a, k);
+                });
+            } else {
+                ap.drx_units[k]->submit(m.drx_cycles, [this, a, k] {
+                    restructureDone(a, k);
+                });
+            }
+        });
+        return;
+      case Placement::StandaloneDrx:
+      case Placement::BumpInTheWire: {
+        const pcie::NodeId site = app.drx_nodes[k];
+        if (app.queues)
+            app.queues->rx(static_cast<unsigned>(k + 1),
+                           driver::PeerKind::Accelerator)
+                .push(mt.in_bytes);
+        _fabric->startFlow(app.accel_nodes[k], site, mt.in_bytes,
+                           [this, a, k] {
+            AppInstance &ap = _apps[a];
+            closePhase(ap, Phase::Movement, 2 * k + 1);
+            ap.drx_units[k]->submit(ap.model->motions[k].drx_cycles,
+                                    [this, a, k] {
+                restructureDone(a, k);
+            });
+        });
+        return;
+      }
+      case Placement::PcieIntegrated: {
+        // Single flow through the switch; restructuring streams at line
+        // rate inside it, so only its residual latency is exposed.
+        app.flow_start = _eq.now();
+        _fabric->startFlow(app.accel_nodes[k], app.accel_nodes[k + 1],
+                           mt.in_bytes, [this, a, k] {
+            AppInstance &ap = _apps[a];
+            closePhase(ap, Phase::Movement, 2 * k + 1);
+            const Tick elapsed = _eq.now() - ap.flow_start;
+            const Tick drx_time = ClockDomain{_cfg.drx.freq_hz}
+                                      .cyclesToTicks(
+                                          ap.model->motions[k].drx_cycles);
+            const Tick extra =
+                drx_time > elapsed ? drx_time - elapsed : 0;
+            _eq.scheduleIn(extra,
+                           [this, a, k] { restructureDone(a, k); });
+        });
+        return;
+      }
+    }
+}
+
+void
+SystemSim::restructureDone(std::size_t a, std::size_t k)
+{
+    AppInstance &app = _apps[a];
+    closePhase(app, Phase::Restructure, 2 * k + 1);
+    if (_cfg.placement == Placement::AllCpu) {
+        startKernel(a, k + 1);
+        return;
+    }
+    if (_cfg.placement == Placement::PcieIntegrated) {
+        // Data already arrived with the flow; only the doorbell remains.
+        notifyThen(a, [this, a, k] { deliverToNext(a, k); });
+        return;
+    }
+    // Restructure-complete interrupt, then p2p DMA to the next device.
+    notifyThen(a, [this, a, k] {
+        AppInstance &ap = _apps[a];
+        const MotionTiming &mt = ap.model->motions[k];
+        pcie::NodeId src;
+        switch (_cfg.placement) {
+          case Placement::MultiAxl:
+          case Placement::IntegratedDrx:
+            src = _hostmem;
+            break;
+          default:
+            src = ap.drx_nodes[k];
+            break;
+        }
+        // The notify latency stays inside the Movement phase.
+        _fabric->startFlow(src, ap.accel_nodes[k + 1], mt.out_bytes,
+                           [this, a, k] {
+            AppInstance &ap2 = _apps[a];
+            closePhase(ap2, Phase::Movement, 2 * k + 1);
+            if (ap2.queues)
+                ap2.queues->rx(static_cast<unsigned>(k + 1),
+                               driver::PeerKind::Accelerator)
+                    .pop(ap2.model->motions[k].in_bytes);
+            deliverToNext(a, k);
+        });
+    });
+}
+
+void
+SystemSim::deliverToNext(std::size_t a, std::size_t k)
+{
+    startKernel(a, k + 1);
+}
+
+void
+SystemSim::requestDone(std::size_t a)
+{
+    AppInstance &app = _apps[a];
+    app.latency_ms_sum += ticksToMs(_eq.now() - app.request_start);
+    ++app.requests_done;
+    _last_done = std::max(_last_done, _eq.now());
+    if (app.requests_done < _cfg.requests_per_app)
+        startRequest(a);
+}
+
+RunStats
+SystemSim::run()
+{
+    // Stagger application start times: real deployments do not launch
+    // every pipeline in the same microsecond, and lock-step starts
+    // artificially synchronize the contention on the host pool.
+    for (std::size_t a = 0; a < _apps.size(); ++a) {
+        _eq.schedule(static_cast<Tick>(a) * 250 * tick_per_us,
+                     [this, a] { startRequest(a); });
+    }
+    _eq.run();
+
+    RunStats stats;
+    const double n_reqs =
+        static_cast<double>(_cfg.requests_per_app) *
+        static_cast<double>(_apps.size());
+    double tput_sum = 0;
+    double bottleneck = 0;
+    for (AppInstance &app : _apps) {
+        if (app.requests_done != _cfg.requests_per_app)
+            dmx_panic("system: app '%s' finished %u of %u requests",
+                      app.model->name.c_str(), app.requests_done,
+                      _cfg.requests_per_app);
+        stats.avg_latency_ms +=
+            app.latency_ms_sum /
+            static_cast<double>(_cfg.requests_per_app);
+        stats.breakdown.kernel_ms += app.time_ms[0];
+        stats.breakdown.restructure_ms += app.time_ms[1];
+        stats.breakdown.movement_ms += app.time_ms[2];
+
+        double worst_stage_ms = 0;
+        for (double s : app.stage_ms) {
+            worst_stage_ms = std::max(
+                worst_stage_ms,
+                s / static_cast<double>(_cfg.requests_per_app));
+        }
+        bottleneck = std::max(bottleneck, worst_stage_ms);
+        tput_sum += 1000.0 / worst_stage_ms;
+    }
+    const double n_apps = static_cast<double>(_apps.size());
+    stats.avg_latency_ms /= n_apps;
+    stats.breakdown.kernel_ms /= n_reqs;
+    stats.breakdown.restructure_ms /= n_reqs;
+    stats.breakdown.movement_ms /= n_reqs;
+    stats.avg_throughput_rps = tput_sum / n_apps;
+    stats.bottleneck_stage_ms = bottleneck;
+    stats.makespan_ms = ticksToMs(_last_done);
+    stats.interrupts = _irq->interruptsDelivered();
+    stats.polls = _irq->pollsDelivered();
+    stats.pcie_bytes = _fabric ? _fabric->totalBytes() : 0;
+
+    // Energy.
+    EnergyInputs ein;
+    ein.makespan_seconds = ticksToSeconds(_last_done);
+    ein.host_busy_core_seconds = _pool->busyCoreSeconds();
+    for (const accel::DeviceUnit *u : _accel_unit_ptrs)
+        ein.accel_busy_seconds += u->busySeconds();
+    ein.accel_count = _accel_count;
+    if (_accel_count > 0)
+        ein.accel_active_watts = _accel_watts_sum / _accel_count;
+    ein.accel_idle_watts = watts_accel_idle;
+    for (const accel::DeviceUnit *u : _drx_unit_ptrs)
+        ein.drx_busy_seconds += u->busySeconds();
+    ein.drx_count = _drx_unit_count;
+    switch (_cfg.placement) {
+      case Placement::BumpInTheWire:
+        ein.drx_static_watts_per_unit = watts_bitw_static;
+        break;
+      case Placement::StandaloneDrx:
+        ein.drx_static_watts_per_unit = watts_standalone_static;
+        break;
+      case Placement::IntegratedDrx:
+        ein.drx_static_watts_per_unit = watts_integrated_static;
+        break;
+      default:
+        break;
+    }
+    ein.pcie_bytes = stats.pcie_bytes;
+    stats.energy = computeEnergy(ein);
+    return stats;
+}
+
+} // namespace
+
+RunStats
+simulateSystem(const SystemConfig &cfg, const std::vector<AppModel> &apps)
+{
+    SystemSim sim(cfg, apps);
+    return sim.run();
+}
+
+} // namespace dmx::sys

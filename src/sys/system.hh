@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The multi-accelerator system simulator.
+ *
+ * Composes the PCIe fabric, host core pool, accelerator units, DRX
+ * units and the driver notification model into one closed-loop
+ * simulation: n_apps applications each execute requests through their
+ * kernel pipeline with the data-motion strategy of the configured
+ * placement:
+ *
+ *  - AllCpu:         kernels and restructuring on the host cores;
+ *  - MultiAxl:       kernels on accelerators, data staged through the
+ *                    host, restructuring on the host cores (the
+ *                    paper's baseline);
+ *  - IntegratedDrx:  like MultiAxl but restructuring on one DRX at the
+ *                    CPU (Figure 4(a));
+ *  - StandaloneDrx:  DRX PCIe cards shared by pairs of applications,
+ *                    peer-to-peer DMA under the switch (Figure 4(b));
+ *  - BumpInTheWire:  one DRX in front of every accelerator; local DMA
+ *                    into the DRX, p2p DMA out through the switch
+ *                    (Figure 4(d));
+ *  - PcieIntegrated: restructuring at line rate inside the switch
+ *                    (Figure 4(c)).
+ */
+
+#ifndef DMX_SYS_SYSTEM_HH
+#define DMX_SYS_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "cpu/core_pool.hh"
+#include "driver/interrupts.hh"
+#include "driver/queues.hh"
+#include "drx/machine.hh"
+#include "pcie/fabric.hh"
+#include "sys/app_model.hh"
+#include "sys/energy.hh"
+
+namespace dmx::sys
+{
+
+/** DRX placement alternatives (paper Sec. III) plus the two baselines. */
+enum class Placement
+{
+    AllCpu,
+    MultiAxl,
+    IntegratedDrx,
+    StandaloneDrx,
+    BumpInTheWire,
+    PcieIntegrated,
+};
+
+/** @return human name, e.g. "bump-in-the-wire". */
+std::string toString(Placement p);
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    Placement placement = Placement::BumpInTheWire;
+    unsigned n_apps = 1;
+    pcie::Generation gen = pcie::Generation::Gen3;
+    /// Upstream (switch-to-CPU) lane count; 0 derives it from the
+    /// generation: Gen3 CPUs expose x8 uplinks, Gen4/Gen5 CPUs provide
+    /// enough lanes for x16 uplinks (the paper's Fig. 19 discussion).
+    unsigned upstream_lanes = 0;
+    drx::DrxConfig drx;              ///< DRX hardware configuration
+    cpu::HostParams host;
+    driver::InterruptParams irq;
+    unsigned requests_per_app = 3;   ///< closed-loop requests simulated
+};
+
+/** Per-request time split (averaged), in milliseconds. */
+struct PhaseBreakdown
+{
+    double kernel_ms = 0;
+    double restructure_ms = 0;
+    double movement_ms = 0;
+
+    double
+    total() const
+    {
+        return kernel_ms + restructure_ms + movement_ms;
+    }
+};
+
+/** Results of one system simulation. */
+struct RunStats
+{
+    double avg_latency_ms = 0;        ///< mean end-to-end request latency
+    PhaseBreakdown breakdown;         ///< mean per-request split
+    double avg_throughput_rps = 0;    ///< per-app pipeline throughput
+    double bottleneck_stage_ms = 0;   ///< slowest pipeline stage
+    double makespan_ms = 0;
+    EnergyReport energy;
+    std::uint64_t interrupts = 0;
+    std::uint64_t polls = 0;
+    std::uint64_t pcie_bytes = 0;
+};
+
+/**
+ * Build and run one system.
+ *
+ * @param cfg  configuration (placement, scale, PCIe generation, ...)
+ * @param apps application models; instance i runs apps[i % apps.size()]
+ * @return aggregated latency/throughput/energy statistics
+ */
+RunStats simulateSystem(const SystemConfig &cfg,
+                        const std::vector<AppModel> &apps);
+
+} // namespace dmx::sys
+
+#endif // DMX_SYS_SYSTEM_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the benchmark suite builders: model shapes, timing
+ * plausibility, and paper-scale system behaviour with the real apps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/benchmarks.hh"
+#include "sys/system.hh"
+
+using namespace dmx;
+using namespace dmx::apps;
+using namespace dmx::sys;
+
+namespace
+{
+
+/** Build the suite once; the builders run the functional kernels. */
+const std::vector<AppModel> &
+suite()
+{
+    static const std::vector<AppModel> s = [] {
+        SuiteParams p;
+        return standardSuite(p);
+    }();
+    return s;
+}
+
+} // namespace
+
+TEST(AppSuite, FiveTableIApplications)
+{
+    ASSERT_EQ(suite().size(), 5u);
+    EXPECT_EQ(suite()[0].name, "video_surveillance");
+    EXPECT_EQ(suite()[1].name, "sound_detection");
+    EXPECT_EQ(suite()[2].name, "brain_stimulation");
+    EXPECT_EQ(suite()[3].name, "personal_info_redaction");
+    EXPECT_EQ(suite()[4].name, "database_hash_join");
+}
+
+TEST(AppSuite, PipelinesAreWellFormed)
+{
+    for (const AppModel &app : suite()) {
+        EXPECT_EQ(app.kernels.size(), 2u) << app.name;
+        EXPECT_EQ(app.motions.size(), 1u) << app.name;
+        for (const auto &k : app.kernels) {
+            EXPECT_GT(k.cpu_core_seconds, 0.0) << app.name;
+            EXPECT_GT(k.accel_cycles, 0u) << app.name;
+            EXPECT_GT(k.out_bytes, 0u) << app.name;
+        }
+        for (const auto &m : app.motions) {
+            EXPECT_GT(m.cpu_core_seconds, 0.0) << app.name;
+            EXPECT_GT(m.drx_cycles, 0u) << app.name;
+        }
+    }
+}
+
+TEST(AppSuite, IntermediateBatchesMatchPaperRange)
+{
+    // Sec. IV-A: restructured batches are 6-16 MB.
+    for (const AppModel &app : suite()) {
+        const auto &m = app.motions[0];
+        EXPECT_GE(m.in_bytes, 6 * mib) << app.name;
+        EXPECT_LE(m.in_bytes, 17 * mib) << app.name;
+    }
+}
+
+TEST(AppSuite, AcceleratorsBeatHostOnKernels)
+{
+    // Paper Fig. 3(b): geomean per-kernel accelerator speedup ~6.5x
+    // against the multicore host share a kernel job can actually use.
+    double log_sum = 0;
+    int count = 0;
+    cpu::HostParams host;
+    for (const AppModel &app : suite()) {
+        for (const auto &k : app.kernels) {
+            const double cores = k.max_host_cores > 0
+                                     ? k.max_host_cores
+                                     : host.max_job_cores;
+            const double host_wall_ms =
+                k.cpu_core_seconds / cores * 1e3;
+            const double accel_ms =
+                static_cast<double>(k.accel_cycles) / k.accel_freq_hz *
+                1e3;
+            const double speedup = host_wall_ms / accel_ms;
+            EXPECT_GT(speedup, 1.2) << app.name << ":" << k.name;
+            EXPECT_LT(speedup, 60.0) << app.name << ":" << k.name;
+            log_sum += std::log(speedup);
+            ++count;
+        }
+    }
+    const double geomean = std::exp(log_sum / count);
+    EXPECT_GT(geomean, 3.0);
+    EXPECT_LT(geomean, 15.0);
+}
+
+TEST(AppSuite, DrxBeatsHostOnRestructuring)
+{
+    cpu::HostParams host;
+    for (const AppModel &app : suite()) {
+        const auto &m = app.motions[0];
+        const double host_wall_ms =
+            m.cpu_core_seconds / host.max_job_cores * 1e3;
+        const double drx_ms = static_cast<double>(m.drx_cycles) / 1e9 *
+                              1e3; // 1 GHz ASIC
+        // The DB columnar/partition op is DRAM-random-bound on both
+        // sides, so its solo advantage is modest; the others are large.
+        EXPECT_GT(host_wall_ms / drx_ms, 0.9) << app.name;
+    }
+}
+
+TEST(AppSuite, MultiAxlRestructureShareInPaperRange)
+{
+    // Paper Fig. 12(a): restructuring is 55.7%-71.7% of baseline
+    // end-to-end latency across concurrency levels.
+    SystemConfig cfg;
+    cfg.placement = Placement::MultiAxl;
+    cfg.n_apps = 5;
+    const RunStats stats = simulateSystem(cfg, suite());
+    const double share =
+        stats.breakdown.restructure_ms / stats.breakdown.total();
+    EXPECT_GT(share, 0.40);
+    EXPECT_LT(share, 0.85);
+}
+
+TEST(AppSuite, DmxEndToEndSpeedupInPaperRange)
+{
+    // Paper Fig. 11: 3.5x (1 app) to 8.2x (15 apps) average speedup.
+    SystemConfig base, dmx;
+    base.placement = Placement::MultiAxl;
+    dmx.placement = Placement::BumpInTheWire;
+    base.n_apps = dmx.n_apps = 5;
+    const double speedup =
+        simulateSystem(base, suite()).avg_latency_ms /
+        simulateSystem(dmx, suite()).avg_latency_ms;
+    EXPECT_GT(speedup, 2.0);
+    EXPECT_LT(speedup, 15.0);
+}
+
+TEST(AppSuite, NerExtensionHasThreeKernels)
+{
+    SuiteParams p;
+    const AppModel app = buildPersonalInfoRedactionNer(p);
+    EXPECT_EQ(app.kernels.size(), 3u);
+    EXPECT_EQ(app.motions.size(), 2u);
+    // Fig. 16: the NER kernel dominates compute.
+    const double ner_ms = static_cast<double>(app.kernels[2].accel_cycles) /
+                          app.kernels[2].accel_freq_hz;
+    const double k1_ms = static_cast<double>(app.kernels[0].accel_cycles) /
+                         app.kernels[0].accel_freq_hz;
+    EXPECT_GT(ner_ms, k1_ms);
+}
+
+TEST(AppSuite, RestructureSuiteMatchesApps)
+{
+    const auto rs = restructureSuite(16);
+    ASSERT_EQ(rs.size(), 5u);
+    for (const auto &nr : rs) {
+        EXPECT_FALSE(nr.kernel.stages.empty()) << nr.app;
+        EXPECT_EQ(nr.input.size(), nr.kernel.input.bytes()) << nr.app;
+    }
+    // The video restructuring is flagged as the branchy outlier.
+    EXPECT_GT(rs[0].branch_rate, rs[1].branch_rate);
+}
+
+TEST(AppSuite, DeterministicRebuild)
+{
+    SuiteParams p;
+    const AppModel a = buildSoundDetection(p);
+    const AppModel b = buildSoundDetection(p);
+    EXPECT_EQ(a.kernels[0].accel_cycles, b.kernels[0].accel_cycles);
+    EXPECT_EQ(a.motions[0].drx_cycles, b.motions[0].drx_cycles);
+    EXPECT_DOUBLE_EQ(a.motions[0].cpu_core_seconds,
+                     b.motions[0].cpu_core_seconds);
+}
+
+TEST(AppSuite, LaneCountAffectsDrxCycles)
+{
+    SuiteParams wide, narrow;
+    narrow.drx.lanes = 16;
+    const AppModel a = buildSoundDetection(wide);   // 128 lanes
+    const AppModel b = buildSoundDetection(narrow); // 16 lanes
+    EXPECT_LT(a.motions[0].drx_cycles, b.motions[0].drx_cycles);
+}

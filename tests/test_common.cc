@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for src/common: logging, stats, units, RNG, strings, table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+using namespace dmx;
+
+TEST(Logging, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("a=%d b=%s", 3, "x"), "a=3 b=x");
+    EXPECT_EQ(strprintf("%.2f", 1.005), "1.00");
+    EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(dmx_panic("boom %d", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(dmx_fatal("user error"), std::runtime_error);
+}
+
+TEST(Logging, WarnIncrementsCounter)
+{
+    const auto before = warnCount();
+    dmx_warn("something mildly wrong");
+    EXPECT_EQ(warnCount(), before + 1);
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(dmx_assert(1 + 1 == 2, "math works"));
+    EXPECT_THROW(dmx_assert(false, "must fail"), std::logic_error);
+}
+
+TEST(Units, TickConversionsRoundTrip)
+{
+    EXPECT_EQ(tick_per_s, 1000000000000ull);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(tick_per_s), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(tick_per_ms * 5), 5.0);
+    EXPECT_EQ(secondsToTicks(0.001), tick_per_ms);
+}
+
+TEST(Units, ClockDomainPeriod)
+{
+    ClockDomain ghz{1e9};
+    EXPECT_EQ(ghz.period(), 1000u); // 1 ns in ps
+    EXPECT_EQ(ghz.cyclesToTicks(250), 250000u);
+
+    ClockDomain fpga{250e6};
+    EXPECT_EQ(fpga.period(), 4000u);
+}
+
+TEST(Units, TicksToCyclesRoundsUp)
+{
+    ClockDomain ghz{1e9};
+    EXPECT_EQ(ghz.ticksToCycles(1000), 1u);
+    EXPECT_EQ(ghz.ticksToCycles(1001), 2u);
+    EXPECT_EQ(ghz.ticksToCycles(0), 0u);
+}
+
+TEST(Units, TransferTicks)
+{
+    // 1 GiB/s moving 1 MiB -> ~1/1024 s.
+    const Tick t = transferTicks(mib, 1.0 * gib);
+    EXPECT_NEAR(ticksToSeconds(t), 1.0 / 1024.0, 1e-9);
+    EXPECT_EQ(transferTicks(0, 1e9), 0u);
+    EXPECT_GE(transferTicks(1, 1e30), 1u); // never zero for nonzero bytes
+}
+
+TEST(Random, Deterministic)
+{
+    Rng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool any_diff = false;
+    Rng a2(123);
+    for (int i = 0; i < 100; ++i)
+        any_diff |= a2.next() != c.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Random, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Random, UniformRangeAndMean)
+{
+    Rng rng(99);
+    double sum = 0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Random, ExponentialMean)
+{
+    Rng rng(5);
+    double sum = 0;
+    constexpr int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(3.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Random, BetweenInclusive)
+{
+    Rng rng(1);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.between(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::StatGroup group("g");
+    stats::Scalar s(&group, "s", "test scalar");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageMean)
+{
+    stats::Average avg(nullptr, "a", "test avg");
+    EXPECT_DOUBLE_EQ(avg.mean(), 0.0);
+    avg.sample(2);
+    avg.sample(4);
+    EXPECT_DOUBLE_EQ(avg.mean(), 3.0);
+    EXPECT_EQ(avg.count(), 2u);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    stats::Distribution d(nullptr, "d", "dist", 0, 10, 10);
+    d.sample(-1);   // underflow
+    d.sample(0);    // bucket 0
+    d.sample(9.5);  // bucket 9
+    d.sample(10);   // overflow
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[9], 1u);
+    EXPECT_DOUBLE_EQ(d.minSample(), -1);
+    EXPECT_DOUBLE_EQ(d.maxSample(), 10);
+}
+
+TEST(Stats, DistributionRejectsBadSpec)
+{
+    EXPECT_THROW(stats::Distribution(nullptr, "d", "x", 5, 5, 4),
+                 std::logic_error);
+    EXPECT_THROW(stats::Distribution(nullptr, "d", "x", 0, 1, 0),
+                 std::logic_error);
+}
+
+TEST(Stats, FormulaEvaluatesAtReadTime)
+{
+    stats::StatGroup group("g");
+    stats::Scalar a(&group, "a", "a");
+    stats::Formula f(&group, "f", "2a", [&] { return 2 * a.value(); });
+    a += 3;
+    EXPECT_DOUBLE_EQ(f.value(), 6.0);
+    a += 1;
+    EXPECT_DOUBLE_EQ(f.value(), 8.0);
+}
+
+TEST(Stats, GroupDumpContainsNames)
+{
+    stats::StatGroup group("sys");
+    stats::Scalar a(&group, "sys.counter", "the counter");
+    a += 7;
+    std::ostringstream os;
+    group.dumpAll(os);
+    EXPECT_NE(os.str().find("sys.counter"), std::string::npos);
+    EXPECT_NE(os.str().find('7'), std::string::npos);
+}
+
+TEST(StrUtil, SplitJoinRoundTrip)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(StrUtil, Trim)
+{
+    EXPECT_EQ(trim("  x y \t\n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StrUtil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("fig11_speedup", "fig11"));
+    EXPECT_FALSE(startsWith("fig", "fig11"));
+}
+
+TEST(StrUtil, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512.0 B");
+    EXPECT_EQ(formatBytes(8 * 1024 * 1024), "8.0 MiB");
+}
+
+TEST(TableTest, PrintAlignsAndCsv)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"alpha", Table::num(1.5)});
+    t.row({"b", "2"});
+    EXPECT_EQ(t.rows(), 2u);
+
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("demo"), std::string::npos);
+    EXPECT_NE(os.str().find("alpha"), std::string::npos);
+
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_EQ(csv.str(), "name,value\nalpha,1.50\nb,2\n");
+}

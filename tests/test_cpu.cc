@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the host CPU model: roofline timing, the malleable
+ * core pool, and the top-down characterization (Figure 5 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.hh"
+#include "cpu/core_pool.hh"
+#include "cpu/host_model.hh"
+#include "cpu/topdown.hh"
+#include "restructure/catalog.hh"
+
+using namespace dmx;
+using namespace dmx::cpu;
+
+TEST(HostModel, ComputeBoundKernel)
+{
+    HostParams host;
+    kernels::OpCount ops;
+    ops.flops = 1'000'000'000; // 1 Gflop, tiny traffic
+    ops.bytes_read = 1024;
+    const double sec = kernelCoreSeconds(ops, host);
+    EXPECT_NEAR(sec, 1e9 / (host.flops_per_cycle * host.freq_hz), 1e-6);
+}
+
+TEST(HostModel, MemoryBoundRestructure)
+{
+    HostParams host;
+    kernels::OpCount ops;
+    ops.flops = 1000; // negligible compute
+    ops.bytes_read = 8 * mib;
+    ops.bytes_written = 8 * mib;
+    const double sec = restructureCoreSeconds(ops, host);
+    const double expect = static_cast<double>(16 * mib) *
+                              host.thrash_factor /
+                              host.core_mem_bytes_per_sec +
+                          host.restructure_spawn_core_seconds;
+    EXPECT_NEAR(sec, expect, expect * 1e-9);
+}
+
+TEST(HostModel, ThrashFactorOnlyAppliesToRestructuring)
+{
+    HostParams host;
+    kernels::OpCount ops;
+    ops.bytes_read = 16 * mib;
+    EXPECT_GT(restructureCoreSeconds(ops, host),
+              kernelCoreSeconds(ops, host));
+}
+
+TEST(CorePool, SingleJobRunsAtCap)
+{
+    sim::EventQueue eq;
+    CorePool pool(eq, "pool", 16, 4);
+    Tick done_at = 0;
+    pool.submit(4.0, [&] { done_at = eq.now(); }); // 4 core-seconds
+    eq.run();
+    // Capped at 4 cores -> 1 second wall.
+    EXPECT_NEAR(ticksToSeconds(done_at), 1.0, 0.01);
+    EXPECT_NEAR(pool.busyCoreSeconds(), 4.0, 0.01);
+}
+
+TEST(CorePool, ManyJobsShareCores)
+{
+    sim::EventQueue eq;
+    CorePool pool(eq, "pool", 16, 4);
+    // 16 jobs of 1 core-second each: 16 core-seconds over 16 cores
+    // (each job gets 1 core) -> all finish at ~1 s.
+    std::vector<Tick> done(16, 0);
+    for (int i = 0; i < 16; ++i)
+        pool.submit(1.0, [&done, i, &eq] { done[static_cast<std::size_t>(
+            i)] = eq.now(); });
+    eq.run();
+    for (Tick t : done)
+        EXPECT_NEAR(ticksToSeconds(t), 1.0, 0.02);
+}
+
+TEST(CorePool, OversubscriptionSlowsEveryone)
+{
+    // 32 jobs on 16 cores: fair share 0.5 cores -> 2 s for 1 core-sec.
+    sim::EventQueue eq;
+    CorePool pool(eq, "pool", 16, 4);
+    Tick last = 0;
+    for (int i = 0; i < 32; ++i)
+        pool.submit(1.0, [&] { last = std::max(last, eq.now()); });
+    eq.run();
+    EXPECT_NEAR(ticksToSeconds(last), 2.0, 0.05);
+    EXPECT_EQ(pool.completedJobs(), 32u);
+}
+
+TEST(CorePool, LateArrivalsInterleave)
+{
+    sim::EventQueue eq;
+    CorePool pool(eq, "pool", 4, 4);
+    Tick first_done = 0, second_done = 0;
+    pool.submit(4.0, [&] { first_done = eq.now(); }); // 1 s alone
+    eq.schedule(secondsToTicks(0.5), [&] {
+        pool.submit(2.0, [&] { second_done = eq.now(); });
+    });
+    eq.run();
+    // After 0.5 s the pool splits 4 cores between two jobs (2 each).
+    // First job: 2 of 4 core-sec left at t=0.5, rate 2 -> done at 1.5.
+    EXPECT_NEAR(ticksToSeconds(first_done), 1.5, 0.05);
+    EXPECT_NEAR(ticksToSeconds(second_done), 1.5, 0.05);
+}
+
+TEST(CorePool, ZeroWorkCompletesImmediately)
+{
+    sim::EventQueue eq;
+    CorePool pool(eq, "pool", 2, 2);
+    bool ran = false;
+    pool.submit(0.0, [&] { ran = true; });
+    eq.run();
+    EXPECT_TRUE(ran);
+    EXPECT_LT(eq.now(), tick_per_us);
+}
+
+TEST(TopDown, RestructuringIsBackendMemoryBound)
+{
+    // Paper Fig. 5: backend 53%-77.6%, mostly memory; the streaming
+    // batches give 50-215 L1D MPKI and tiny L1I MPKI.
+    const auto kernel = restructure::melSpectrogram(64, 513, 128);
+    restructure::Bytes input(kernel.input.bytes());
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<std::uint8_t>(i * 13);
+    const TopDownReport rep = characterize(kernel, input);
+
+    EXPECT_GT(rep.backend(), 0.45);
+    EXPECT_LT(rep.backend(), 0.85);
+    EXPECT_GT(rep.backend_memory, rep.backend_core);
+    EXPECT_LT(rep.frontend, 0.15);
+    EXPECT_LT(rep.bad_speculation, 0.13);
+    const double sum = rep.retiring + rep.frontend +
+                       rep.bad_speculation + rep.backend_core +
+                       rep.backend_memory;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TopDown, LowInstructionCacheMpki)
+{
+    const auto kernel =
+        restructure::textRecordRestructure(64 * 1024, 256, 320);
+    restructure::Bytes input(kernel.input.bytes(), 'x');
+    const TopDownReport rep = characterize(kernel, input);
+    EXPECT_LT(rep.mpki.l1i, 5.0);  // tiny loop bodies
+    // Byte-granular text restructuring still streams (one miss per
+    // line), though its per-instruction MPKI is below the f32 kernels'.
+    EXPECT_GT(rep.mpki.l1d, 2.0);
+}
+
+TEST(TopDown, BranchRateRaisesBadSpeculation)
+{
+    const auto kernel = restructure::dbColumnarize(4096);
+    restructure::Bytes input(kernel.input.bytes(), 1);
+    TopDownParams calm, branchy;
+    branchy.branch_rate = 0.25;
+    const auto a = characterize(kernel, input, calm);
+    const auto b = characterize(kernel, input, branchy);
+    EXPECT_GT(b.bad_speculation, a.bad_speculation * 2);
+}
+
+TEST(TopDown, SuiteMatchesPaperEnvelope)
+{
+    // Every Figure-5 restructuring op must land in the paper's bands.
+    for (const auto &nr : apps::restructureSuite(64)) {
+        cpu::TopDownParams params;
+        params.branch_rate = nr.branch_rate;
+        const TopDownReport rep =
+            characterize(nr.kernel, nr.input, params);
+        EXPECT_GT(rep.backend(), 0.40) << nr.app;
+        EXPECT_LT(rep.frontend, 0.20) << nr.app;
+        EXPECT_LT(rep.bad_speculation, 0.15) << nr.app;
+        EXPECT_LT(rep.mpki.l1i, 8.0) << nr.app;
+    }
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the driver layer: interrupt coalescing / NAPI mode
+ * switching and the DRX RX/TX data-queue partitioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/interrupts.hh"
+#include "driver/queues.hh"
+
+using namespace dmx;
+using namespace dmx::driver;
+
+TEST(Interrupts, SparseEventsStayInInterruptMode)
+{
+    sim::EventQueue eq;
+    InterruptController irq(eq, "irq");
+    for (int i = 0; i < 20; ++i) {
+        eq.scheduleIn(tick_per_ms, [&] { irq.notify(); });
+        eq.run();
+    }
+    EXPECT_FALSE(irq.polling());
+    EXPECT_EQ(irq.interruptsDelivered(), 20u);
+    EXPECT_EQ(irq.pollsDelivered(), 0u);
+}
+
+TEST(Interrupts, HighRateSwitchesToPolling)
+{
+    sim::EventQueue eq;
+    InterruptController irq(eq, "irq");
+    // 1 MHz completion rate, far above the 50 kHz threshold.
+    for (int i = 0; i < 200; ++i) {
+        eq.scheduleIn(tick_per_us, [&] { irq.notify(); });
+        eq.run();
+    }
+    EXPECT_TRUE(irq.polling());
+    EXPECT_GT(irq.pollsDelivered(), 0u);
+    EXPECT_GT(irq.estimatedRateHz(), irq.params().polling_threshold_hz);
+}
+
+TEST(Interrupts, PollingLatencyIsLower)
+{
+    sim::EventQueue eq;
+    InterruptController irq(eq, "irq");
+    Tick first = 0, later = 0;
+    eq.schedule(1, [&] { first = irq.notify(); });
+    eq.run();
+    for (int i = 0; i < 300; ++i) {
+        eq.scheduleIn(tick_per_us, [&] { later = irq.notify(); });
+        eq.run();
+    }
+    EXPECT_TRUE(irq.polling());
+    EXPECT_LT(later, first);
+}
+
+TEST(Interrupts, HysteresisReturnsToInterrupts)
+{
+    sim::EventQueue eq;
+    InterruptParams params;
+    params.rate_alpha = 0.9; // adapt fast for the test
+    InterruptController irq(eq, "irq", params);
+    for (int i = 0; i < 100; ++i) {
+        eq.scheduleIn(tick_per_us, [&] { irq.notify(); });
+        eq.run();
+    }
+    EXPECT_TRUE(irq.polling());
+    for (int i = 0; i < 20; ++i) {
+        eq.scheduleIn(10 * tick_per_ms, [&] { irq.notify(); });
+        eq.run();
+    }
+    EXPECT_FALSE(irq.polling());
+}
+
+TEST(Interrupts, BurstsGetCoalesced)
+{
+    sim::EventQueue eq;
+    InterruptParams params;
+    params.polling_threshold_hz = 1e12; // never switch to polling
+    InterruptController irq(eq, "irq", params);
+    Tick max_latency = 0;
+    for (int i = 0; i < 10; ++i) {
+        eq.scheduleIn(100, [&] { // 100 ps apart: a burst
+            max_latency = std::max(max_latency, irq.notify());
+        });
+        eq.run();
+    }
+    EXPECT_GT(irq.coalescedBursts(), 0u);
+    EXPECT_GE(max_latency,
+              params.interrupt_latency + params.coalesce_delay);
+}
+
+TEST(Interrupts, ChargesHostCpuWork)
+{
+    sim::EventQueue eq;
+    cpu::CorePool pool(eq, "pool", 4, 4);
+    InterruptController irq(eq, "irq", {}, &pool);
+    for (int i = 0; i < 50; ++i) {
+        eq.scheduleIn(tick_per_ms, [&] { irq.notify(); });
+        eq.run();
+    }
+    EXPECT_NEAR(pool.busyCoreSeconds(),
+                50 * irq.params().cpu_work_per_irq, 1e-6);
+}
+
+TEST(DataQueueTest, PushPopAndBackpressure)
+{
+    DataQueue q(100);
+    EXPECT_TRUE(q.push(60));
+    EXPECT_EQ(q.used(), 60u);
+    EXPECT_FALSE(q.push(50)); // would overflow
+    q.pop(30);
+    EXPECT_TRUE(q.push(50));
+    EXPECT_EQ(q.used(), 80u);
+    EXPECT_EQ(q.highWater(), 80u);
+}
+
+TEST(DataQueueTest, PopBeyondUsedPanics)
+{
+    DataQueue q(100);
+    q.push(10);
+    EXPECT_THROW(q.pop(11), std::logic_error);
+}
+
+TEST(DrxQueuesTest, PaperPartitioningSupports40Accelerators)
+{
+    // 8 GB of queue memory at 100 MB per pair, two pairs per peer.
+    EXPECT_EQ(DrxQueues::maxPeers(8ull * gib, 100ull * mib), 40u);
+}
+
+TEST(DrxQueuesTest, SeparateQueuesPerPeerAndKind)
+{
+    DrxQueues qs(8ull * gib, 100ull * mib, 4);
+    qs.rx(1, PeerKind::Accelerator).push(1000);
+    EXPECT_EQ(qs.rx(1, PeerKind::Accelerator).used(), 1000u);
+    EXPECT_EQ(qs.rx(1, PeerKind::Drx).used(), 0u);
+    EXPECT_EQ(qs.tx(1, PeerKind::Accelerator).used(), 0u);
+    EXPECT_EQ(qs.rx(2, PeerKind::Accelerator).used(), 0u);
+}
+
+TEST(DrxQueuesTest, RejectsOverSubscription)
+{
+    EXPECT_THROW(DrxQueues(1ull * gib, 100ull * mib, 6),
+                 std::runtime_error); // only 5 fit
+    EXPECT_NO_THROW(DrxQueues(1ull * gib, 100ull * mib, 5));
+}
+
+TEST(DrxQueuesTest, BadPeerIndexIsFatal)
+{
+    DrxQueues qs(8ull * gib, 100ull * mib, 2);
+    EXPECT_THROW(qs.rx(2, PeerKind::Accelerator), std::runtime_error);
+}

@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Unit tests for the DRX: ISA/program validation, machine semantics,
+ * timing model properties, and compiler correctness (DRX output must
+ * match the CPU reference executor for every catalog kernel).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.hh"
+#include "drx/compiler.hh"
+#include "drx/machine.hh"
+#include "drx/program.hh"
+#include "restructure/catalog.hh"
+#include "restructure/cpu_exec.hh"
+
+using namespace dmx;
+using namespace dmx::drx;
+using restructure::Bytes;
+using restructure::Kernel;
+
+namespace
+{
+
+Bytes
+floatBytes(const std::vector<float> &v)
+{
+    Bytes b(v.size() * 4);
+    std::memcpy(b.data(), v.data(), b.size());
+    return b;
+}
+
+std::vector<float>
+toFloats(const Bytes &b)
+{
+    std::vector<float> v(b.size() / 4);
+    std::memcpy(v.data(), b.data(), b.size());
+    return v;
+}
+
+Bytes
+randomInput(const restructure::BufferDesc &desc, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Bytes out(desc.bytes());
+    if (desc.dtype == DType::F32) {
+        for (std::size_t i = 0; i < desc.elems(); ++i) {
+            const float v = static_cast<float>(rng.uniform(-2.0, 2.0));
+            std::memcpy(&out[i * 4], &v, 4);
+        }
+    } else {
+        for (auto &b : out)
+            b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    return out;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ program
+
+TEST(DrxProgram, BuilderProducesValidProgram)
+{
+    Program p = ProgramBuilder("t")
+                    .loop(0, 4)
+                    .streamCfg(0, 0, DType::F32, 8, 0, 0, 8)
+                    .sync()
+                    .load(0, 0)
+                    .compute1(VFunc::MulS, 1, 0, 2.0f)
+                    .store(0, 1)
+                    .build();
+    EXPECT_EQ(p.bodySize(), 3u);
+    EXPECT_NE(p.disassemble().find("cfg.loop"), std::string::npos);
+    EXPECT_NE(p.disassemble().find("v.muls"), std::string::npos);
+}
+
+TEST(DrxProgram, ValidationCatchesStructuralErrors)
+{
+    // Body before sync.
+    {
+        ProgramBuilder b("bad");
+        b.streamCfg(0, 0, DType::F32, 1, 0, 0, 1);
+        b.load(0, 0);
+        EXPECT_THROW(b.sync().build(), std::runtime_error);
+    }
+    // Missing sync.
+    {
+        ProgramBuilder b("bad2");
+        b.loop(0, 1);
+        EXPECT_THROW(b.build(), std::runtime_error);
+    }
+    // Tile too large.
+    {
+        ProgramBuilder b("bad3");
+        EXPECT_THROW(b.streamCfg(0, 0, DType::F32, 0, 0, 0,
+                                 max_tile_elems + 1)
+                         .sync()
+                         .build(),
+                     std::runtime_error);
+    }
+    // Bad loop dim.
+    {
+        ProgramBuilder b("bad4");
+        EXPECT_THROW(b.loop(3, 2).sync().build(), std::runtime_error);
+    }
+}
+
+// ------------------------------------------------------------ machine
+
+TEST(DrxMachine, AllocAndReadWrite)
+{
+    DrxMachine m;
+    const auto a = m.alloc(100);
+    const auto b = m.alloc(100);
+    EXPECT_GE(b, a + 100);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    const Bytes data{1, 2, 3};
+    m.write(a, data.data(), 3);
+    EXPECT_EQ(m.read(a, 3), data);
+}
+
+TEST(DrxMachine, AllocExhaustionIsFatal)
+{
+    DrxConfig cfg;
+    cfg.dram_bytes = 1024;
+    DrxMachine m(cfg);
+    m.alloc(512);
+    EXPECT_THROW(m.alloc(1024), std::runtime_error);
+}
+
+TEST(DrxMachine, ScaleProgramComputesCorrectly)
+{
+    DrxMachine m;
+    const auto in = m.alloc(16 * 4);
+    const auto out = m.alloc(16 * 4);
+    const auto data = floatBytes(
+        {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+    m.write(in, data.data(), data.size());
+
+    Program p = ProgramBuilder("scale2")
+                    .loop(0, 4)
+                    .streamCfg(0, in, DType::F32, 4, 0, 0, 4)
+                    .streamCfg(1, out, DType::F32, 4, 0, 0, 4)
+                    .sync()
+                    .load(0, 0)
+                    .compute1(VFunc::MulS, 1, 0, 2.0f)
+                    .store(1, 1)
+                    .build();
+    const RunResult res = m.run(p);
+    const auto v = toFloats(m.read(out, 16 * 4));
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FLOAT_EQ(v[static_cast<std::size_t>(i)], 2.0f * i);
+    EXPECT_EQ(res.bytes_read, 64u);
+    EXPECT_EQ(res.bytes_written, 64u);
+    EXPECT_GT(res.total_cycles, 0u);
+}
+
+TEST(DrxMachine, DepthHoistingExecutesOncePerOuter)
+{
+    // Two-dim loop; a depth-0 load runs only when the inner index is 0.
+    DrxMachine m;
+    const auto in = m.alloc(4 * 4);
+    const auto out = m.alloc(3 * 4 * 4);
+    const auto data = floatBytes({10, 20, 30, 40});
+    m.write(in, data.data(), data.size());
+
+    Program p = ProgramBuilder("hoist")
+                    .loop(0, 1)
+                    .loop(1, 3)
+                    .streamCfg(0, in, DType::F32, 0, 0, 0, 4)
+                    .streamCfg(1, out, DType::F32, 0, 4, 0, 4)
+                    .sync()
+                    .load(0, 0)
+                    .at(0) // hoisted: loads once
+                    .store(1, 0)
+                    .build();
+    const RunResult res = m.run(p);
+    EXPECT_EQ(res.bytes_read, 16u);       // one load, not three
+    EXPECT_EQ(res.bytes_written, 48u);    // three stores
+    const auto v = toFloats(m.read(out, 48));
+    EXPECT_FLOAT_EQ(v[0], 10);
+    EXPECT_FLOAT_EQ(v[4], 10);
+    EXPECT_FLOAT_EQ(v[11], 40);
+}
+
+TEST(DrxMachine, PostPlacementRunsAtEpilogue)
+{
+    // Accumulate 4 tiles, store once at the last inner iteration.
+    DrxMachine m;
+    const auto in = m.alloc(16 * 4);
+    const auto out = m.alloc(4 * 4);
+    std::vector<float> vals(16);
+    for (int i = 0; i < 16; ++i)
+        vals[static_cast<std::size_t>(i)] = static_cast<float>(i);
+    const auto data = floatBytes(vals);
+    m.write(in, data.data(), data.size());
+
+    Program p = ProgramBuilder("acc")
+                    .loop(0, 1)
+                    .loop(1, 4)
+                    .streamCfg(0, in, DType::F32, 0, 4, 0, 4)
+                    .streamCfg(1, out, DType::F32, 0, 0, 0, 4)
+                    .sync()
+                    .fill(2, 0.0f, 4)
+                    .at(0)
+                    .load(0, 0)
+                    .compute(VFunc::Add, 2, 2, 0)
+                    .store(1, 2)
+                    .at(0, true)
+                    .build();
+    const RunResult res = m.run(p);
+    EXPECT_EQ(res.bytes_written, 16u); // a single store
+    const auto v = toFloats(m.read(out, 16));
+    // Column sums of the 4x4 matrix laid out row-major.
+    EXPECT_FLOAT_EQ(v[0], 0 + 4 + 8 + 12);
+    EXPECT_FLOAT_EQ(v[3], 3 + 7 + 11 + 15);
+}
+
+TEST(DrxMachine, GatherCoalescesConsecutiveRuns)
+{
+    DrxMachine m;
+    const auto table = m.alloc(1024 * 4);
+    const auto idx_seq = m.alloc(256 * 4);
+    const auto idx_rand = m.alloc(256 * 4);
+    const auto out = m.alloc(256 * 4);
+
+    std::vector<std::int32_t> seq(256), rnd(256);
+    Rng rng(1);
+    for (int i = 0; i < 256; ++i) {
+        seq[static_cast<std::size_t>(i)] = i;
+        rnd[static_cast<std::size_t>(i)] =
+            static_cast<std::int32_t>(rng.below(1024) & ~1ull);
+    }
+    m.write(idx_seq, reinterpret_cast<std::uint8_t *>(seq.data()), 1024);
+    m.write(idx_rand, reinterpret_cast<std::uint8_t *>(rnd.data()), 1024);
+
+    auto gather_prog = [&](std::uint64_t idx_addr) {
+        return ProgramBuilder("g")
+            .loop(0, 1)
+            .streamCfg(0, idx_addr, DType::I32, 0, 0, 0, 256)
+            .streamCfg(1, table, DType::F32, 0, 0, 0, 256)
+            .streamCfg(2, out, DType::F32, 0, 0, 0, 256)
+            .sync()
+            .load(0, 0)
+            .gather(1, 1, 0)
+            .store(2, 1)
+            .build();
+    };
+    const RunResult seq_res = m.run(gather_prog(idx_seq));
+    const RunResult rand_res = m.run(gather_prog(idx_rand));
+    // Random gathers pay burst-granularity penalties.
+    EXPECT_GT(rand_res.mem_cycles, seq_res.mem_cycles * 4);
+}
+
+TEST(DrxMachine, TimingLaneScaling)
+{
+    // Compute-heavy program: more lanes -> fewer compute cycles.
+    auto run_with_lanes = [](unsigned lanes) {
+        DrxConfig cfg;
+        cfg.lanes = lanes;
+        DrxMachine m(cfg);
+        const auto in = m.alloc(2048 * 4);
+        const auto out = m.alloc(2048 * 4);
+        Program p = ProgramBuilder("heavy")
+                        .loop(0, 2)
+                        .streamCfg(0, in, DType::F32, 1024, 0, 0, 1024)
+                        .streamCfg(1, out, DType::F32, 1024, 0, 0, 1024)
+                        .sync()
+                        .load(0, 0)
+                        .compute1(VFunc::Sqrt, 1, 0)
+                        .compute1(VFunc::Exp, 1, 1)
+                        .compute1(VFunc::Log1p, 1, 1)
+                        .store(1, 1)
+                        .build();
+        return m.run(p).compute_cycles;
+    };
+    const auto c32 = run_with_lanes(32);
+    const auto c128 = run_with_lanes(128);
+    EXPECT_GT(c32, c128 * 3);
+}
+
+TEST(DrxMachine, DoubleBufferOverlapsComputeAndMemory)
+{
+    DrxConfig with, without;
+    without.double_buffer = false;
+    auto run = [](DrxConfig cfg) {
+        DrxMachine m(cfg);
+        const auto in = m.alloc(4096 * 4);
+        const auto out = m.alloc(4096 * 4);
+        Program p = ProgramBuilder("x")
+                        .loop(0, 4)
+                        .streamCfg(0, in, DType::F32, 1024, 0, 0, 1024)
+                        .streamCfg(1, out, DType::F32, 1024, 0, 0, 1024)
+                        .sync()
+                        .load(0, 0)
+                        .compute1(VFunc::Sqrt, 1, 0)
+                        .store(1, 1)
+                        .build();
+        return m.run(p).total_cycles;
+    };
+    EXPECT_LT(run(with), run(without));
+}
+
+TEST(DrxMachine, SoftwareLoopsCostMore)
+{
+    DrxConfig hw, sw;
+    sw.hardware_loops = false;
+    auto run = [](DrxConfig cfg) {
+        DrxMachine m(cfg);
+        const auto in = m.alloc(1024 * 4);
+        Program p = ProgramBuilder("x")
+                        .loop(0, 256)
+                        .streamCfg(0, in, DType::F32, 4, 0, 0, 4)
+                        .sync()
+                        .load(0, 0)
+                        .compute1(VFunc::MulS, 1, 0, 1.5f)
+                        .store(0, 1)
+                        .build();
+        return m.run(p).compute_cycles;
+    };
+    EXPECT_GT(run(sw), run(hw) + 256 * 7);
+}
+
+TEST(DrxMachine, OutOfRangeAccessIsFatal)
+{
+    DrxConfig cfg;
+    cfg.dram_bytes = 4096;
+    DrxMachine m(cfg);
+    Program p = ProgramBuilder("oob")
+                    .loop(0, 1)
+                    .streamCfg(0, 4000, DType::F32, 0, 0, 0, 64)
+                    .sync()
+                    .load(0, 0)
+                    .build();
+    EXPECT_THROW(m.run(p), std::runtime_error);
+}
+
+TEST(DrxMachine, ScratchpadOverflowIsFatal)
+{
+    DrxConfig cfg;
+    cfg.scratch_bytes = 1024; // tiny scratchpad
+    DrxMachine m(cfg);
+    const auto in = m.alloc(4096);
+    Program p = ProgramBuilder("big")
+                    .loop(0, 1)
+                    .streamCfg(0, in, DType::F32, 0, 0, 0, 1024)
+                    .sync()
+                    .load(0, 0)
+                    .build();
+    EXPECT_THROW(m.run(p), std::runtime_error);
+}
+
+TEST(DrxMachine, FpgaClockRunsSlowerInWallClock)
+{
+    RunResult r;
+    r.total_cycles = 1000;
+    EXPECT_EQ(r.time(1e9), 1000u * 1000u);       // 1 us at 1 GHz
+    EXPECT_EQ(r.time(250e6), 4u * 1000u * 1000u); // 4 us at 250 MHz
+}
+
+// ----------------------------------------------------------- compiler
+
+namespace
+{
+
+/** Compile+run @p k on a fresh DRX and compare with the CPU executor. */
+void
+expectDrxMatchesCpu(const Kernel &k, std::uint64_t seed,
+                    double tolerance = 0.0)
+{
+    const Bytes input = randomInput(k.input, seed);
+    const Bytes cpu_out = restructure::executeOnCpu(k, input);
+
+    DrxMachine m;
+    Bytes drx_out;
+    const RunResult res = runKernelOnDrx(k, input, m, &drx_out);
+    EXPECT_GT(res.total_cycles, 0u);
+    ASSERT_EQ(drx_out.size(), cpu_out.size()) << k.name;
+
+    if (tolerance == 0.0) {
+        EXPECT_EQ(drx_out, cpu_out) << k.name << ": bit-exact mismatch";
+        return;
+    }
+    const auto a = toFloats(cpu_out), b = toFloats(drx_out);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(a[i], b[i], tolerance) << k.name << " elem " << i;
+}
+
+} // namespace
+
+TEST(DrxCompiler, MelSpectrogramMatchesCpu)
+{
+    expectDrxMatchesCpu(restructure::melSpectrogram(16, 128, 32), 1);
+}
+
+TEST(DrxCompiler, VideoFrameMatchesCpu)
+{
+    expectDrxMatchesCpu(restructure::videoFrameRestructure(48, 64, 32), 2);
+}
+
+TEST(DrxCompiler, BrainSignalMatchesCpu)
+{
+    expectDrxMatchesCpu(restructure::brainSignalRestructure(8, 64, 16), 3);
+}
+
+TEST(DrxCompiler, TextRecordMatchesCpu)
+{
+    expectDrxMatchesCpu(restructure::textRecordRestructure(512, 64, 80),
+                        4);
+}
+
+TEST(DrxCompiler, NerTokensMatchCpu)
+{
+    expectDrxMatchesCpu(restructure::nerTokenRestructure(300, 16, 32), 5);
+}
+
+TEST(DrxCompiler, DbColumnarizeMatchesCpu)
+{
+    expectDrxMatchesCpu(restructure::dbColumnarize(64), 6);
+}
+
+TEST(DrxCompiler, VectorReductionMatchesCpu)
+{
+    expectDrxMatchesCpu(restructure::vectorReduction(8, 256), 7);
+}
+
+TEST(DrxCompiler, TransposeLoweringMatchesCpu)
+{
+    Kernel k;
+    k.name = "transpose";
+    k.input = restructure::BufferDesc{DType::F32, {24, 16}};
+    k.stages.push_back(restructure::transposeStage());
+    expectDrxMatchesCpu(k, 8);
+}
+
+TEST(DrxCompiler, DenseMatVecFallback)
+{
+    // Dense weights defeat the banded analysis -> dense program.
+    Kernel k;
+    k.name = "dense_mv";
+    k.input = restructure::BufferDesc{DType::F32, {4, 64}};
+    auto w = std::make_shared<std::vector<float>>(8 * 64);
+    Rng rng(9);
+    for (auto &v : *w)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    k.stages.push_back(restructure::matVecStage(8, 64, w));
+    expectDrxMatchesCpu(k, 9);
+}
+
+TEST(DrxCompiler, BandedBeatsDenseOnTraffic)
+{
+    // The banded lowering must move far fewer weight bytes than dense.
+    const Kernel k = restructure::melSpectrogram(64, 512, 64);
+    const Bytes input = randomInput(k.input, 10);
+
+    DrxMachine banded;
+    const RunResult banded_res = runKernelOnDrx(k, input, banded);
+
+    // Force-dense variant: same weights with the band info destroyed by
+    // adding a tiny epsilon everywhere (nonzero everywhere -> width =
+    // cols -> dense path).
+    Kernel dense = k;
+    auto w = std::make_shared<std::vector<float>>(*dense.stages[1].weights);
+    for (auto &v : *w)
+        v += 1e-12f;
+    dense.stages[1].weights = w;
+    DrxMachine densem;
+    const RunResult dense_res = runKernelOnDrx(dense, input, densem);
+
+    EXPECT_LT(banded_res.bytes_read * 3, dense_res.bytes_read);
+    EXPECT_LT(banded_res.total_cycles, dense_res.total_cycles);
+}
+
+TEST(DrxCompiler, CompiledProgramsDisassemble)
+{
+    DrxMachine m;
+    const auto compiled =
+        compileKernel(restructure::melSpectrogram(8, 64, 16), m);
+    ASSERT_EQ(compiled.programs.size(), 3u); // magnitude, matvec, log
+    EXPECT_NE(compiled.programs[1].disassemble().find("ld.gather"),
+              std::string::npos);
+}
+
+TEST(DrxCompiler, RejectsOversizedGatherSource)
+{
+    Kernel k;
+    k.name = "big_gather";
+    k.input = restructure::BufferDesc{DType::U8, {1ull << 25}};
+    // A non-affine index pattern forces the index-table path, which
+    // cannot address >2^24 elements exactly through float lanes.
+    auto idx = std::make_shared<std::vector<std::uint32_t>>(
+        std::vector<std::uint32_t>{0, 5, 1});
+    k.stages.push_back(restructure::gatherStage(idx, {3}));
+    DrxConfig cfg;
+    cfg.dram_bytes = 80 * mib;
+    DrxMachine m(cfg);
+    EXPECT_THROW(compileKernel(k, m), std::runtime_error);
+}
+
+TEST(DrxCompiler, TimingScalesWithDataSize)
+{
+    auto cycles_for = [](std::size_t frames) {
+        const Kernel k = restructure::melSpectrogram(frames, 64, 16);
+        const Bytes input = randomInput(k.input, 11);
+        DrxMachine m;
+        return runKernelOnDrx(k, input, m).total_cycles;
+    };
+    const auto small = cycles_for(8);
+    const auto large = cycles_for(64);
+    EXPECT_GT(large, small * 4);
+    EXPECT_LT(large, small * 16);
+}

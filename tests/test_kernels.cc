@@ -1,0 +1,676 @@
+/**
+ * @file
+ * Unit tests for the functional compute kernels: FFT, SVM, AES-GCM,
+ * regex, LZ, hash join, neural networks and the video codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/random.hh"
+#include "kernels/aes.hh"
+#include "kernels/fft.hh"
+#include "kernels/hashjoin.hh"
+#include "kernels/lz.hh"
+#include "kernels/nn.hh"
+#include "kernels/regex.hh"
+#include "kernels/svm.hh"
+#include "kernels/video.hh"
+
+using namespace dmx;
+using namespace dmx::kernels;
+
+// ---------------------------------------------------------------- FFT
+
+TEST(Fft, ImpulseGivesFlatSpectrum)
+{
+    std::vector<Complex> data(8, Complex(0, 0));
+    data[0] = Complex(1, 0);
+    fft(data);
+    for (const Complex &c : data) {
+        EXPECT_NEAR(c.real(), 1.0f, 1e-5f);
+        EXPECT_NEAR(c.imag(), 0.0f, 1e-5f);
+    }
+}
+
+TEST(Fft, SingleToneDetected)
+{
+    constexpr std::size_t n = 64;
+    std::vector<Complex> data(n);
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = Complex(std::cos(2.0f * std::numbers::pi_v<float> * 5.0f *
+                                   static_cast<float>(i) /
+                                   static_cast<float>(n)),
+                          0.0f);
+    fft(data);
+    // Energy concentrated at bins 5 and n-5.
+    EXPECT_NEAR(std::abs(data[5]), n / 2.0f, 0.01f);
+    EXPECT_NEAR(std::abs(data[n - 5]), n / 2.0f, 0.01f);
+    EXPECT_LT(std::abs(data[3]), 0.01f);
+}
+
+TEST(Fft, ForwardInverseRoundTrip)
+{
+    Rng rng(42);
+    std::vector<Complex> data(128), orig;
+    for (auto &c : data)
+        c = Complex(static_cast<float>(rng.uniform(-1, 1)),
+                    static_cast<float>(rng.uniform(-1, 1)));
+    orig = data;
+    fft(data, false);
+    fft(data, true);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-4f);
+        EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-4f);
+    }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo)
+{
+    std::vector<Complex> data(12);
+    EXPECT_THROW(fft(data), std::runtime_error);
+}
+
+TEST(Fft, CountsOps)
+{
+    std::vector<Complex> data(1024, Complex(1, 0));
+    const OpCount ops = fft(data);
+    // ~ 16 * (n/2) log2(n) flops.
+    EXPECT_NEAR(static_cast<double>(ops.flops), 16.0 * 512 * 10, 1.0);
+    EXPECT_EQ(ops.bytes_read, 1024 * sizeof(Complex));
+}
+
+TEST(Stft, FrameCountAndShape)
+{
+    std::vector<float> samples(1024, 0.5f);
+    OpCount ops;
+    const Stft s = stft(samples, 256, 128, &ops);
+    EXPECT_EQ(s.frames, (1024 - 256) / 128 + 1);
+    EXPECT_EQ(s.bins, 129u);
+    EXPECT_EQ(s.values.size(), s.frames * s.bins);
+    EXPECT_GT(ops.flops, 0u);
+}
+
+TEST(Stft, ToneAppearsInCorrectBin)
+{
+    constexpr std::size_t n = 4096, fft_size = 256;
+    std::vector<float> samples(n);
+    // Tone at bin 16 of a 256-point window.
+    for (std::size_t i = 0; i < n; ++i)
+        samples[i] = std::sin(2.0f * std::numbers::pi_v<float> * 16.0f *
+                              static_cast<float>(i) / fft_size);
+    const Stft s = stft(samples, fft_size, 128);
+    ASSERT_GT(s.frames, 0u);
+    // Find the peak bin of the middle frame.
+    const std::size_t f = s.frames / 2;
+    std::size_t peak = 0;
+    float best = 0;
+    for (std::size_t b = 0; b < s.bins; ++b) {
+        const float mag = std::abs(s.values[f * s.bins + b]);
+        if (mag > best) {
+            best = mag;
+            peak = b;
+        }
+    }
+    EXPECT_EQ(peak, 16u);
+}
+
+TEST(Stft, ShortInputYieldsNoFrames)
+{
+    std::vector<float> samples(100, 1.0f);
+    const Stft s = stft(samples, 256, 128);
+    EXPECT_EQ(s.frames, 0u);
+}
+
+// ---------------------------------------------------------------- SVM
+
+TEST(Svm, LearnsLinearlySeparableData)
+{
+    // Two Gaussian-ish blobs in 2-D.
+    Rng rng(7);
+    std::vector<float> xs;
+    std::vector<std::size_t> ys;
+    for (int i = 0; i < 200; ++i) {
+        const bool cls = i % 2;
+        xs.push_back(static_cast<float>(rng.uniform(-1, 1) +
+                                        (cls ? 3.0 : -3.0)));
+        xs.push_back(static_cast<float>(rng.uniform(-1, 1)));
+        ys.push_back(cls);
+    }
+    LinearSvm svm(2, 2);
+    svm.fit(xs, ys, 200);
+    std::size_t correct = 0;
+    for (int i = 0; i < 200; ++i) {
+        const std::vector<float> x{xs[2 * i], xs[2 * i + 1]};
+        if (svm.predict(x) == ys[i])
+            ++correct;
+    }
+    EXPECT_GE(correct, 195u);
+}
+
+TEST(Svm, BatchMatchesSingle)
+{
+    LinearSvm svm(3, 4);
+    Rng rng(3);
+    for (auto &w : svm.weights())
+        w = static_cast<float>(rng.uniform(-1, 1));
+    std::vector<float> batch;
+    for (int i = 0; i < 10 * 3; ++i)
+        batch.push_back(static_cast<float>(rng.uniform(-2, 2)));
+    const auto preds = svm.predictBatch(batch, 10);
+    for (int i = 0; i < 10; ++i) {
+        const std::vector<float> x{batch[3 * i], batch[3 * i + 1],
+                                   batch[3 * i + 2]};
+        EXPECT_EQ(preds[i], svm.predict(x));
+    }
+}
+
+TEST(Svm, OpCountScalesWithSize)
+{
+    LinearSvm svm(100, 5);
+    OpCount ops;
+    svm.predict(std::vector<float>(100, 1.0f), &ops);
+    EXPECT_EQ(ops.flops, 2u * 100 * 5);
+}
+
+TEST(Svm, RejectsBadShapes)
+{
+    EXPECT_THROW(LinearSvm(0, 2), std::runtime_error);
+    EXPECT_THROW(LinearSvm(4, 1), std::runtime_error);
+    LinearSvm svm(4, 2);
+    EXPECT_THROW(svm.predict({1.0f}), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- AES
+
+TEST(Aes, Fips197KnownAnswer)
+{
+    AesKey key;
+    AesBlock pt;
+    for (int i = 0; i < 16; ++i) {
+        key[i] = static_cast<std::uint8_t>(i);
+        pt[i] = static_cast<std::uint8_t>(i * 0x11);
+    }
+    const Aes128 aes(key);
+    const AesBlock ct = aes.encryptBlock(pt);
+    const std::uint8_t expect[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                     0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                     0x70, 0xb4, 0xc5, 0x5a};
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(ct[i], expect[i]) << "byte " << i;
+}
+
+TEST(Aes, GcmNistTestCase2)
+{
+    // NIST GCM spec test case 2: all-zero key/IV, 16 zero plaintext bytes.
+    const AesKey key{};
+    const AesBlock iv{};
+    const std::vector<std::uint8_t> pt(16, 0);
+    const GcmSealed sealed = gcmEncrypt(key, iv, pt);
+
+    const std::uint8_t expect_ct[16] = {0x03, 0x88, 0xda, 0xce, 0x60, 0xb6,
+                                        0xa3, 0x92, 0xf3, 0x28, 0xc2, 0xb9,
+                                        0x71, 0xb2, 0xfe, 0x78};
+    const std::uint8_t expect_tag[16] = {0xab, 0x6e, 0x47, 0xd4, 0x2c, 0xec,
+                                         0x13, 0xbd, 0xf5, 0x3a, 0x67, 0xb2,
+                                         0x12, 0x57, 0xbd, 0xdf};
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(sealed.ciphertext[static_cast<std::size_t>(i)],
+                  expect_ct[i]) << "ct byte " << i;
+        EXPECT_EQ(sealed.tag[static_cast<std::size_t>(i)], expect_tag[i])
+            << "tag byte " << i;
+    }
+}
+
+TEST(Aes, GcmRoundTripVariousSizes)
+{
+    Rng rng(11);
+    AesKey key;
+    AesBlock iv{};
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    for (int i = 0; i < 12; ++i)
+        iv[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(rng.below(256));
+    for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 1000u}) {
+        std::vector<std::uint8_t> pt(len);
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        const GcmSealed sealed = gcmEncrypt(key, iv, pt);
+        bool ok = false;
+        const auto out = gcmDecrypt(key, iv, sealed, ok);
+        EXPECT_TRUE(ok) << "len " << len;
+        EXPECT_EQ(out, pt) << "len " << len;
+    }
+}
+
+TEST(Aes, GcmDetectsTampering)
+{
+    const AesKey key{};
+    const AesBlock iv{};
+    std::vector<std::uint8_t> pt(64, 0xaa);
+    GcmSealed sealed = gcmEncrypt(key, iv, pt);
+    sealed.ciphertext[5] ^= 1;
+    bool ok = true;
+    const auto out = gcmDecrypt(key, iv, sealed, ok);
+    EXPECT_FALSE(ok);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Aes, CtrIsInvolution)
+{
+    const AesKey key{1, 2, 3};
+    const AesBlock iv{9, 9, 9};
+    const Aes128 aes(key);
+    std::vector<std::uint8_t> data(100, 0x5c);
+    const auto orig = data;
+    aes.ctrTransform(data, iv);
+    EXPECT_NE(data, orig);
+    aes.ctrTransform(data, iv);
+    EXPECT_EQ(data, orig);
+}
+
+// ---------------------------------------------------------------- Regex
+
+TEST(RegexTest, LiteralAndFullMatch)
+{
+    Regex re("abc");
+    EXPECT_TRUE(re.fullMatch("abc"));
+    EXPECT_FALSE(re.fullMatch("ab"));
+    EXPECT_FALSE(re.fullMatch("abcd"));
+}
+
+TEST(RegexTest, Quantifiers)
+{
+    EXPECT_TRUE(Regex("ab*c").fullMatch("ac"));
+    EXPECT_TRUE(Regex("ab*c").fullMatch("abbbc"));
+    EXPECT_FALSE(Regex("ab+c").fullMatch("ac"));
+    EXPECT_TRUE(Regex("ab+c").fullMatch("abc"));
+    EXPECT_TRUE(Regex("ab?c").fullMatch("ac"));
+    EXPECT_TRUE(Regex("ab?c").fullMatch("abc"));
+    EXPECT_FALSE(Regex("ab?c").fullMatch("abbc"));
+}
+
+TEST(RegexTest, AlternationAndGroups)
+{
+    Regex re("(cat|dog)s?");
+    EXPECT_TRUE(re.fullMatch("cat"));
+    EXPECT_TRUE(re.fullMatch("dogs"));
+    EXPECT_FALSE(re.fullMatch("cats?"));
+    EXPECT_TRUE(Regex("a(bc|de)*f").fullMatch("abcdebcf"));
+}
+
+TEST(RegexTest, ClassesAndEscapes)
+{
+    EXPECT_TRUE(Regex("[a-c]+").fullMatch("abcba"));
+    EXPECT_FALSE(Regex("[a-c]+").fullMatch("abd"));
+    EXPECT_TRUE(Regex("[^0-9]+").fullMatch("hello"));
+    EXPECT_FALSE(Regex("[^0-9]+").fullMatch("h3llo"));
+    EXPECT_TRUE(Regex("\\d\\d\\d").fullMatch("123"));
+    EXPECT_TRUE(Regex("\\w+").fullMatch("a_9Z"));
+    EXPECT_TRUE(Regex("a\\.b").fullMatch("a.b"));
+    EXPECT_FALSE(Regex("a\\.b").fullMatch("axb"));
+    EXPECT_TRUE(Regex("a.b").fullMatch("axb"));
+}
+
+TEST(RegexTest, SsnPattern)
+{
+    // The PII pattern family used in the Personal Info Redaction app.
+    Regex ssn("\\d\\d\\d-\\d\\d-\\d\\d\\d\\d");
+    const std::string text = "ssn: 123-45-6789, other: 12-34";
+    const auto matches = ssn.findAll(text);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0], (Match{5, 16}));
+}
+
+TEST(RegexTest, FindAllNonOverlapping)
+{
+    Regex re("aa");
+    const auto matches = re.findAll("aaaa");
+    ASSERT_EQ(matches.size(), 2u);
+    EXPECT_EQ(matches[0], (Match{0, 2}));
+    EXPECT_EQ(matches[1], (Match{2, 4}));
+}
+
+TEST(RegexTest, LongestMatchAtPosition)
+{
+    Regex re("ab*");
+    EXPECT_EQ(re.matchAt("abbbc", 0), 4u);
+    EXPECT_EQ(re.matchAt("xabb", 1), 3u);
+    EXPECT_EQ(re.matchAt("xbb", 0), SIZE_MAX);
+}
+
+TEST(RegexTest, RedactReplacesMatches)
+{
+    Regex re("\\d+");
+    EXPECT_EQ(redact(re, "call 555 or 911!"), "call ### or ###!");
+    EXPECT_EQ(redact(re, "no digits"), "no digits");
+}
+
+TEST(RegexTest, MalformedPatternsRejected)
+{
+    EXPECT_THROW(Regex("(abc"), std::runtime_error);
+    EXPECT_THROW(Regex("abc)"), std::runtime_error);
+    EXPECT_THROW(Regex("[abc"), std::runtime_error);
+    EXPECT_THROW(Regex("*a"), std::runtime_error);
+    EXPECT_THROW(Regex("a\\"), std::runtime_error);
+    EXPECT_THROW(Regex("[z-a]"), std::runtime_error);
+}
+
+TEST(RegexTest, EmptyAlternationBranch)
+{
+    Regex re("a(b|)c");
+    EXPECT_TRUE(re.fullMatch("abc"));
+    EXPECT_TRUE(re.fullMatch("ac"));
+}
+
+// ---------------------------------------------------------------- LZ
+
+TEST(Lz, RoundTripText)
+{
+    const std::string text =
+        "the quick brown fox jumps over the lazy dog. "
+        "the quick brown fox jumps over the lazy dog. "
+        "the quick brown fox jumps over the lazy dog.";
+    Bytes input(text.begin(), text.end());
+    const Bytes compressed = lzCompress(input);
+    EXPECT_LT(compressed.size(), input.size()); // repetitive -> smaller
+    EXPECT_EQ(lzDecompress(compressed), input);
+}
+
+TEST(Lz, RoundTripRandomIncompressible)
+{
+    Rng rng(5);
+    Bytes input(4096);
+    for (auto &b : input)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    const Bytes compressed = lzCompress(input);
+    EXPECT_EQ(lzDecompress(compressed), input);
+}
+
+TEST(Lz, RoundTripEdgeCases)
+{
+    EXPECT_TRUE(lzDecompress(lzCompress({})).empty());
+    const Bytes one{42};
+    EXPECT_EQ(lzDecompress(lzCompress(one)), one);
+    const Bytes runs(10000, 7); // long single-byte run
+    const Bytes compressed = lzCompress(runs);
+    EXPECT_LT(compressed.size(), 200u);
+    EXPECT_EQ(lzDecompress(compressed), runs);
+}
+
+TEST(Lz, OverlappingMatchCopies)
+{
+    // 'abcabcabc...' forces matches whose source overlaps the output.
+    Bytes input;
+    for (int i = 0; i < 1000; ++i)
+        input.push_back(static_cast<std::uint8_t>('a' + i % 3));
+    EXPECT_EQ(lzDecompress(lzCompress(input)), input);
+}
+
+TEST(Lz, RejectsCorruptStreams)
+{
+    EXPECT_THROW(lzDecompress({0x02, 0x01}), std::runtime_error); // bad tag
+    EXPECT_THROW(lzDecompress({0x00, 0x05, 'a'}), std::runtime_error);
+    EXPECT_THROW(lzDecompress({0x01, 0x08, 0x01, 0x00}),
+                 std::runtime_error); // match with empty history
+}
+
+// ---------------------------------------------------------------- Join
+
+TEST(HashJoin, BasicInnerJoin)
+{
+    Table build, probe;
+    build.add(1, 100);
+    build.add(2, 200);
+    build.add(3, 300);
+    probe.add(2, -2);
+    probe.add(4, -4);
+    probe.add(1, -1);
+    const auto rows = hashJoin(build, probe);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (JoinedRow{2, 200, -2}));
+    EXPECT_EQ(rows[1], (JoinedRow{1, 100, -1}));
+}
+
+TEST(HashJoin, DuplicateKeysCrossProduct)
+{
+    Table build, probe;
+    build.add(7, 1);
+    build.add(7, 2);
+    probe.add(7, 10);
+    probe.add(7, 20);
+    const auto rows = hashJoin(build, probe);
+    EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST(HashJoin, EmptySides)
+{
+    Table build, probe;
+    probe.add(1, 1);
+    EXPECT_TRUE(hashJoin(build, probe).empty());
+    EXPECT_TRUE(hashJoin(probe, build).empty());
+}
+
+TEST(HashJoin, LargeRandomAgainstReference)
+{
+    Rng rng(17);
+    Table build, probe;
+    for (int i = 0; i < 500; ++i)
+        build.add(static_cast<std::int64_t>(rng.below(100)), i);
+    for (int i = 0; i < 1000; ++i)
+        probe.add(static_cast<std::int64_t>(rng.below(150)), i);
+    const auto rows = hashJoin(build, probe);
+    // Reference: nested loops.
+    std::size_t expect = 0;
+    for (std::size_t p = 0; p < probe.rows(); ++p)
+        for (std::size_t b = 0; b < build.rows(); ++b)
+            if (build.keys[b] == probe.keys[p])
+                ++expect;
+    EXPECT_EQ(rows.size(), expect);
+}
+
+TEST(HashJoin, SerializeRoundTrip)
+{
+    Table t;
+    t.add(-5, 123456789);
+    t.add(1ll << 40, -9);
+    const Table u = Table::deserialize(t.serialize());
+    EXPECT_EQ(u.keys, t.keys);
+    EXPECT_EQ(u.payloads, t.payloads);
+    EXPECT_THROW(Table::deserialize(std::vector<std::uint8_t>(7)),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------- NN
+
+TEST(Nn, DenseComputesAffine)
+{
+    Tensor x({1, 2});
+    x.data = {1.0f, 2.0f};
+    Tensor w({2, 2});
+    w.data = {1.0f, 0.0f, 0.0f, 1.0f}; // identity
+    Tensor b({2});
+    b.data = {0.5f, -0.5f};
+    OpCount ops;
+    const Tensor y = dense(x, w, b, &ops);
+    EXPECT_FLOAT_EQ(y.data[0], 1.5f);
+    EXPECT_FLOAT_EQ(y.data[1], 1.5f);
+    EXPECT_EQ(ops.flops, 8u);
+}
+
+TEST(Nn, ReluClampsNegatives)
+{
+    Tensor t({1, 3});
+    t.data = {-1.0f, 0.0f, 2.0f};
+    reluInPlace(t, nullptr);
+    EXPECT_FLOAT_EQ(t.data[0], 0.0f);
+    EXPECT_FLOAT_EQ(t.data[2], 2.0f);
+}
+
+TEST(Nn, SoftmaxRowsSumToOne)
+{
+    Tensor t({2, 3});
+    t.data = {1.0f, 2.0f, 3.0f, -1.0f, 0.0f, 1.0f};
+    softmaxRows(t, nullptr);
+    for (std::size_t r = 0; r < 2; ++r) {
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < 3; ++c)
+            sum += t.data[r * 3 + c];
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+    EXPECT_GT(t.data[2], t.data[1]); // monotone
+}
+
+TEST(Nn, Conv2dIdentityKernel)
+{
+    Tensor img({1, 1, 4, 4});
+    for (std::size_t i = 0; i < 16; ++i)
+        img.data[i] = static_cast<float>(i);
+    Tensor k({1, 1, 3, 3});
+    k.data[4] = 1.0f; // center tap
+    const Tensor out = conv2d(img, k, nullptr);
+    EXPECT_EQ(out.shape, img.shape);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_FLOAT_EQ(out.data[i], img.data[i]);
+}
+
+TEST(Nn, MaxpoolHalvesDims)
+{
+    Tensor img({1, 2, 8, 8});
+    img.data[63] = 5.0f;
+    const Tensor out = maxpool2x2(img, nullptr);
+    EXPECT_EQ(out.dim(2), 4u);
+    EXPECT_EQ(out.dim(3), 4u);
+    EXPECT_FLOAT_EQ(out.data[15], 5.0f); // max survived pooling
+}
+
+TEST(Nn, TinyCnnShapesAndDeterminism)
+{
+    TinyCnn cnn(3, 4, 99);
+    Tensor img({1, 3, 32, 32});
+    img.randomize(1);
+    OpCount ops;
+    const Tensor a = cnn.detect(img, &ops);
+    EXPECT_EQ(a.dim(0), 8u * 8u); // 32 -> 16 -> 8 grid
+    EXPECT_EQ(a.dim(1), 4u);
+    EXPECT_GT(ops.flops, 1000u);
+
+    TinyCnn cnn2(3, 4, 99);
+    OpCount ops2;
+    const Tensor b = cnn2.detect(img, &ops2);
+    EXPECT_EQ(a.data, b.data); // same seed -> same weights -> same output
+}
+
+TEST(Nn, MlpPolicyIsDistribution)
+{
+    MlpPolicy policy(16, 6, 32, 1);
+    Tensor obs({1, 16});
+    obs.randomize(2);
+    const Tensor probs = policy.act(obs, nullptr);
+    float sum = 0.0f;
+    for (float p : probs.data) {
+        EXPECT_GE(p, 0.0f);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Nn, NerEncoderClassifiesTokens)
+{
+    NerEncoder ner(32, 3, 5);
+    Tensor tokens({10, 32});
+    tokens.randomize(7);
+    OpCount ops;
+    const Tensor probs = ner.classify(tokens, &ops);
+    EXPECT_EQ(probs.dim(0), 10u);
+    EXPECT_EQ(probs.dim(1), 3u);
+    for (std::size_t t = 0; t < 10; ++t) {
+        float sum = 0.0f;
+        for (std::size_t l = 0; l < 3; ++l)
+            sum += probs.data[t * 3 + l];
+        EXPECT_NEAR(sum, 1.0f, 1e-4f);
+    }
+    EXPECT_GT(ops.flops, 10000u);
+}
+
+TEST(Nn, ShapeErrorsRejected)
+{
+    Tensor x({1, 3});
+    Tensor w({2, 4}); // wrong in-dim
+    Tensor b({2});
+    EXPECT_THROW(dense(x, w, b, nullptr), std::runtime_error);
+    Tensor img({1, 2, 4, 4});
+    Tensor k({1, 3, 3, 3}); // channel mismatch
+    EXPECT_THROW(conv2d(img, k, nullptr), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- Video
+
+namespace
+{
+
+Frame
+gradientFrame(std::size_t w, std::size_t h, int phase)
+{
+    Frame f(w, h);
+    for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t x = 0; x < w; ++x)
+            f.set(x, y, static_cast<std::uint8_t>(
+                            (x * 2 + y * 3 + static_cast<std::size_t>(
+                                                 phase) * 5) % 256));
+    return f;
+}
+
+} // namespace
+
+TEST(Video, RoundTripHighQualityIsClose)
+{
+    std::vector<Frame> frames{gradientFrame(32, 32, 0),
+                              gradientFrame(32, 32, 1)};
+    const VideoStream stream = videoEncode(frames, 95);
+    const auto decoded = videoDecode(stream);
+    ASSERT_EQ(decoded.size(), 2u);
+    EXPECT_GT(psnr(frames[0], decoded[0]), 30.0);
+    EXPECT_GT(psnr(frames[1], decoded[1]), 30.0);
+}
+
+TEST(Video, LowerQualityIsSmaller)
+{
+    std::vector<Frame> frames{gradientFrame(64, 64, 0)};
+    const auto hq = videoEncode(frames, 95);
+    const auto lq = videoEncode(frames, 10);
+    EXPECT_LT(lq.bits.size(), hq.bits.size());
+    // Still decodable.
+    EXPECT_EQ(videoDecode(lq).size(), 1u);
+}
+
+TEST(Video, FlatFrameCompressesWell)
+{
+    Frame flat(64, 64);
+    for (auto &p : flat.pixels)
+        p = 128;
+    const auto stream = videoEncode({flat}, 50);
+    // One end-of-block marker + DC coefficient per 8x8 block at most.
+    EXPECT_LT(stream.bits.size(), 64u * 8);
+    const auto decoded = videoDecode(stream);
+    EXPECT_GT(psnr(flat, decoded[0]), 45.0);
+}
+
+TEST(Video, RejectsBadInput)
+{
+    EXPECT_THROW(videoEncode({Frame(10, 10)}), std::runtime_error);
+    VideoStream truncated;
+    truncated.width = truncated.height = 8;
+    truncated.frames = 1;
+    EXPECT_THROW(videoDecode(truncated), std::runtime_error);
+}
+
+TEST(Video, EmptyStreamOk)
+{
+    const VideoStream s = videoEncode({});
+    EXPECT_EQ(s.frames, 0u);
+    EXPECT_TRUE(videoDecode(s).empty());
+}

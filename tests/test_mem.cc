@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the cache model and hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+
+using namespace dmx;
+using namespace dmx::mem;
+
+TEST(CacheTest, ColdMissThenHit)
+{
+    Cache c(CacheParams{"c", 1024, 64, 2});
+    EXPECT_EQ(c.access(0x100, false), AccessResult::Miss);
+    EXPECT_EQ(c.access(0x100, false), AccessResult::Hit);
+    EXPECT_EQ(c.access(0x13f, false), AccessResult::Hit); // same line
+    EXPECT_EQ(c.access(0x140, false), AccessResult::Miss); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(CacheTest, LruEvictsOldest)
+{
+    // 2-way, 64 B lines, 2 sets (256 B total).
+    Cache c(CacheParams{"c", 256, 64, 2});
+    // Three lines mapping to set 0: line addresses 0, 2, 4 (stride 128).
+    c.access(0 * 128, false);
+    c.access(1 * 128, false);
+    c.access(0 * 128, false);      // touch 0 so 1 is LRU
+    c.access(2 * 128, false);      // evicts line 1
+    EXPECT_EQ(c.access(0 * 128, false), AccessResult::Hit);
+    EXPECT_EQ(c.access(1 * 128, false), AccessResult::Miss);
+}
+
+TEST(CacheTest, WritebackCountsDirtyEvictions)
+{
+    Cache c(CacheParams{"c", 128, 64, 1}); // direct-mapped, 2 sets
+    c.access(0, true);           // dirty line in set 0
+    c.access(128, false);        // evicts it -> writeback
+    EXPECT_EQ(c.writebacks(), 1u);
+    c.access(256, false);        // clean eviction -> no writeback
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(CacheTest, ResetClearsState)
+{
+    Cache c(CacheParams{"c", 1024, 64, 2});
+    c.access(0, true);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_EQ(c.access(0, false), AccessResult::Miss);
+}
+
+TEST(CacheTest, MpkiComputation)
+{
+    Cache c(CacheParams{"c", 1024, 64, 2});
+    for (int i = 0; i < 10; ++i)
+        c.access(static_cast<Addr>(i) * 64, false); // 10 misses
+    EXPECT_DOUBLE_EQ(c.mpki(1000), 10.0);
+    EXPECT_DOUBLE_EQ(c.mpki(0), 0.0);
+}
+
+TEST(CacheTest, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache(CacheParams{"c", 1000, 60, 2}),
+                 std::runtime_error); // non-pow2 line
+    EXPECT_THROW(Cache(CacheParams{"c", 1024, 64, 0}),
+                 std::runtime_error); // zero ways
+    EXPECT_THROW(Cache(CacheParams{"c", 192, 64, 2}),
+                 std::runtime_error); // non-pow2 sets
+}
+
+TEST(CacheTest, StreamingThrashesSmallCache)
+{
+    // Streaming a working set much larger than the cache: ~every new
+    // line misses. This is the mechanism behind the paper's restructuring
+    // MPKI numbers.
+    Cache c(CacheParams{"c", 32 * 1024, 64, 8});
+    const std::uint64_t bytes = 4 * 1024 * 1024;
+    for (std::uint64_t a = 0; a < bytes; a += 4)
+        c.access(a, false);
+    const double miss_rate =
+        static_cast<double>(c.misses()) / static_cast<double>(c.accesses());
+    // One miss per 16 accesses (64 B line / 4 B element).
+    EXPECT_NEAR(miss_rate, 1.0 / 16.0, 0.001);
+}
+
+TEST(HierarchyTest, L2CatchesL1Misses)
+{
+    Hierarchy h;
+    h.data(0x1000, false);         // L1D miss, L2 miss
+    h.data(0x1000, false);         // L1D hit
+    EXPECT_EQ(h.l1d().misses(), 1u);
+    EXPECT_EQ(h.l2().misses(), 1u);
+    EXPECT_EQ(h.l1d().hits(), 1u);
+    EXPECT_EQ(h.l2().accesses(), 1u); // only the L1 miss reached L2
+}
+
+TEST(HierarchyTest, FetchGoesToL1I)
+{
+    Hierarchy h;
+    h.fetch(0x400000);
+    h.fetch(0x400000);
+    EXPECT_EQ(h.l1i().accesses(), 2u);
+    EXPECT_EQ(h.l1i().misses(), 1u);
+    EXPECT_EQ(h.l1d().accesses(), 0u);
+}
+
+TEST(HierarchyTest, ReportMpki)
+{
+    Hierarchy h;
+    for (Addr a = 0; a < 64 * 100; a += 64)
+        h.data(a, false); // 100 L1D misses
+    h.retire(10000);
+    const MpkiReport rep = h.report();
+    EXPECT_DOUBLE_EQ(rep.l1d, 10.0);
+    EXPECT_EQ(rep.instructions, 10000u);
+    EXPECT_GT(rep.l2, 0.0);
+}
+
+TEST(HierarchyTest, SmallLoopFitsInL1I)
+{
+    // A tight instruction loop (the paper: restructuring kernels have a
+    // tiny instruction working set, L1I MPKI ~2.3 vs CloudSuite's 7.8).
+    Hierarchy h;
+    constexpr Addr loop_base = 0x10000;
+    constexpr Addr loop_bytes = 4 * 1024; // fits in 32 KB L1I
+    for (int iter = 0; iter < 1000; ++iter) {
+        for (Addr pc = loop_base; pc < loop_base + loop_bytes; pc += 16) {
+            h.fetch(pc);
+            h.retire();
+        }
+    }
+    const MpkiReport rep = h.report();
+    EXPECT_LT(rep.l1i, 0.5); // essentially all hits after warmup
+}
+
+TEST(HierarchyTest, ResetZeroesAllLevels)
+{
+    Hierarchy h;
+    h.data(0, true);
+    h.fetch(0);
+    h.retire(5);
+    h.reset();
+    EXPECT_EQ(h.l1d().accesses(), 0u);
+    EXPECT_EQ(h.l1i().accesses(), 0u);
+    EXPECT_EQ(h.l2().accesses(), 0u);
+    EXPECT_EQ(h.instructions(), 0u);
+}

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the PCIe flow-level fabric: topology rules, bandwidth
+ * math, latency accounting, and max-min fair sharing under contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "pcie/fabric.hh"
+#include "pcie/generation.hh"
+#include "sim/eventq.hh"
+
+using namespace dmx;
+using namespace dmx::pcie;
+
+TEST(Generation, PerLaneBandwidth)
+{
+    EXPECT_NEAR(perLaneBandwidth(Generation::Gen3), 0.985e9, 0.001e9);
+    EXPECT_NEAR(perLaneBandwidth(Generation::Gen4), 1.969e9, 0.001e9);
+    EXPECT_NEAR(perLaneBandwidth(Generation::Gen5), 3.938e9, 0.001e9);
+    EXPECT_EQ(toString(Generation::Gen4), "Gen4");
+}
+
+TEST(Generation, LinkBandwidthScalesWithLanes)
+{
+    const auto x8 = linkBandwidth(Generation::Gen3, 8);
+    const auto x16 = linkBandwidth(Generation::Gen3, 16);
+    EXPECT_DOUBLE_EQ(x16, 2 * x8);
+    EXPECT_THROW(linkBandwidth(Generation::Gen3, 0), std::runtime_error);
+    EXPECT_THROW(linkBandwidth(Generation::Gen3, 32), std::runtime_error);
+}
+
+namespace
+{
+
+/** Star topology: RC -- switch -- N endpoints. */
+struct StarFixture
+{
+    sim::EventQueue eq;
+    Fabric fabric{eq, "fab"};
+    NodeId rc;
+    NodeId sw;
+    std::vector<NodeId> eps;
+
+    explicit StarFixture(unsigned n_eps, Generation gen = Generation::Gen3)
+    {
+        rc = fabric.addNode(NodeKind::RootComplex, "rc");
+        sw = fabric.addNode(NodeKind::Switch, "sw0");
+        fabric.connect(rc, sw, gen, 8); // x8 upstream (as in the paper)
+        for (unsigned i = 0; i < n_eps; ++i) {
+            eps.push_back(fabric.addNode(NodeKind::EndPoint,
+                                         "ep" + std::to_string(i)));
+            fabric.connect(sw, eps.back(), gen, 16); // x16 downstream
+        }
+    }
+};
+
+} // namespace
+
+TEST(FabricTopology, RejectsCycles)
+{
+    StarFixture f(2);
+    EXPECT_THROW(f.fabric.connect(f.eps[0], f.eps[1], Generation::Gen3, 4),
+                 std::runtime_error);
+}
+
+TEST(FabricTopology, RejectsSelfLoopAndBadIds)
+{
+    StarFixture f(1);
+    EXPECT_THROW(f.fabric.connect(f.sw, f.sw, Generation::Gen3, 4),
+                 std::runtime_error);
+    EXPECT_THROW(f.fabric.connect(99, f.sw, Generation::Gen3, 4),
+                 std::runtime_error);
+}
+
+TEST(FabricTopology, PathLengthAndSwitches)
+{
+    StarFixture f(3);
+    EXPECT_EQ(f.fabric.pathLength(f.eps[0], f.eps[1]), 2u);
+    EXPECT_EQ(f.fabric.switchesOnPath(f.eps[0], f.eps[1]), 1u);
+    EXPECT_EQ(f.fabric.pathLength(f.rc, f.eps[0]), 2u);
+    EXPECT_EQ(f.fabric.pathLength(f.rc, f.sw), 1u);
+    EXPECT_EQ(f.fabric.switchesOnPath(f.rc, f.sw), 0u);
+}
+
+TEST(FabricFlow, SingleFlowTiming)
+{
+    StarFixture f(1);
+    const std::uint64_t bytes = 8 * mib;
+    Tick done_at = 0;
+    f.fabric.startFlow(f.eps[0], f.rc, bytes,
+                       [&] { done_at = f.eq.now(); });
+    f.eq.run();
+
+    // Bottleneck is the x8 upstream link.
+    const double bw = linkBandwidth(Generation::Gen3, 8);
+    const double expect_sec = static_cast<double>(bytes) / bw;
+    const Tick overhead = f.fabric.params().dma_setup +
+                          f.fabric.params().switch_latency;
+    EXPECT_GT(done_at, 0u);
+    EXPECT_NEAR(ticksToSeconds(done_at - overhead), expect_sec,
+                expect_sec * 0.01);
+}
+
+TEST(FabricFlow, ZeroSwitchlessPathLatency)
+{
+    // Direct RC<->EP link: only DMA setup latency applies.
+    sim::EventQueue eq;
+    Fabric fab(eq, "fab");
+    const NodeId rc = fab.addNode(NodeKind::RootComplex, "rc");
+    const NodeId ep = fab.addNode(NodeKind::EndPoint, "ep");
+    fab.connect(rc, ep, Generation::Gen4, 16);
+    Tick done_at = 0;
+    fab.startFlow(rc, ep, 0, [&] { done_at = eq.now(); });
+    eq.run();
+    EXPECT_GE(done_at, fab.params().dma_setup);
+    EXPECT_LE(done_at, fab.params().dma_setup + 2);
+}
+
+TEST(FabricFlow, FairSharingHalvesThroughput)
+{
+    // Two endpoint->RC flows share the x8 upstream: each should take
+    // about twice the solo time.
+    StarFixture solo(2);
+    const std::uint64_t bytes = 4 * mib;
+    Tick solo_done = 0;
+    solo.fabric.startFlow(solo.eps[0], solo.rc, bytes,
+                          [&] { solo_done = solo.eq.now(); });
+    solo.eq.run();
+
+    StarFixture pair(2);
+    Tick a_done = 0, b_done = 0;
+    pair.fabric.startFlow(pair.eps[0], pair.rc, bytes,
+                          [&] { a_done = pair.eq.now(); });
+    pair.fabric.startFlow(pair.eps[1], pair.rc, bytes,
+                          [&] { b_done = pair.eq.now(); });
+    pair.eq.run();
+
+    EXPECT_NEAR(static_cast<double>(a_done) / static_cast<double>(solo_done),
+                2.0, 0.05);
+    EXPECT_NEAR(static_cast<double>(b_done) / static_cast<double>(solo_done),
+                2.0, 0.05);
+}
+
+TEST(FabricFlow, FullDuplexDirectionsDoNotContend)
+{
+    // One flow up, one flow down: full duplex means no slowdown.
+    StarFixture f(2);
+    const std::uint64_t bytes = 4 * mib;
+    Tick up_done = 0, down_done = 0;
+    f.fabric.startFlow(f.eps[0], f.rc, bytes, [&] { up_done = f.eq.now(); });
+    f.fabric.startFlow(f.rc, f.eps[1], bytes,
+                       [&] { down_done = f.eq.now(); });
+    f.eq.run();
+
+    StarFixture solo(2);
+    Tick solo_done = 0;
+    solo.fabric.startFlow(solo.eps[0], solo.rc, bytes,
+                          [&] { solo_done = solo.eq.now(); });
+    solo.eq.run();
+
+    EXPECT_NEAR(static_cast<double>(up_done) /
+                    static_cast<double>(solo_done), 1.0, 0.02);
+    EXPECT_NEAR(static_cast<double>(down_done) /
+                    static_cast<double>(solo_done), 1.0, 0.02);
+}
+
+TEST(FabricFlow, PeerToPeerAvoidsUpstream)
+{
+    // EP0 -> EP1 under the same switch runs at x16 speed, unaffected by
+    // a concurrent upstream-saturating flow. This is the bump-in-the-wire
+    // locality property the paper's DMX design exploits.
+    StarFixture f(3);
+    const std::uint64_t bytes = 4 * mib;
+    Tick p2p_done = 0;
+    f.fabric.startFlow(f.eps[2], f.rc, 64 * mib, [] {});
+    f.fabric.startFlow(f.eps[0], f.eps[1], bytes,
+                       [&] { p2p_done = f.eq.now(); });
+    f.eq.run();
+
+    const double bw = linkBandwidth(Generation::Gen3, 16);
+    const double expect_sec = static_cast<double>(bytes) / bw;
+    const Tick overhead = f.fabric.params().dma_setup +
+                          f.fabric.params().switch_latency;
+    EXPECT_NEAR(ticksToSeconds(p2p_done - overhead), expect_sec,
+                expect_sec * 0.02);
+}
+
+TEST(FabricFlow, MaxMinUnevenShares)
+{
+    // Three flows to RC plus one p2p flow. The p2p flow is only limited
+    // by its x16 links; the three upstream flows each get 1/3 of x8.
+    StarFixture f(4);
+    std::vector<Tick> done(4, 0);
+    const std::uint64_t bytes = 2 * mib;
+    for (int i = 0; i < 3; ++i) {
+        f.fabric.startFlow(f.eps[i], f.rc, bytes,
+                           [&done, i, &f] { done[i] = f.eq.now(); });
+    }
+    f.fabric.startFlow(f.eps[3], f.eps[0], bytes,
+                       [&done, &f] { done[3] = f.eq.now(); });
+    f.eq.run();
+
+    // p2p completes much earlier than the upstream-contended flows.
+    EXPECT_LT(done[3] * 3, done[0]);
+    // The three contended flows finish at ~the same time.
+    EXPECT_NEAR(static_cast<double>(done[0]),
+                static_cast<double>(done[2]),
+                static_cast<double>(done[0]) * 0.02);
+}
+
+TEST(FabricFlow, CallbackChainsNewFlow)
+{
+    // Completion callbacks can start follow-on flows (used by the DMX
+    // pipeline: accel->DRX then DRX->accel).
+    StarFixture f(2);
+    Tick second_done = 0;
+    f.fabric.startFlow(f.eps[0], f.eps[1], mib, [&] {
+        f.fabric.startFlow(f.eps[1], f.eps[0], mib,
+                           [&] { second_done = f.eq.now(); });
+    });
+    f.eq.run();
+    EXPECT_GT(second_done, 0u);
+    EXPECT_EQ(f.fabric.activeFlows(), 0u);
+}
+
+TEST(FabricFlow, StatsAccumulate)
+{
+    StarFixture f(1);
+    f.fabric.startFlow(f.eps[0], f.rc, mib, [] {});
+    f.eq.run();
+    EXPECT_EQ(f.fabric.totalBytes(), mib);
+    EXPECT_EQ(f.fabric.switchTraversals(), 1u);
+    // Both links on the path saw ~the full payload.
+    std::uint64_t max_link_bytes = 0;
+    for (const auto &ls : f.fabric.linkStats())
+        max_link_bytes = std::max(max_link_bytes, ls.bytes);
+    EXPECT_NEAR(static_cast<double>(max_link_bytes),
+                static_cast<double>(mib), static_cast<double>(mib) * 0.01);
+}
+
+TEST(FabricFlow, RejectsBadFlows)
+{
+    StarFixture f(1);
+    EXPECT_THROW(f.fabric.startFlow(f.eps[0], f.eps[0], 100, [] {}),
+                 std::runtime_error);
+    EXPECT_THROW(f.fabric.startFlow(f.eps[0], 77, 100, [] {}),
+                 std::runtime_error);
+}
+
+TEST(FabricFlow, ManyConcurrentFlowsDrain)
+{
+    StarFixture f(8);
+    int completions = 0;
+    for (int round = 0; round < 4; ++round) {
+        for (std::size_t i = 0; i < f.eps.size(); ++i) {
+            f.fabric.startFlow(f.eps[i], f.eps[(i + 1) % f.eps.size()],
+                               256 * kib, [&] { ++completions; });
+        }
+    }
+    f.eq.run();
+    EXPECT_EQ(completions, 32);
+    EXPECT_EQ(f.fabric.activeFlows(), 0u);
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/eventq.hh"
+#include "sim/sim_object.hh"
+
+using namespace dmx;
+using namespace dmx::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TieBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, TieBreakByPriority)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] { order.push_back(1); }, Priority::Default);
+    eq.schedule(100, [&] { order.push_back(0); }, Priority::Interrupt);
+    eq.schedule(100, [&] { order.push_back(2); }, Priority::Stat);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(50, [&] {
+        eq.scheduleIn(25, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 75u);
+}
+
+TEST(EventQueue, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventHandle h = eq.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.executedCount(), 0u);
+}
+
+TEST(EventQueue, CancelAfterFireIsHarmless)
+{
+    EventQueue eq;
+    int runs = 0;
+    EventHandle h = eq.schedule(10, [&] { ++runs; });
+    eq.run();
+    EXPECT_FALSE(h.pending());
+    h.cancel(); // no effect, no crash
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueue, PendingCountSkipsCancelled)
+{
+    EventQueue eq;
+    EventHandle a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pendingCount(), 2u);
+    a.cancel();
+    EXPECT_EQ(eq.pendingCount(), 1u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    for (Tick t : {10u, 20u, 30u, 40u})
+        eq.schedule(t, [&fired, &eq] { fired.push_back(eq.now()); });
+    eq.runUntil(25);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20}));
+    // Events exactly at the limit still run.
+    eq.runUntil(30);
+    EXPECT_EQ(fired.size(), 3u);
+    eq.run();
+    EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+    eq.schedule(5, [] {});
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    eq.runOne();
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pendingCount(), 0u);
+    EXPECT_EQ(eq.executedCount(), 0u);
+}
+
+TEST(EventQueue, SelfReschedulingEventChain)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> tick = [&] {
+        if (++count < 10)
+            eq.scheduleIn(100, tick);
+    };
+    eq.schedule(0, tick);
+    eq.run();
+    EXPECT_EQ(count, 10);
+    EXPECT_EQ(eq.now(), 900u);
+}
+
+TEST(SimObjectTest, NameAndClock)
+{
+    EventQueue eq;
+    ClockedObject obj(eq, "system.drx0", ClockDomain{1e9});
+    EXPECT_EQ(obj.name(), "system.drx0");
+    EXPECT_EQ(obj.cyclesToTicks(3), 3000u);
+    EXPECT_EQ(obj.now(), 0u);
+}
