@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_drx.dir/abl_drx.cc.o"
+  "CMakeFiles/abl_drx.dir/abl_drx.cc.o.d"
+  "abl_drx"
+  "abl_drx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_drx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_system.dir/abl_system.cc.o"
+  "CMakeFiles/abl_system.dir/abl_system.cc.o.d"
+  "abl_system"
+  "abl_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

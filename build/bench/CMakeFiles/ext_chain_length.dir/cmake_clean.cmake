@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_chain_length.dir/ext_chain_length.cc.o"
+  "CMakeFiles/ext_chain_length.dir/ext_chain_length.cc.o.d"
+  "ext_chain_length"
+  "ext_chain_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_chain_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

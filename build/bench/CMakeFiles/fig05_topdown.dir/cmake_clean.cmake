@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_topdown.dir/fig05_topdown.cc.o"
+  "CMakeFiles/fig05_topdown.dir/fig05_topdown.cc.o.d"
+  "fig05_topdown"
+  "fig05_topdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_placement.dir/fig14_placement.cc.o"
+  "CMakeFiles/fig14_placement.dir/fig14_placement.cc.o.d"
+  "fig14_placement"
+  "fig14_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

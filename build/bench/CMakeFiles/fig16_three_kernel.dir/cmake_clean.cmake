@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_three_kernel.dir/fig16_three_kernel.cc.o"
+  "CMakeFiles/fig16_three_kernel.dir/fig16_three_kernel.cc.o.d"
+  "fig16_three_kernel"
+  "fig16_three_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_three_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_collectives.dir/fig17_collectives.cc.o"
+  "CMakeFiles/fig17_collectives.dir/fig17_collectives.cc.o.d"
+  "fig17_collectives"
+  "fig17_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

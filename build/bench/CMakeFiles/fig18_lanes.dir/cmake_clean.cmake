@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_lanes.dir/fig18_lanes.cc.o"
+  "CMakeFiles/fig18_lanes.dir/fig18_lanes.cc.o.d"
+  "fig18_lanes"
+  "fig18_lanes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_lanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

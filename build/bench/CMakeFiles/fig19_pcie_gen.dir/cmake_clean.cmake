@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_pcie_gen.dir/fig19_pcie_gen.cc.o"
+  "CMakeFiles/fig19_pcie_gen.dir/fig19_pcie_gen.cc.o.d"
+  "fig19_pcie_gen"
+  "fig19_pcie_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_pcie_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_restructure.dir/micro_restructure.cc.o"
+  "CMakeFiles/micro_restructure.dir/micro_restructure.cc.o.d"
+  "micro_restructure"
+  "micro_restructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_restructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

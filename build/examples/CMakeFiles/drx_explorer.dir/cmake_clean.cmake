@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drx_explorer.dir/drx_explorer.cpp.o"
+  "CMakeFiles/drx_explorer.dir/drx_explorer.cpp.o.d"
+  "drx_explorer"
+  "drx_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drx_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

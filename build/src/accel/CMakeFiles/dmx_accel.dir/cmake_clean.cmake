@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_accel.dir/accelerator.cc.o"
+  "CMakeFiles/dmx_accel.dir/accelerator.cc.o.d"
+  "libdmx_accel.a"
+  "libdmx_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_apps.dir/benchmarks.cc.o"
+  "CMakeFiles/dmx_apps.dir/benchmarks.cc.o.d"
+  "libdmx_apps.a"
+  "libdmx_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

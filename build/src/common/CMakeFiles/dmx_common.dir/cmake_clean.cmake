@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_common.dir/dtype.cc.o"
+  "CMakeFiles/dmx_common.dir/dtype.cc.o.d"
+  "CMakeFiles/dmx_common.dir/logging.cc.o"
+  "CMakeFiles/dmx_common.dir/logging.cc.o.d"
+  "CMakeFiles/dmx_common.dir/stats.cc.o"
+  "CMakeFiles/dmx_common.dir/stats.cc.o.d"
+  "CMakeFiles/dmx_common.dir/strutil.cc.o"
+  "CMakeFiles/dmx_common.dir/strutil.cc.o.d"
+  "CMakeFiles/dmx_common.dir/table.cc.o"
+  "CMakeFiles/dmx_common.dir/table.cc.o.d"
+  "libdmx_common.a"
+  "libdmx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

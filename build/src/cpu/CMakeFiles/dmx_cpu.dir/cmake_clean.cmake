@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_cpu.dir/core_pool.cc.o"
+  "CMakeFiles/dmx_cpu.dir/core_pool.cc.o.d"
+  "CMakeFiles/dmx_cpu.dir/host_model.cc.o"
+  "CMakeFiles/dmx_cpu.dir/host_model.cc.o.d"
+  "CMakeFiles/dmx_cpu.dir/topdown.cc.o"
+  "CMakeFiles/dmx_cpu.dir/topdown.cc.o.d"
+  "libdmx_cpu.a"
+  "libdmx_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

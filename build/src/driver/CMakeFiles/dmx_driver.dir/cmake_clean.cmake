@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_driver.dir/interrupts.cc.o"
+  "CMakeFiles/dmx_driver.dir/interrupts.cc.o.d"
+  "CMakeFiles/dmx_driver.dir/queues.cc.o"
+  "CMakeFiles/dmx_driver.dir/queues.cc.o.d"
+  "libdmx_driver.a"
+  "libdmx_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

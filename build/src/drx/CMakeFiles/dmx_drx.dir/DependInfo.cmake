@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drx/compiler.cc" "src/drx/CMakeFiles/dmx_drx.dir/compiler.cc.o" "gcc" "src/drx/CMakeFiles/dmx_drx.dir/compiler.cc.o.d"
+  "/root/repo/src/drx/isa.cc" "src/drx/CMakeFiles/dmx_drx.dir/isa.cc.o" "gcc" "src/drx/CMakeFiles/dmx_drx.dir/isa.cc.o.d"
+  "/root/repo/src/drx/machine.cc" "src/drx/CMakeFiles/dmx_drx.dir/machine.cc.o" "gcc" "src/drx/CMakeFiles/dmx_drx.dir/machine.cc.o.d"
+  "/root/repo/src/drx/program.cc" "src/drx/CMakeFiles/dmx_drx.dir/program.cc.o" "gcc" "src/drx/CMakeFiles/dmx_drx.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dmx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/restructure/CMakeFiles/dmx_restructure.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/dmx_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_drx.dir/compiler.cc.o"
+  "CMakeFiles/dmx_drx.dir/compiler.cc.o.d"
+  "CMakeFiles/dmx_drx.dir/isa.cc.o"
+  "CMakeFiles/dmx_drx.dir/isa.cc.o.d"
+  "CMakeFiles/dmx_drx.dir/machine.cc.o"
+  "CMakeFiles/dmx_drx.dir/machine.cc.o.d"
+  "CMakeFiles/dmx_drx.dir/program.cc.o"
+  "CMakeFiles/dmx_drx.dir/program.cc.o.d"
+  "libdmx_drx.a"
+  "libdmx_drx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_drx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

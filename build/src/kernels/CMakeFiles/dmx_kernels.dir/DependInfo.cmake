@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/aes.cc" "src/kernels/CMakeFiles/dmx_kernels.dir/aes.cc.o" "gcc" "src/kernels/CMakeFiles/dmx_kernels.dir/aes.cc.o.d"
+  "/root/repo/src/kernels/fft.cc" "src/kernels/CMakeFiles/dmx_kernels.dir/fft.cc.o" "gcc" "src/kernels/CMakeFiles/dmx_kernels.dir/fft.cc.o.d"
+  "/root/repo/src/kernels/hashjoin.cc" "src/kernels/CMakeFiles/dmx_kernels.dir/hashjoin.cc.o" "gcc" "src/kernels/CMakeFiles/dmx_kernels.dir/hashjoin.cc.o.d"
+  "/root/repo/src/kernels/lz.cc" "src/kernels/CMakeFiles/dmx_kernels.dir/lz.cc.o" "gcc" "src/kernels/CMakeFiles/dmx_kernels.dir/lz.cc.o.d"
+  "/root/repo/src/kernels/nn.cc" "src/kernels/CMakeFiles/dmx_kernels.dir/nn.cc.o" "gcc" "src/kernels/CMakeFiles/dmx_kernels.dir/nn.cc.o.d"
+  "/root/repo/src/kernels/regex.cc" "src/kernels/CMakeFiles/dmx_kernels.dir/regex.cc.o" "gcc" "src/kernels/CMakeFiles/dmx_kernels.dir/regex.cc.o.d"
+  "/root/repo/src/kernels/svm.cc" "src/kernels/CMakeFiles/dmx_kernels.dir/svm.cc.o" "gcc" "src/kernels/CMakeFiles/dmx_kernels.dir/svm.cc.o.d"
+  "/root/repo/src/kernels/video.cc" "src/kernels/CMakeFiles/dmx_kernels.dir/video.cc.o" "gcc" "src/kernels/CMakeFiles/dmx_kernels.dir/video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

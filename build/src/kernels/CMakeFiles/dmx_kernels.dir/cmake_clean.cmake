@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_kernels.dir/aes.cc.o"
+  "CMakeFiles/dmx_kernels.dir/aes.cc.o.d"
+  "CMakeFiles/dmx_kernels.dir/fft.cc.o"
+  "CMakeFiles/dmx_kernels.dir/fft.cc.o.d"
+  "CMakeFiles/dmx_kernels.dir/hashjoin.cc.o"
+  "CMakeFiles/dmx_kernels.dir/hashjoin.cc.o.d"
+  "CMakeFiles/dmx_kernels.dir/lz.cc.o"
+  "CMakeFiles/dmx_kernels.dir/lz.cc.o.d"
+  "CMakeFiles/dmx_kernels.dir/nn.cc.o"
+  "CMakeFiles/dmx_kernels.dir/nn.cc.o.d"
+  "CMakeFiles/dmx_kernels.dir/regex.cc.o"
+  "CMakeFiles/dmx_kernels.dir/regex.cc.o.d"
+  "CMakeFiles/dmx_kernels.dir/svm.cc.o"
+  "CMakeFiles/dmx_kernels.dir/svm.cc.o.d"
+  "CMakeFiles/dmx_kernels.dir/video.cc.o"
+  "CMakeFiles/dmx_kernels.dir/video.cc.o.d"
+  "libdmx_kernels.a"
+  "libdmx_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

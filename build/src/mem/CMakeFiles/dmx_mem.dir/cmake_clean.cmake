@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_mem.dir/cache.cc.o"
+  "CMakeFiles/dmx_mem.dir/cache.cc.o.d"
+  "CMakeFiles/dmx_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/dmx_mem.dir/hierarchy.cc.o.d"
+  "libdmx_mem.a"
+  "libdmx_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

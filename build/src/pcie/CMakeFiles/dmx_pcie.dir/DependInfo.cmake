@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcie/fabric.cc" "src/pcie/CMakeFiles/dmx_pcie.dir/fabric.cc.o" "gcc" "src/pcie/CMakeFiles/dmx_pcie.dir/fabric.cc.o.d"
+  "/root/repo/src/pcie/generation.cc" "src/pcie/CMakeFiles/dmx_pcie.dir/generation.cc.o" "gcc" "src/pcie/CMakeFiles/dmx_pcie.dir/generation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dmx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_pcie.dir/fabric.cc.o"
+  "CMakeFiles/dmx_pcie.dir/fabric.cc.o.d"
+  "CMakeFiles/dmx_pcie.dir/generation.cc.o"
+  "CMakeFiles/dmx_pcie.dir/generation.cc.o.d"
+  "libdmx_pcie.a"
+  "libdmx_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_restructure.dir/catalog.cc.o"
+  "CMakeFiles/dmx_restructure.dir/catalog.cc.o.d"
+  "CMakeFiles/dmx_restructure.dir/cpu_exec.cc.o"
+  "CMakeFiles/dmx_restructure.dir/cpu_exec.cc.o.d"
+  "CMakeFiles/dmx_restructure.dir/ir.cc.o"
+  "CMakeFiles/dmx_restructure.dir/ir.cc.o.d"
+  "libdmx_restructure.a"
+  "libdmx_restructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_restructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

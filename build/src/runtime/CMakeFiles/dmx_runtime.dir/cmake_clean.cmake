@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_runtime.dir/runtime.cc.o"
+  "CMakeFiles/dmx_runtime.dir/runtime.cc.o.d"
+  "libdmx_runtime.a"
+  "libdmx_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_sim.dir/eventq.cc.o"
+  "CMakeFiles/dmx_sim.dir/eventq.cc.o.d"
+  "CMakeFiles/dmx_sim.dir/sim_object.cc.o"
+  "CMakeFiles/dmx_sim.dir/sim_object.cc.o.d"
+  "libdmx_sim.a"
+  "libdmx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_sys.dir/collectives.cc.o"
+  "CMakeFiles/dmx_sys.dir/collectives.cc.o.d"
+  "CMakeFiles/dmx_sys.dir/energy.cc.o"
+  "CMakeFiles/dmx_sys.dir/energy.cc.o.d"
+  "CMakeFiles/dmx_sys.dir/system.cc.o"
+  "CMakeFiles/dmx_sys.dir/system.cc.o.d"
+  "libdmx_sys.a"
+  "libdmx_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/test_common.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/dmx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dmx_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/dmx_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/dmx_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/drx/CMakeFiles/dmx_drx.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dmx_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/dmx_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dmx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dmx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/restructure/CMakeFiles/dmx_restructure.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/dmx_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drx.dir/test_drx.cc.o"
+  "CMakeFiles/test_drx.dir/test_drx.cc.o.d"
+  "test_drx"
+  "test_drx.pdb"
+  "test_drx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

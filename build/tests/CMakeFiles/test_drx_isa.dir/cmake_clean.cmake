@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drx_isa.dir/test_drx_isa.cc.o"
+  "CMakeFiles/test_drx_isa.dir/test_drx_isa.cc.o.d"
+  "test_drx_isa"
+  "test_drx_isa.pdb"
+  "test_drx_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drx_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restructure.dir/test_restructure.cc.o"
+  "CMakeFiles/test_restructure.dir/test_restructure.cc.o.d"
+  "test_restructure"
+  "test_restructure.pdb"
+  "test_restructure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
