@@ -119,15 +119,42 @@ DeviceUnit::DeviceUnit(sim::EventQueue &eq, std::string name,
 void
 DeviceUnit::submit(Cycles cycles, DoneCallback done)
 {
+    submitChecked(cycles, [done = std::move(done)](bool ok) {
+        (void)ok;
+        if (done)
+            done();
+    });
+}
+
+void
+DeviceUnit::submitChecked(Cycles cycles, StatusCallback done)
+{
+    fault::KernelAction action = fault::KernelAction::None;
+    if (_fault_hook)
+        action = _fault_hook();
+
     const Tick duration = ClockDomain{_freq_hz}.cyclesToTicks(cycles);
     const Tick start = std::max(now(), _busy_until);
     const Tick finish = start + duration;
     _busy_until = finish;
     _busy_seconds += ticksToSeconds(duration);
-    eventq().schedule(finish, [this, done = std::move(done)] {
-        ++_completed;
+
+    if (action == fault::KernelAction::Hang) {
+        // The engine wedged: it stays busy for the job's duration (its
+        // eventual reset) but never raises completion. The caller's
+        // watchdog detects the loss.
+        ++_hung;
+        return;
+    }
+
+    const bool ok = action == fault::KernelAction::None;
+    eventq().schedule(finish, [this, ok, done = std::move(done)] {
+        if (ok)
+            ++_completed;
+        else
+            ++_failed;
         if (done)
-            done();
+            done(ok);
     });
 }
 

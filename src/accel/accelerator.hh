@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/units.hh"
+#include "fault/hooks.hh"
 #include "kernels/opcount.hh"
 #include "sim/sim_object.hh"
 
@@ -70,6 +71,13 @@ Cycles kernelCycles(const AcceleratorSpec &spec,
 using DoneCallback = std::function<void()>;
 
 /**
+ * Status-carrying completion callback: @p ok is false when the kernel
+ * completed with a device error (injected fault). Hung kernels never
+ * invoke their callback; callers own the timeout.
+ */
+using StatusCallback = std::function<void(bool ok)>;
+
+/**
  * One accelerator device instance: a FIFO-serving unit on the event
  * queue. Also used for DRX devices (they are served the same way).
  */
@@ -89,6 +97,20 @@ class DeviceUnit : public sim::SimObject
      */
     void submit(Cycles cycles, DoneCallback done);
 
+    /**
+     * Like submit, but @p done learns whether the kernel succeeded.
+     * Under an installed fault hook the kernel may fail (done(false) at
+     * the normal completion time) or hang (done never fires; the device
+     * stays charged busy until its modelled reset).
+     */
+    void submitChecked(Cycles cycles, StatusCallback done);
+
+    /**
+     * Install (or clear, with nullptr) the fault-injection hook
+     * consulted by every subsequent submission.
+     */
+    void setFaultHook(fault::KernelHook hook) { _fault_hook = std::move(hook); }
+
     /** @return device-busy time integrated so far plus queued work. */
     Tick busyUntil() const { return _busy_until; }
 
@@ -98,13 +120,22 @@ class DeviceUnit : public sim::SimObject
     /** @return completed jobs. */
     std::uint64_t completedJobs() const { return _completed; }
 
+    /** @return jobs that completed with an injected device error. */
+    std::uint64_t failedJobs() const { return _failed; }
+
+    /** @return jobs that hung (never signalled completion). */
+    std::uint64_t hungJobs() const { return _hung; }
+
     double freqHz() const { return _freq_hz; }
 
   private:
     double _freq_hz;
+    fault::KernelHook _fault_hook;
     Tick _busy_until = 0;
     double _busy_seconds = 0;
     std::uint64_t _completed = 0;
+    std::uint64_t _failed = 0;
+    std::uint64_t _hung = 0;
 };
 
 } // namespace dmx::accel

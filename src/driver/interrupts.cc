@@ -11,10 +11,18 @@ InterruptController::InterruptController(sim::EventQueue &eq,
 {
 }
 
-Tick
-InterruptController::notify()
+InterruptController::Notification
+InterruptController::notifyChecked()
 {
     const Tick t = now();
+
+    if (_fault_hook && _fault_hook() == fault::IrqAction::Drop) {
+        // The notification never reached the host: no handler runs and
+        // the rate estimator sees nothing. The driver's periodic
+        // completion-record poll discovers the completion later.
+        ++_dropped;
+        return {_params.lost_irq_recovery, false};
+    }
 
     // Update the EWMA completion-rate estimate.
     if (_have_last && t > _last_notify) {
@@ -55,7 +63,7 @@ InterruptController::notify()
             _host->submit(_params.cpu_work_per_irq, {});
     }
     _last_notify = t;
-    return latency;
+    return {latency, true};
 }
 
 } // namespace dmx::driver

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "cpu/core_pool.hh"
+#include "fault/hooks.hh"
 #include "sim/sim_object.hh"
 
 namespace dmx::driver
@@ -40,6 +41,9 @@ struct InterruptParams
     unsigned coalesce_burst = 4;
     /// EWMA smoothing for the rate estimate.
     double rate_alpha = 0.3;
+    /// Detection latency when a completion notification is lost: the
+    /// driver's periodic completion-record poll discovers it.
+    Tick lost_irq_recovery = 100 * tick_per_us;
 };
 
 /**
@@ -58,12 +62,39 @@ class InterruptController : public sim::SimObject
                         InterruptParams params = {},
                         cpu::CorePool *host = nullptr);
 
+    /** Outcome of one completion notification. */
+    struct Notification
+    {
+        /// Latency to add to the request path (the recovery-poll
+        /// latency when the notification was lost).
+        Tick latency;
+        /// False when the notification was dropped and completion was
+        /// discovered by the driver's poll instead.
+        bool delivered;
+    };
+
     /**
      * Record a completion notification at the current time.
      *
      * @return the notification latency to add to the request path
      */
-    Tick notify();
+    Tick notify() { return notifyChecked().latency; }
+
+    /**
+     * Like notify, but reports whether the notification was actually
+     * delivered or lost (under an installed fault hook) and recovered
+     * by the driver's completion poll.
+     */
+    Notification notifyChecked();
+
+    /**
+     * Install (or clear, with nullptr) the fault-injection hook
+     * consulted by every subsequent notification.
+     */
+    void setFaultHook(fault::IrqHook hook) { _fault_hook = std::move(hook); }
+
+    /** @return notifications lost and recovered by polling. */
+    std::uint64_t droppedInterrupts() const { return _dropped; }
 
     /** @return true while operating in polled mode. */
     bool polling() const { return _polling; }
@@ -80,6 +111,8 @@ class InterruptController : public sim::SimObject
   private:
     InterruptParams _params;
     cpu::CorePool *_host;
+    fault::IrqHook _fault_hook;
+    std::uint64_t _dropped = 0;
     bool _polling = false;
     double _rate_hz = 0;
     Tick _last_notify = 0;

@@ -14,6 +14,14 @@ DataQueue::DataQueue(std::uint64_t capacity) : _capacity(capacity)
 bool
 DataQueue::push(std::uint64_t bytes)
 {
+    if (bytes == 0)
+        dmx_fatal("DataQueue: zero-byte push");
+    // Guard the absolute-pointer wraparound contract (see header).
+    if (_tail > ~std::uint64_t(0) - bytes)
+        dmx_panic("DataQueue: tail pointer would overflow "
+                  "(tail=%llu, push=%llu)",
+                  static_cast<unsigned long long>(_tail),
+                  static_cast<unsigned long long>(bytes));
     if (used() + bytes > _capacity)
         return false;
     _tail += bytes;

@@ -20,7 +20,17 @@
 namespace dmx::driver
 {
 
-/** A byte-granular ring with head/tail pointers. */
+/**
+ * A byte-granular ring with head/tail pointers.
+ *
+ * Pointer contract: head and tail are *absolute* byte counters that
+ * only ever increase; the ring offset is (pointer % capacity) and the
+ * fill level is tail - head, which is wraparound-safe as long as both
+ * pointers wrap together. A tail overflow past UINT64_MAX would break
+ * the used() arithmetic, so push() guards it; at the paper's 25 GB/s
+ * per queue that is ~23 years of continuous traffic, making the guard
+ * a diagnostic rather than an operating concern.
+ */
 class DataQueue
 {
   public:
@@ -29,6 +39,9 @@ class DataQueue
 
     /**
      * Reserve space for an incoming payload.
+     *
+     * @param bytes payload size; must be nonzero (a zero-byte descriptor
+     *              is a driver bug, rejected via fatal)
      * @return false when the queue lacks space (backpressure)
      */
     bool push(std::uint64_t bytes);

@@ -671,9 +671,12 @@ runKernelOnDrx(const Kernel &kernel, const restructure::Bytes &input,
     const CompiledKernel compiled = compileKernel(kernel, machine);
     machine.write(compiled.input_addr, input.data(), input.size());
     RunResult res;
-    for (const Program &p : compiled.programs)
+    for (const Program &p : compiled.programs) {
         res += machine.run(p);
-    if (out) {
+        if (res.faulted)
+            break; // the machine trapped; later stages never start
+    }
+    if (out && !res.faulted) {
         *out = machine.read(compiled.output_addr,
                             compiled.out_desc.bytes());
     }

@@ -10,6 +10,15 @@
 namespace dmx::drx
 {
 
+namespace
+{
+
+/// Cycles charged when an injected machine fault traps a program run
+/// (fault detection, pipeline drain and status report to the driver).
+constexpr Cycles machine_fault_trap_cycles = 512;
+
+} // namespace
+
 DrxMachine::DrxMachine(DrxConfig cfg) : _cfg(cfg)
 {
     if (_cfg.lanes == 0)
@@ -128,6 +137,18 @@ RunResult
 DrxMachine::run(const Program &program)
 {
     program.validate();
+
+    if (_fault_hook && _fault_hook() == fault::MachineAction::Fault) {
+        // The machine trapped before committing any output. Charge a
+        // small fixed trap-and-report cost; recovery (retry, or CPU
+        // fallback once the device is marked unhealthy) is the
+        // runtime's responsibility.
+        ++_faults;
+        RunResult res;
+        res.faulted = true;
+        res.total_cycles = machine_fault_trap_cycles;
+        return res;
+    }
 
     // Decode configuration section.
     std::uint32_t iters[max_loop_dims] = {1, 1, 1};

@@ -30,6 +30,7 @@
 
 #include "common/units.hh"
 #include "drx/program.hh"
+#include "fault/hooks.hh"
 
 namespace dmx::drx
 {
@@ -64,6 +65,10 @@ struct RunResult
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
     std::uint64_t dyn_instructions = 0;
+    /// An injected machine fault interrupted execution: cycle counts
+    /// cover only the work done before the fault and no output was
+    /// produced.
+    bool faulted = false;
 
     RunResult &
     operator+=(const RunResult &o)
@@ -74,6 +79,7 @@ struct RunResult
         bytes_read += o.bytes_read;
         bytes_written += o.bytes_written;
         dyn_instructions += o.dyn_instructions;
+        faulted = faulted || o.faulted;
         return *this;
     }
 
@@ -121,6 +127,16 @@ class DrxMachine
      */
     RunResult run(const Program &program);
 
+    /**
+     * Install (or clear, with nullptr) the fault-injection hook
+     * consulted at the start of every program run. A Fault decision
+     * aborts the run after the trap cost, with result.faulted set.
+     */
+    void setFaultHook(fault::MachineHook hook) { _fault_hook = std::move(hook); }
+
+    /** @return program runs aborted by an injected machine fault. */
+    std::uint64_t faultCount() const { return _faults; }
+
   private:
     struct StreamState
     {
@@ -140,6 +156,8 @@ class DrxMachine
     void checkScratch(const std::vector<std::vector<float>> &regs) const;
 
     DrxConfig _cfg;
+    fault::MachineHook _fault_hook;
+    std::uint64_t _faults = 0;
     std::vector<std::uint8_t> _dram;
     std::uint64_t _brk = 0;
 };

@@ -1,0 +1,203 @@
+#include "fault/fault.hh"
+
+#include "common/logging.hh"
+
+namespace dmx::fault
+{
+
+namespace
+{
+
+/// Site-stream derivation constants: arbitrary odd words xored into the
+/// master seed so the four streams are decorrelated.
+constexpr std::uint64_t flow_stream = 0x1b87f1a7c5d2e3f1ull;
+constexpr std::uint64_t kernel_stream = 0x9d3a55a1b4c6d7e9ull;
+constexpr std::uint64_t machine_stream = 0x5e2c33c9d8e0f1a3ull;
+constexpr std::uint64_t irq_stream = 0x7f4b11e5f6a8b9c7ull;
+
+void
+checkProb(const char *what, double p)
+{
+    if (p < 0.0 || p > 1.0)
+        dmx_fatal("FaultPlan: %s probability %g outside [0, 1]", what, p);
+}
+
+} // namespace
+
+FaultPlan::FaultPlan(FaultSpec spec)
+    : _spec(spec),
+      _flow_rng(spec.seed ^ flow_stream),
+      _kernel_rng(spec.seed ^ kernel_stream),
+      _machine_rng(spec.seed ^ machine_stream),
+      _irq_rng(spec.seed ^ irq_stream)
+{
+    checkProb("flow_stall", spec.flow_stall_prob);
+    checkProb("flow_corrupt", spec.flow_corrupt_prob);
+    checkProb("kernel_fail", spec.kernel_fail_prob);
+    checkProb("kernel_hang", spec.kernel_hang_prob);
+    checkProb("irq_drop", spec.irq_drop_prob);
+    checkProb("drx_fault", spec.drx_fault_prob);
+    if (spec.flow_stall_prob + spec.flow_corrupt_prob > 1.0)
+        dmx_fatal("FaultPlan: flow stall+corrupt probabilities exceed 1");
+    if (spec.kernel_fail_prob + spec.kernel_hang_prob > 1.0)
+        dmx_fatal("FaultPlan: kernel fail+hang probabilities exceed 1");
+    if (spec.unhealthy_threshold == 0)
+        dmx_fatal("FaultPlan: unhealthy_threshold must be >= 1");
+}
+
+FlowAction
+FaultPlan::onFlow(std::uint32_t src, std::uint32_t dst,
+                  std::uint64_t bytes)
+{
+    (void)src;
+    (void)dst;
+    (void)bytes;
+    const std::uint64_t n = _flow_n++;
+    ++_stats.flows_seen;
+    // Always draw so scripted entries do not shift later decisions.
+    const double u = _flow_rng.uniform();
+    FlowAction action;
+    if (const auto it = _flow_script.find(n); it != _flow_script.end()) {
+        action = it->second;
+    } else if (u < _spec.flow_stall_prob) {
+        action = FlowAction::Stall;
+    } else if (u < _spec.flow_stall_prob + _spec.flow_corrupt_prob) {
+        action = FlowAction::Corrupt;
+    } else {
+        action = FlowAction::None;
+    }
+    if (action == FlowAction::Stall)
+        ++_stats.flows_stalled;
+    else if (action == FlowAction::Corrupt)
+        ++_stats.flows_corrupted;
+    return action;
+}
+
+KernelAction
+FaultPlan::onKernel()
+{
+    const std::uint64_t n = _kernel_n++;
+    ++_stats.kernels_seen;
+    const double u = _kernel_rng.uniform();
+    KernelAction action;
+    if (const auto it = _kernel_script.find(n);
+        it != _kernel_script.end()) {
+        action = it->second;
+    } else if (u < _spec.kernel_fail_prob) {
+        action = KernelAction::Fail;
+    } else if (u < _spec.kernel_fail_prob + _spec.kernel_hang_prob) {
+        action = KernelAction::Hang;
+    } else {
+        action = KernelAction::None;
+    }
+    if (action == KernelAction::Fail)
+        ++_stats.kernels_failed;
+    else if (action == KernelAction::Hang)
+        ++_stats.kernels_hung;
+    return action;
+}
+
+MachineAction
+FaultPlan::onMachine()
+{
+    const std::uint64_t n = _machine_n++;
+    ++_stats.machines_seen;
+    const double u = _machine_rng.uniform();
+    MachineAction action;
+    if (const auto it = _machine_script.find(n);
+        it != _machine_script.end()) {
+        action = it->second;
+    } else {
+        action = u < _spec.drx_fault_prob ? MachineAction::Fault
+                                          : MachineAction::None;
+    }
+    if (action == MachineAction::Fault)
+        ++_stats.machine_faults;
+    return action;
+}
+
+IrqAction
+FaultPlan::onIrq()
+{
+    const std::uint64_t n = _irq_n++;
+    ++_stats.irqs_seen;
+    const double u = _irq_rng.uniform();
+    IrqAction action;
+    if (const auto it = _irq_script.find(n); it != _irq_script.end()) {
+        action = it->second;
+    } else {
+        action =
+            u < _spec.irq_drop_prob ? IrqAction::Drop : IrqAction::None;
+    }
+    if (action == IrqAction::Drop)
+        ++_stats.irqs_dropped;
+    return action;
+}
+
+void
+FaultPlan::scriptFlow(std::uint64_t nth, FlowAction action)
+{
+    _flow_script[nth] = action;
+}
+
+void
+FaultPlan::scriptKernel(std::uint64_t nth, KernelAction action)
+{
+    _kernel_script[nth] = action;
+}
+
+void
+FaultPlan::scriptMachine(std::uint64_t nth, MachineAction action)
+{
+    _machine_script[nth] = action;
+}
+
+void
+FaultPlan::scriptIrq(std::uint64_t nth, IrqAction action)
+{
+    _irq_script[nth] = action;
+}
+
+std::string
+toString(FlowAction a)
+{
+    switch (a) {
+      case FlowAction::None:    return "none";
+      case FlowAction::Stall:   return "stall";
+      case FlowAction::Corrupt: return "corrupt";
+    }
+    return "?";
+}
+
+std::string
+toString(KernelAction a)
+{
+    switch (a) {
+      case KernelAction::None: return "none";
+      case KernelAction::Fail: return "fail";
+      case KernelAction::Hang: return "hang";
+    }
+    return "?";
+}
+
+std::string
+toString(MachineAction a)
+{
+    switch (a) {
+      case MachineAction::None:  return "none";
+      case MachineAction::Fault: return "fault";
+    }
+    return "?";
+}
+
+std::string
+toString(IrqAction a)
+{
+    switch (a) {
+      case IrqAction::None: return "none";
+      case IrqAction::Drop: return "drop";
+    }
+    return "?";
+}
+
+} // namespace dmx::fault

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic, seeded fault plans.
+ *
+ * A FaultPlan decides, for every injectable operation in the simulator,
+ * whether it proceeds normally or fails in a layer-appropriate way. Two
+ * mechanisms compose:
+ *
+ *  - *probabilistic* faults: each site (flows, kernels, DRX programs,
+ *    interrupts) draws from its own seeded Rng stream, so fault
+ *    sequences are reproducible and independent across sites;
+ *  - *scripted* faults: "fault the nth query at this site" overrides,
+ *    which tests and the chaos example use to build exact scenarios
+ *    (e.g. stall exactly the first DMA, then succeed).
+ *
+ * Determinism contract: with equal seeds and equal (deterministic)
+ * simulations, two runs see identical fault decisions, identical retry
+ * counts and identical final simulated times.
+ */
+
+#ifndef DMX_FAULT_FAULT_HH
+#define DMX_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/random.hh"
+#include "fault/hooks.hh"
+
+namespace dmx::fault
+{
+
+/** Probabilities and knobs of one fault plan. */
+struct FaultSpec
+{
+    std::uint64_t seed = 1;        ///< master seed for all fault streams
+
+    double flow_stall_prob = 0;    ///< P[a DMA flow wedges]
+    double flow_corrupt_prob = 0;  ///< P[a DMA flow fails its CRC]
+    double kernel_fail_prob = 0;   ///< P[an accelerator kernel errors]
+    double kernel_hang_prob = 0;   ///< P[an accelerator kernel hangs]
+    double drx_fault_prob = 0;     ///< P[a DRX program faults]
+    double irq_drop_prob = 0;      ///< P[a completion irq is lost]
+
+    /// When true, the switch's p2p forwarding path is considered down
+    /// and the runtime stages p2p copies through the root complex.
+    bool p2p_switch_faulted = false;
+
+    /// Consecutive command failures before a device is marked unhealthy
+    /// (and, for DRX devices, work degrades to CPU restructuring).
+    unsigned unhealthy_threshold = 3;
+};
+
+/** Cumulative counts of queries and injected faults. */
+struct FaultStats
+{
+    std::uint64_t flows_seen = 0;
+    std::uint64_t flows_stalled = 0;
+    std::uint64_t flows_corrupted = 0;
+    std::uint64_t kernels_seen = 0;
+    std::uint64_t kernels_failed = 0;
+    std::uint64_t kernels_hung = 0;
+    std::uint64_t machines_seen = 0;
+    std::uint64_t machine_faults = 0;
+    std::uint64_t irqs_seen = 0;
+    std::uint64_t irqs_dropped = 0;
+
+    /** @return total faults injected across every site. */
+    std::uint64_t
+    injected() const
+    {
+        return flows_stalled + flows_corrupted + kernels_failed +
+               kernels_hung + machine_faults + irqs_dropped;
+    }
+};
+
+/**
+ * The fault decision engine. Install with Platform::setFaultPlan (or
+ * wire the on*() members into layer hooks directly). The plan is
+ * stateful: site counters advance on every query.
+ */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(FaultSpec spec = {});
+
+    const FaultSpec &spec() const { return _spec; }
+    const FaultStats &stats() const { return _stats; }
+
+    // ------------------------------------------------ hook entry points
+
+    /** Decide the fate of a starting flow. */
+    FlowAction onFlow(std::uint32_t src, std::uint32_t dst,
+                      std::uint64_t bytes);
+
+    /** Decide the fate of a kernel submission. */
+    KernelAction onKernel();
+
+    /** Decide the fate of a DRX program run. */
+    MachineAction onMachine();
+
+    /** Decide the fate of a completion notification. */
+    IrqAction onIrq();
+
+    /** @return true while the switch p2p path is considered down. */
+    bool p2pFaulted() const { return _spec.p2p_switch_faulted; }
+
+    /** Fail or restore the switch p2p forwarding path. */
+    void setP2pFaulted(bool faulted) { _spec.p2p_switch_faulted = faulted; }
+
+    // -------------------------------------------------- scripted faults
+    // The nth (0-based) query at a site takes the scripted action
+    // instead of a probabilistic draw. The Rng stream still advances on
+    // scripted queries so that adding a script does not perturb the
+    // probabilistic decisions of later queries.
+
+    void scriptFlow(std::uint64_t nth, FlowAction action);
+    void scriptKernel(std::uint64_t nth, KernelAction action);
+    void scriptMachine(std::uint64_t nth, MachineAction action);
+    void scriptIrq(std::uint64_t nth, IrqAction action);
+
+  private:
+    FaultSpec _spec;
+    FaultStats _stats;
+
+    // Independent streams per site: the decision sequence at one site
+    // does not depend on how queries interleave with other sites.
+    Rng _flow_rng;
+    Rng _kernel_rng;
+    Rng _machine_rng;
+    Rng _irq_rng;
+
+    std::uint64_t _flow_n = 0;
+    std::uint64_t _kernel_n = 0;
+    std::uint64_t _machine_n = 0;
+    std::uint64_t _irq_n = 0;
+
+    std::map<std::uint64_t, FlowAction> _flow_script;
+    std::map<std::uint64_t, KernelAction> _kernel_script;
+    std::map<std::uint64_t, MachineAction> _machine_script;
+    std::map<std::uint64_t, IrqAction> _irq_script;
+};
+
+/** @return human name of an action, e.g. "stall". */
+std::string toString(FlowAction a);
+std::string toString(KernelAction a);
+std::string toString(MachineAction a);
+std::string toString(IrqAction a);
+
+} // namespace dmx::fault
+
+#endif // DMX_FAULT_FAULT_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-device health tracking.
+ *
+ * The runtime keeps one HealthTracker per device. Command failures
+ * (errors and timeouts, counting every retry attempt) advance a
+ * consecutive-failure streak; a success resets it. Once the streak
+ * reaches the threshold the device is marked unhealthy and stays so
+ * until reset() - the runtime stops dispatching to an unhealthy device,
+ * so there is no organic path back to health (mirroring a device held
+ * in reset pending operator attention).
+ */
+
+#ifndef DMX_FAULT_HEALTH_HH
+#define DMX_FAULT_HEALTH_HH
+
+#include <cstdint>
+
+namespace dmx::fault
+{
+
+/** Consecutive-failure health state of one device. */
+class HealthTracker
+{
+  public:
+    /** @param threshold consecutive failures that mark unhealthy */
+    explicit HealthTracker(unsigned threshold = 3)
+        : _threshold(threshold == 0 ? 1 : threshold)
+    {
+    }
+
+    /** Record a successful command attempt. */
+    void
+    recordSuccess()
+    {
+        _streak = 0;
+        ++_successes;
+    }
+
+    /** Record a failed command attempt (error or timeout). */
+    void
+    recordFailure()
+    {
+        ++_failures;
+        if (!_unhealthy && ++_streak >= _threshold)
+            _unhealthy = true;
+    }
+
+    /** Return the device to service and clear the streak. */
+    void
+    reset()
+    {
+        _unhealthy = false;
+        _streak = 0;
+    }
+
+    bool healthy() const { return !_unhealthy; }
+    unsigned consecutiveFailures() const { return _streak; }
+    unsigned threshold() const { return _threshold; }
+    std::uint64_t totalFailures() const { return _failures; }
+    std::uint64_t totalSuccesses() const { return _successes; }
+
+  private:
+    unsigned _threshold;
+    unsigned _streak = 0;
+    bool _unhealthy = false;
+    std::uint64_t _failures = 0;
+    std::uint64_t _successes = 0;
+};
+
+} // namespace dmx::fault
+
+#endif // DMX_FAULT_HEALTH_HH

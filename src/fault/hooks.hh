@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fault-injection hook types shared by the simulated hardware layers.
+ *
+ * Each injectable layer (PCIe fabric, accelerator units, DRX machines,
+ * the interrupt controller) owns an optional hook of the matching type.
+ * When no hook is installed the layer behaves exactly as before - the
+ * null check is the only cost, so fault support is zero-overhead by
+ * default. Hooks are consulted once per operation and return the action
+ * to take; the stock implementation of every hook is fault::FaultPlan,
+ * but tests may install ad-hoc lambdas.
+ *
+ * This header is intentionally dependency-free so that the hardware
+ * layers can include it without linking against dmx_fault.
+ */
+
+#ifndef DMX_FAULT_HOOKS_HH
+#define DMX_FAULT_HOOKS_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace dmx::fault
+{
+
+/** What to do with a PCIe flow that is about to start. */
+enum class FlowAction
+{
+    None,    ///< deliver normally
+    Stall,   ///< the DMA never completes (link wedged; caller times out)
+    Corrupt, ///< delivered on time but fails the end-to-end CRC check
+};
+
+/** What to do with a kernel submitted to an accelerator unit. */
+enum class KernelAction
+{
+    None, ///< run normally
+    Fail, ///< completes at the normal time with an error status
+    Hang, ///< never signals completion (caller times out)
+};
+
+/** What to do with a DRX program about to execute. */
+enum class MachineAction
+{
+    None,  ///< run normally
+    Fault, ///< the machine raises a fault; the run produces no output
+};
+
+/** What to do with a completion notification. */
+enum class IrqAction
+{
+    None, ///< delivered normally
+    Drop, ///< lost; the driver discovers completion by polling later
+};
+
+/** Fabric hook: consulted by every startFlow (src, dst, bytes). */
+using FlowHook = std::function<FlowAction(
+    std::uint32_t src, std::uint32_t dst, std::uint64_t bytes)>;
+
+/** Device-unit hook: consulted by every kernel submission. */
+using KernelHook = std::function<KernelAction()>;
+
+/** DRX-machine hook: consulted by every program run. */
+using MachineHook = std::function<MachineAction()>;
+
+/** Interrupt-controller hook: consulted by every notification. */
+using IrqHook = std::function<IrqAction()>;
+
+} // namespace dmx::fault
+
+#endif // DMX_FAULT_HOOKS_HH

@@ -137,10 +137,36 @@ FlowId
 Fabric::startFlow(NodeId src, NodeId dst, std::uint64_t bytes,
                   FlowCallback callback)
 {
+    // The status-blind legacy entry point: completion means delivery.
+    return startFlowChecked(
+        src, dst, bytes,
+        [callback = std::move(callback)](bool ok) {
+            (void)ok;
+            if (callback)
+                callback();
+        });
+}
+
+FlowId
+Fabric::startFlowChecked(NodeId src, NodeId dst, std::uint64_t bytes,
+                         FlowStatusCallback callback)
+{
     if (src >= _nodes.size() || dst >= _nodes.size())
         dmx_fatal("startFlow: node id out of range");
     if (src == dst)
         dmx_fatal("startFlow: src == dst (%s)", _nodes[src].name.c_str());
+
+    fault::FlowAction action = fault::FlowAction::None;
+    if (_fault_hook)
+        action = _fault_hook(src, dst, bytes);
+    if (action == fault::FlowAction::Stall) {
+        // The link wedged mid-transfer: the DMA engine never raises its
+        // completion. The flow is dropped rather than parked so a
+        // wedged transfer does not consume fair-share bandwidth; the
+        // caller's watchdog is responsible for detecting the loss.
+        ++_stalled_flows;
+        return _next_flow++;
+    }
 
     Flow flow;
     flow.src = src;
@@ -151,6 +177,10 @@ Fabric::startFlow(NodeId src, NodeId dst, std::uint64_t bytes,
         dmx_fatal("startFlow: no path between %s and %s",
                   _nodes[src].name.c_str(), _nodes[dst].name.c_str());
     flow.callback = std::move(callback);
+    if (action == fault::FlowAction::Corrupt) {
+        flow.corrupt = true;
+        ++_corrupted_flows;
+    }
 
     // Start latency: DMA setup plus one traversal fee per interior node.
     Tick latency = _params.dma_setup;
@@ -314,13 +344,13 @@ Fabric::onCompletionCheck()
 
     // Collect finished flows first, then fire callbacks after the fabric
     // state is consistent (callbacks often start follow-on flows).
-    std::vector<FlowCallback> done;
+    std::vector<std::pair<FlowStatusCallback, bool>> done;
     const Tick t = now();
     for (auto it = _flows.begin(); it != _flows.end();) {
         Flow &flow = it->second;
         if (flow.eligible_at <= t &&
             flow.remaining <= completion_epsilon) {
-            done.push_back(std::move(flow.callback));
+            done.emplace_back(std::move(flow.callback), !flow.corrupt);
             it = _flows.erase(it);
         } else {
             ++it;
@@ -330,9 +360,9 @@ Fabric::onCompletionCheck()
     solveRates();
     scheduleNextCompletion();
 
-    for (FlowCallback &cb : done) {
+    for (auto &[cb, ok] : done) {
         if (cb)
-            cb();
+            cb(ok);
     }
 }
 

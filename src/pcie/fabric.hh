@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/hooks.hh"
 #include "pcie/generation.hh"
 #include "sim/sim_object.hh"
 
@@ -49,6 +50,14 @@ struct LinkStats
 
 /** Completion callback: invoked at the simulated completion time. */
 using FlowCallback = std::function<void()>;
+
+/**
+ * Status-carrying completion callback: @p ok is false when the flow was
+ * delivered but failed its end-to-end check (injected corruption).
+ * Stalled flows never invoke their callback; callers that can see
+ * stalls own a watchdog (the runtime's per-command timeout).
+ */
+using FlowStatusCallback = std::function<void(bool ok)>;
 
 /** Tunable fabric constants. */
 struct FabricParams
@@ -106,6 +115,27 @@ class Fabric : public sim::SimObject
      */
     FlowId startFlow(NodeId src, NodeId dst, std::uint64_t bytes,
                      FlowCallback callback);
+
+    /**
+     * Like startFlow, but the callback learns whether the payload
+     * arrived intact. Under an installed fault hook the flow may stall
+     * (callback never fires) or arrive corrupted (callback fires with
+     * ok == false at the normal completion time).
+     */
+    FlowId startFlowChecked(NodeId src, NodeId dst, std::uint64_t bytes,
+                            FlowStatusCallback callback);
+
+    /**
+     * Install (or clear, with nullptr) the fault-injection hook
+     * consulted by every subsequent flow start.
+     */
+    void setFaultHook(fault::FlowHook hook) { _fault_hook = std::move(hook); }
+
+    /** @return flows that stalled (wedged, never completing). */
+    std::uint64_t stalledFlows() const { return _stalled_flows; }
+
+    /** @return flows delivered with an injected corruption. */
+    std::uint64_t corruptedFlows() const { return _corrupted_flows; }
 
     /** @return number of in-flight flows. */
     std::size_t activeFlows() const { return _flows.size(); }
@@ -166,8 +196,9 @@ class Fabric : public sim::SimObject
         double remaining;              ///< bytes left to stream
         double rate = 0;               ///< current bytes/second
         Tick eligible_at;              ///< start latency absorbed until here
+        bool corrupt = false;          ///< delivered but fails its check
         std::vector<DirectedLink> path;
-        FlowCallback callback;
+        FlowStatusCallback callback;
     };
 
     /** Find the unique tree path between two nodes (directed links). */
@@ -186,6 +217,9 @@ class Fabric : public sim::SimObject
     void onCompletionCheck();
 
     Params _params;
+    fault::FlowHook _fault_hook;
+    std::uint64_t _stalled_flows = 0;
+    std::uint64_t _corrupted_flows = 0;
     std::vector<Node> _nodes;
     std::vector<Link> _links;
     std::vector<LinkStats> _link_stats;

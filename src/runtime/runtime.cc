@@ -1,8 +1,10 @@
 #include "runtime/runtime.hh"
 
 #include <map>
+#include <utility>
 
 #include "common/logging.hh"
+#include "restructure/cpu_exec.hh"
 
 namespace dmx::runtime
 {
@@ -13,7 +15,27 @@ namespace
 /** Default link for runtime devices: Gen3 x16 under one switch. */
 constexpr pcie::Generation runtime_gen = pcie::Generation::Gen3;
 
+/**
+ * Watchdog installed when a fault plan raises a zero policy timeout:
+ * generously above any healthy command in the runtime's operating
+ * range (multi-MB flows at Gen3 take ~1 ms; kernels a few ms), so it
+ * only ever fires for injected stalls and hangs.
+ */
+constexpr Tick default_fault_timeout = 50 * tick_per_ms;
+
 } // namespace
+
+std::string
+toString(Status s)
+{
+    switch (s) {
+      case Status::Pending: return "pending";
+      case Status::Ok: return "ok";
+      case Status::Failed: return "failed";
+      case Status::TimedOut: return "timed-out";
+    }
+    return "?";
+}
 
 // --------------------------------------------------------------- Event
 
@@ -38,9 +60,10 @@ waiterMap()
 }
 
 void
-fireEvent(const std::shared_ptr<Event::State> &state, Tick at)
+fireEvent(const std::shared_ptr<Event::State> &state, Status status,
+          Tick at)
 {
-    state->done = true;
+    state->status = status;
     state->at = at;
     auto &m = waiterMap();
     const auto it = m.find(state.get());
@@ -56,7 +79,7 @@ void
 whenDone(const std::shared_ptr<Event::State> &state,
          std::function<void()> fn)
 {
-    if (!state || state->done) {
+    if (!state || state->status != Status::Pending) {
         fn();
         return;
     }
@@ -64,6 +87,198 @@ whenDone(const std::shared_ptr<Event::State> &state,
 }
 
 } // namespace
+
+Tick
+Event::completeTime() const
+{
+    if (!_state)
+        dmx_fatal("Event::completeTime on an invalid "
+                  "(default-constructed) event");
+    if (_state->status == Status::Pending)
+        dmx_fatal("Event::completeTime on a pending command; "
+                  "finish() the queue first");
+    return _state->at;
+}
+
+// ------------------------------------------------------ CommandEngine
+
+namespace detail
+{
+
+/**
+ * The per-command reliability engine.
+ *
+ * Every enqueued command is wrapped in a Command record whose attempts
+ * run under an optional watchdog and the platform's retry policy. The
+ * device-specific part is the `work` closure: it launches one attempt
+ * and reports success/failure through its callback - or never reports,
+ * for injected stalls and hangs, which the watchdog converts into a
+ * timed-out attempt. Commands on an unhealthy device with a `fallback`
+ * closure (DRX restructuring) degrade to the host CPU instead of
+ * touching the device again.
+ *
+ * Lifetime: scheduled events hold shared_ptrs to the Command; once the
+ * command settles no further events reference it and it frees itself.
+ */
+struct CommandEngine
+{
+    /** Reports one attempt's outcome (exactly once, or never). */
+    using AttemptResult = std::function<void(bool ok)>;
+    /** Launches one attempt of the command's device work. */
+    using AttemptFn = std::function<void(AttemptResult)>;
+
+    struct Command : std::enable_shared_from_this<Command>
+    {
+        Context *ctx = nullptr;
+        DeviceId device = 0;
+        std::shared_ptr<Event::State> state;
+        AttemptFn work;
+        AttemptFn fallback; ///< CPU degradation path (may be empty)
+
+        void
+        beginAttempt(unsigned n)
+        {
+            Platform &p = ctx->platform();
+            Platform::Device &d = p._devices[device];
+
+            if (fallback && !d.health.healthy()) {
+                // Graceful degradation: the device tripped its
+                // unhealthy threshold, so run the work on the host
+                // CPU at its honestly worse cost.
+                ++d.fstats.fallbacks;
+                state->degraded = true;
+                auto self = shared_from_this();
+                fallback([self](bool) { self->settleOk(); });
+                return;
+            }
+
+            ++d.fstats.attempts;
+            auto self = shared_from_this();
+            auto settled = std::make_shared<bool>(false);
+            sim::EventHandle watchdog;
+            if (p._policy.timeout > 0) {
+                watchdog = p._eq.scheduleIn(
+                    p._policy.timeout, [self, settled, n] {
+                        if (*settled)
+                            return;
+                        *settled = true;
+                        Platform &plat = self->ctx->platform();
+                        ++plat._devices[self->device].fstats.timeouts;
+                        self->fail(n, Status::TimedOut);
+                    });
+            }
+            work([self, settled, watchdog, n](bool ok) mutable {
+                // A late device completion after the watchdog already
+                // failed the attempt is dropped here.
+                if (*settled)
+                    return;
+                *settled = true;
+                watchdog.cancel();
+                if (ok)
+                    self->succeed();
+                else
+                    self->fail(n, Status::Failed);
+            });
+        }
+
+        void
+        succeed()
+        {
+            Platform &p = ctx->platform();
+            p._devices[device].health.recordSuccess();
+            settleOk();
+        }
+
+        void
+        settleOk()
+        {
+            Platform &p = ctx->platform();
+            if (p._plan) {
+                // Completion reaches the host through the driver
+                // notification path (possibly a recovery poll when the
+                // irq was dropped). Fault-free runs keep the seed's
+                // immediate host visibility.
+                const auto notif = p._irq->notifyChecked();
+                const Tick at = p.now() + notif.latency;
+                auto st = state;
+                p._eq.schedule(
+                    at, [st, at] { fireEvent(st, Status::Ok, at); });
+                return;
+            }
+            fireEvent(state, Status::Ok, p.now());
+        }
+
+        void
+        fail(unsigned n, Status reason)
+        {
+            Platform &p = ctx->platform();
+            Platform::Device &d = p._devices[device];
+            d.health.recordFailure();
+            ++d.fstats.failures;
+            if (n >= p._policy.max_retries) {
+                ++d.fstats.commands_failed;
+                fireEvent(state, reason, p.now());
+                return;
+            }
+            state->retries = n + 1;
+            ++d.fstats.retries;
+            auto self = shared_from_this();
+            p._eq.scheduleIn(backoffDelay(p, n), [self, n] {
+                self->beginAttempt(n + 1);
+            });
+        }
+    };
+
+    /** @return backoff before the retry of failed attempt @p n. */
+    static Tick
+    backoffDelay(Platform &p, unsigned n)
+    {
+        const CommandPolicy &pol = p._policy;
+        double delay = static_cast<double>(pol.backoff_base);
+        for (unsigned i = 0; i < n; ++i)
+            delay *= pol.backoff_mult;
+        delay *= 1.0 + pol.jitter_frac * p._jitter.uniform();
+        return static_cast<Tick>(delay);
+    }
+
+    /**
+     * Chain a command onto @p q: it starts when the queue's previous
+     * command settles Ok, and settles Failed without touching the
+     * device when the predecessor did not (error cascade - the
+     * in-order contract means its input was never produced).
+     */
+    static Event
+    launch(CommandQueue &q, AttemptFn work, AttemptFn fallback)
+    {
+        Event ev;
+        ev._state = std::make_shared<Event::State>();
+        auto cmd = std::make_shared<Command>();
+        cmd->ctx = q._ctx;
+        cmd->device = q._device;
+        cmd->state = ev._state;
+        cmd->work = std::move(work);
+        cmd->fallback = std::move(fallback);
+
+        auto prev = q._last._state;
+        whenDone(prev, [cmd, prev] {
+            Platform &p = cmd->ctx->platform();
+            if (prev && prev->status != Status::Ok) {
+                Platform::Device &d = p._devices[cmd->device];
+                ++d.fstats.cascaded;
+                ++d.fstats.commands_failed;
+                fireEvent(cmd->state, Status::Failed, p.now());
+                return;
+            }
+            p._eq.scheduleIn(0, [cmd] { cmd->beginAttempt(0); });
+        });
+        q._last = ev;
+        return ev;
+    }
+};
+
+} // namespace detail
+
+using detail::CommandEngine;
 
 // ------------------------------------------------------------ Platform
 
@@ -73,6 +288,11 @@ Platform::Platform()
     _rc = _fabric->addNode(pcie::NodeKind::RootComplex, "rc");
     _switch = _fabric->addNode(pcie::NodeKind::Switch, "sw0");
     _fabric->connect(_rc, _switch, runtime_gen, 8);
+    _host = std::make_unique<cpu::CorePool>(
+        _eq, "runtime.host", _host_params.cores,
+        _host_params.max_job_cores);
+    _irq = std::make_unique<driver::InterruptController>(
+        _eq, "runtime.irq", driver::InterruptParams{}, _host.get());
 }
 
 Platform::~Platform() = default;
@@ -90,6 +310,8 @@ Platform::addAccelerator(const std::string &name, accel::Domain domain,
     dev.node = _fabric->addNode(pcie::NodeKind::EndPoint, name);
     _fabric->connect(_switch, dev.node, runtime_gen, 16);
     _devices.push_back(std::move(dev));
+    if (_plan)
+        wireDevice(_devices.back());
     return _devices.size() - 1;
 }
 
@@ -105,6 +327,8 @@ Platform::addDrx(const std::string &name, const drx::DrxConfig &cfg)
     dev.node = _fabric->addNode(pcie::NodeKind::EndPoint, name);
     _fabric->connect(_switch, dev.node, runtime_gen, 16);
     _devices.push_back(std::move(dev));
+    if (_plan)
+        wireDevice(_devices.back());
     return _devices.size() - 1;
 }
 
@@ -120,6 +344,76 @@ Platform::deviceName(DeviceId id) const
     if (id >= _devices.size())
         dmx_fatal("Platform::deviceName: bad device id %zu", id);
     return _devices[id].name;
+}
+
+void
+Platform::setFaultPlan(fault::FaultPlan *plan)
+{
+    _plan = plan;
+    if (!plan) {
+        _fabric->setFaultHook(nullptr);
+        _irq->setFaultHook(nullptr);
+        for (auto &dev : _devices) {
+            if (dev.unit)
+                dev.unit->setFaultHook(nullptr);
+            if (dev.machine)
+                dev.machine->setFaultHook(nullptr);
+        }
+        return;
+    }
+    // Jitter draws from its own plan-derived stream so retries are
+    // reproducible and do not consume the plan's decision streams.
+    _jitter = Rng(plan->spec().seed ^ 0x7261f3b9d4a1c8e5ull);
+    if (_policy.timeout == 0)
+        _policy.timeout = default_fault_timeout;
+    _fabric->setFaultHook(
+        [plan](std::uint32_t src, std::uint32_t dst,
+               std::uint64_t bytes) {
+            return plan->onFlow(src, dst, bytes);
+        });
+    _irq->setFaultHook([plan] { return plan->onIrq(); });
+    for (auto &dev : _devices)
+        wireDevice(dev);
+}
+
+void
+Platform::wireDevice(Device &dev)
+{
+    fault::FaultPlan *plan = _plan;
+    dev.health = fault::HealthTracker(plan->spec().unhealthy_threshold);
+    if (dev.is_drx) {
+        // DRX failures are decided at the machine (program) level; the
+        // serving unit stays unhooked so the fault probability is not
+        // charged twice per submission.
+        dev.machine->setFaultHook([plan] { return plan->onMachine(); });
+        dev.unit->setFaultHook(nullptr);
+    } else {
+        dev.unit->setFaultHook([plan] { return plan->onKernel(); });
+    }
+}
+
+void
+Platform::setCommandPolicy(const CommandPolicy &policy)
+{
+    _policy = policy;
+    if (_plan && _policy.timeout == 0)
+        _policy.timeout = default_fault_timeout;
+}
+
+bool
+Platform::deviceHealthy(DeviceId id) const
+{
+    if (id >= _devices.size())
+        dmx_fatal("Platform::deviceHealthy: bad device id %zu", id);
+    return _devices[id].health.healthy();
+}
+
+const DeviceFaultStats &
+Platform::faultStats(DeviceId id) const
+{
+    if (id >= _devices.size())
+        dmx_fatal("Platform::faultStats: bad device id %zu", id);
+    return _devices[id].fstats;
 }
 
 // ------------------------------------------------------------- Context
@@ -180,31 +474,24 @@ CommandQueue::enqueueKernel(BufferId in, BufferId out)
         dmx_fatal("enqueueKernel on DRX device '%s'; use "
                   "enqueueRestructure", dev.name.c_str());
 
-    Event ev;
-    ev._state = std::make_shared<Event::State>();
-    auto state = ev._state;
     Context *ctx = _ctx;
     const DeviceId device = _device;
-
-    whenDone(_last._state, [ctx, device, in, out, state] {
+    auto work = [ctx, device, in, out](
+                    CommandEngine::AttemptResult done) {
         Platform &p = ctx->platform();
         Platform::Device &d = p._devices[device];
-        p._eq.scheduleIn(0, [ctx, device, in, out, state] {
-            Platform &p2 = ctx->platform();
-            Platform::Device &d2 = p2._devices[device];
-            kernels::OpCount ops;
-            Bytes result = d2.fn(ctx->read(in), ops);
-            const Cycles cycles = accel::kernelCycles(d2.spec, ops);
-            d2.unit->submit(cycles, [ctx, out, state,
-                                     result = std::move(result)] {
-                ctx->write(out, result);
-                fireEvent(state, ctx->platform().now());
+        kernels::OpCount ops;
+        Bytes result = d.fn(ctx->read(in), ops);
+        const Cycles cycles = accel::kernelCycles(d.spec, ops);
+        d.unit->submitChecked(
+            cycles, [ctx, out, done,
+                     result = std::move(result)](bool ok) mutable {
+                if (ok)
+                    ctx->write(out, std::move(result));
+                done(ok);
             });
-        });
-        (void)d;
-    });
-    _last = ev;
-    return ev;
+    };
+    return CommandEngine::launch(*this, std::move(work), nullptr);
 }
 
 Event
@@ -217,65 +504,100 @@ CommandQueue::enqueueRestructure(const restructure::Kernel &kernel,
         dmx_fatal("enqueueRestructure on accelerator '%s'",
                   dev.name.c_str());
 
-    Event ev;
-    ev._state = std::make_shared<Event::State>();
-    auto state = ev._state;
     Context *ctx = _ctx;
     const DeviceId device = _device;
     // Copy the kernel: the caller's object may go out of scope before
     // the command reaches the head of the queue.
     auto kcopy = std::make_shared<restructure::Kernel>(kernel);
 
-    whenDone(_last._state, [ctx, device, in, out, state, kcopy] {
+    auto work = [ctx, device, in, out, kcopy](
+                    CommandEngine::AttemptResult done) {
         Platform &p = ctx->platform();
-        p._eq.scheduleIn(0, [ctx, device, in, out, state, kcopy] {
-            Platform &p2 = ctx->platform();
-            Platform::Device &d2 = p2._devices[device];
-            d2.machine->resetAlloc();
-            restructure::Bytes result;
-            const drx::RunResult res = drx::runKernelOnDrx(
-                *kcopy, ctx->read(in), *d2.machine, &result);
-            d2.unit->submit(res.total_cycles,
-                            [ctx, out, state,
-                             result = std::move(result)] {
-                ctx->write(out, result);
-                fireEvent(state, ctx->platform().now());
+        Platform::Device &d = p._devices[device];
+        d.machine->resetAlloc();
+        auto result = std::make_shared<restructure::Bytes>();
+        const drx::RunResult res = drx::runKernelOnDrx(
+            *kcopy, ctx->read(in), *d.machine, result.get());
+        if (res.faulted) {
+            // The machine trapped: charge the trap handling on the
+            // unit, then report the device error at that time.
+            d.unit->submitChecked(res.total_cycles,
+                                  [done](bool) { done(false); });
+            return;
+        }
+        d.unit->submitChecked(
+            res.total_cycles, [ctx, out, done, result](bool ok) {
+                if (ok)
+                    ctx->write(out, std::move(*result));
+                done(ok);
             });
-        });
-    });
-    _last = ev;
-    return ev;
+    };
+    // Degradation path: byte-identical restructuring on the host core
+    // pool, costed like the paper's CPU baseline (thrash factor, spawn
+    // overhead, bounded job parallelism).
+    auto fallback = [ctx, in, out, kcopy](
+                        CommandEngine::AttemptResult done) {
+        Platform &p = ctx->platform();
+        kernels::OpCount ops;
+        Bytes result =
+            restructure::executeOnCpu(*kcopy, ctx->read(in), &ops);
+        const double core_seconds =
+            cpu::restructureCoreSeconds(ops, p._host_params);
+        p._host->submit(
+            core_seconds, p._host_params.max_job_cores,
+            [ctx, out, done, result = std::move(result)]() mutable {
+                ctx->write(out, std::move(result));
+                done(true);
+            });
+    };
+    return CommandEngine::launch(*this, std::move(work),
+                                 std::move(fallback));
 }
 
 Event
-CommandQueue::enqueueCopy(BufferId src, BufferId dst, DeviceId dst_device)
+CommandQueue::enqueueCopy(BufferId src, BufferId dst,
+                          DeviceId dst_device)
 {
     Platform &plat = _ctx->platform();
     if (dst_device >= plat._devices.size())
         dmx_fatal("enqueueCopy: bad destination device %zu", dst_device);
 
-    Event ev;
-    ev._state = std::make_shared<Event::State>();
-    auto state = ev._state;
     Context *ctx = _ctx;
     const DeviceId from = _device;
-
-    whenDone(_last._state, [ctx, from, src, dst, dst_device, state] {
+    auto work = [ctx, from, src, dst, dst_device](
+                    CommandEngine::AttemptResult done) {
         Platform &p = ctx->platform();
-        p._eq.scheduleIn(0, [ctx, from, src, dst, dst_device, state] {
-            Platform &p2 = ctx->platform();
-            const auto bytes =
-                static_cast<std::uint64_t>(ctx->read(src).size());
-            p2._fabric->startFlow(
-                p2._devices[from].node, p2._devices[dst_device].node,
-                bytes, [ctx, src, dst, state] {
-                    ctx->write(dst, ctx->read(src));
-                    fireEvent(state, ctx->platform().now());
+        const auto bytes =
+            static_cast<std::uint64_t>(ctx->read(src).size());
+        const pcie::NodeId sn = p._devices[from].node;
+        const pcie::NodeId dn = p._devices[dst_device].node;
+        auto deliver = [ctx, src, dst, done](bool ok) {
+            if (ok)
+                ctx->write(dst, ctx->read(src));
+            done(ok);
+        };
+        if (p._plan && p._plan->p2pFaulted()) {
+            // The switch's p2p forwarding path is down: stage through
+            // the root complex as two serial DMAs - honestly slower
+            // (twice the traffic and setup, plus the constrained
+            // uplink) but it keeps the pipeline flowing.
+            ++p._devices[from].fstats.rerouted_copies;
+            const pcie::NodeId rc = p._rc;
+            p._fabric->startFlowChecked(
+                sn, rc, bytes,
+                [ctx, rc, dn, bytes, deliver](bool ok) {
+                    if (!ok) {
+                        deliver(false);
+                        return;
+                    }
+                    ctx->platform()._fabric->startFlowChecked(
+                        rc, dn, bytes, deliver);
                 });
-        });
-    });
-    _last = ev;
-    return ev;
+            return;
+        }
+        p._fabric->startFlowChecked(sn, dn, bytes, deliver);
+    };
+    return CommandEngine::launch(*this, std::move(work), nullptr);
 }
 
 void

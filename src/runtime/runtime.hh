@@ -19,6 +19,20 @@
  *   CommandQueue& q = ctx.queue(fft);
  *   Event e = q.enqueueKernel(in, out);          // non-blocking
  *   ctx.finish();                                // drain all queues
+ *
+ * Reliability model: with a fault::FaultPlan installed
+ * (Platform::setFaultPlan), every command runs under a simulated-time
+ * watchdog and a retry policy (exponential backoff with jitter, bounded
+ * retry budget). Commands that exhaust their budget settle as Failed or
+ * TimedOut, and that error cascades down the in-order queue: commands
+ * behind a failed one settle Failed without touching the device, so
+ * finish() always terminates. A DRX that fails enough consecutive
+ * commands is marked unhealthy and its restructuring work transparently
+ * degrades to the host CPU (byte-identical output, honestly slower);
+ * p2p copies re-route through the root complex while the switch's
+ * forwarding path is faulted. With no plan installed none of this
+ * machinery is reachable (hooks are null checks), and timing is
+ * identical to the fault-free runtime.
  */
 
 #ifndef DMX_RUNTIME_RUNTIME_HH
@@ -30,8 +44,14 @@
 #include <vector>
 
 #include "accel/accelerator.hh"
+#include "common/random.hh"
+#include "cpu/core_pool.hh"
+#include "cpu/host_model.hh"
+#include "driver/interrupts.hh"
 #include "drx/compiler.hh"
 #include "drx/machine.hh"
+#include "fault/fault.hh"
+#include "fault/health.hh"
 #include "pcie/fabric.hh"
 #include "restructure/ir.hh"
 #include "sim/eventq.hh"
@@ -51,28 +71,95 @@ using DeviceId = std::size_t;
 /** Opaque buffer handle. */
 using BufferId = std::size_t;
 
+/** Terminal status of a command (Pending until it settles). */
+enum class Status : std::uint8_t
+{
+    Pending,  ///< not yet settled (still queued or executing)
+    Ok,       ///< completed successfully
+    Failed,   ///< device error, retry budget exhausted, or cascaded
+    TimedOut, ///< final attempt's watchdog expired
+};
+
+/** @return human name, e.g. "timed-out". */
+std::string toString(Status s);
+
+/**
+ * Per-command reliability policy (meaningful once a fault plan is
+ * installed; without one commands cannot fail and never retry).
+ */
+struct CommandPolicy
+{
+    /// Watchdog per attempt, in ticks; 0 disables the watchdog.
+    /// setFaultPlan() raises 0 to a default so injected stalls and
+    /// hangs are always detected rather than wedging finish().
+    Tick timeout = 0;
+    /// Retry budget: a command makes at most 1 + max_retries attempts.
+    unsigned max_retries = 3;
+    /// First retry delay; doubles (backoff_mult) per further retry.
+    Tick backoff_base = 200 * tick_per_us;
+    double backoff_mult = 2.0;
+    /// Uniform jitter fraction added on top of the backoff delay
+    /// (delay *= 1 + jitter_frac * U[0,1)), decorrelating retries.
+    double jitter_frac = 0.25;
+};
+
+namespace detail
+{
+struct CommandEngine;
+}
+
 /** Completion state shared with the host program. */
 class Event
 {
   public:
     Event() = default;
 
-    /** @return true once the command completed (in simulated time). */
-    bool complete() const { return _state && _state->done; }
+    /** @return true for events returned by an enqueue (default-
+     *  constructed events are invalid placeholders). */
+    bool valid() const { return _state != nullptr; }
 
-    /** @return simulated completion time (valid once complete()). */
-    Tick completeTime() const { return _state ? _state->at : 0; }
+    /** @return true once the command settled (in simulated time). */
+    bool complete() const
+    {
+        return _state && _state->status != Status::Pending;
+    }
+
+    /** @return terminal status; Pending while incomplete or invalid. */
+    Status status() const
+    {
+        return _state ? _state->status : Status::Pending;
+    }
+
+    /** @return true once the command settled successfully. */
+    bool ok() const { return status() == Status::Ok; }
+
+    /**
+     * @return simulated settle time.
+     * Fatal when the event is invalid or still pending: a time of "0"
+     * for an unfinished command is a silent lie, so the accessor
+     * refuses rather than guessing (satellite: unambiguous Event API).
+     */
+    Tick completeTime() const;
+
+    /** @return retry attempts consumed (0 on the first-try path). */
+    unsigned retries() const { return _state ? _state->retries : 0; }
+
+    /** @return true when the command degraded to the CPU fallback. */
+    bool degraded() const { return _state && _state->degraded; }
 
     /** Shared completion record (public for the runtime internals). */
     struct State
     {
-        bool done = false;
+        Status status = Status::Pending;
         Tick at = 0;
+        unsigned retries = 0;
+        bool degraded = false;
     };
 
   private:
     friend class CommandQueue;
     friend class Context;
+    friend struct detail::CommandEngine;
     std::shared_ptr<State> _state;
 };
 
@@ -98,15 +185,18 @@ class CommandQueue
      * Enqueue a DMA of @p src's contents to @p dst residing on
      * @p dst_device (p2p when both are devices; staged via host root
      * complex only if the placement demands it - the runtime always
-     * uses p2p, mirroring DMX).
+     * uses p2p, mirroring DMX, unless the plan reports the switch's
+     * p2p path faulted, in which case the copy stages through the
+     * root complex at its honestly worse cost).
      */
     Event enqueueCopy(BufferId src, BufferId dst, DeviceId dst_device);
 
-    /** Block (drive simulation) until everything enqueued completed. */
+    /** Block (drive simulation) until everything enqueued settled. */
     void finish();
 
   private:
     friend class Context;
+    friend struct detail::CommandEngine;
     CommandQueue(Context &ctx, DeviceId dev)
         : _ctx(&ctx), _device(dev)
     {
@@ -149,11 +239,26 @@ class Context
   private:
     friend class Platform;
     friend class CommandQueue;
+    friend struct detail::CommandEngine;
     explicit Context(Platform &p);
 
     Platform *_platform;
     std::vector<Bytes> _buffers;
     std::vector<std::unique_ptr<CommandQueue>> _queues;
+};
+
+/** Per-device fault and recovery counters. */
+struct DeviceFaultStats
+{
+    std::uint64_t attempts = 0;        ///< attempts launched
+    std::uint64_t failures = 0;        ///< attempts failed (any cause)
+    std::uint64_t timeouts = 0;        ///< watchdog expiries
+    std::uint64_t retries = 0;         ///< retry attempts scheduled
+    std::uint64_t commands_failed = 0; ///< commands settled non-Ok
+    std::uint64_t cascaded = 0;        ///< commands failed by a
+                                       ///< predecessor's error
+    std::uint64_t fallbacks = 0;       ///< commands degraded to host CPU
+    std::uint64_t rerouted_copies = 0; ///< p2p copies staged via the RC
 };
 
 /** The platform: devices, fabric and the simulated clock. */
@@ -194,9 +299,46 @@ class Platform
     /** Drive the simulation until the event queue drains. */
     void drain() { _eq.run(); }
 
+    // --------------------------------------------- fault & reliability
+
+    /**
+     * Install (or clear, with nullptr) a fault plan. The plan is not
+     * owned and must outlive the platform's use of it. Installing a
+     * plan wires its decision hooks into the fabric, every accelerator
+     * unit, every DRX machine and the completion-interrupt controller,
+     * resets per-device health to the plan's unhealthy threshold, and
+     * raises a zero command timeout to a default watchdog so stalls
+     * and hangs are detected.
+     */
+    void setFaultPlan(fault::FaultPlan *plan);
+
+    /** @return the installed plan (nullptr when fault-free). */
+    fault::FaultPlan *faultPlan() const { return _plan; }
+
+    /** Replace the command reliability policy. */
+    void setCommandPolicy(const CommandPolicy &policy);
+
+    const CommandPolicy &commandPolicy() const { return _policy; }
+
+    /** @return false once a device tripped the unhealthy threshold. */
+    bool deviceHealthy(DeviceId id) const;
+
+    /** @return fault/recovery counters of @p id. */
+    const DeviceFaultStats &faultStats(DeviceId id) const;
+
+    /** @return completion notifications lost and recovered by poll. */
+    std::uint64_t droppedInterrupts() const
+    {
+        return _irq->droppedInterrupts();
+    }
+
+    /** @return the host core pool running degraded restructuring. */
+    const cpu::CorePool &hostPool() const { return *_host; }
+
   private:
     friend class Context;
     friend class CommandQueue;
+    friend struct detail::CommandEngine;
 
     struct Device
     {
@@ -207,13 +349,25 @@ class Platform
         std::unique_ptr<accel::DeviceUnit> unit;
         std::unique_ptr<drx::DrxMachine> machine;
         pcie::NodeId node = 0;
+        fault::HealthTracker health;
+        DeviceFaultStats fstats;
     };
+
+    /** Wire the installed plan's hooks into one device. */
+    void wireDevice(Device &dev);
 
     sim::EventQueue _eq;
     std::unique_ptr<pcie::Fabric> _fabric;
     pcie::NodeId _rc = 0;
     pcie::NodeId _switch = 0;
     std::vector<Device> _devices;
+
+    fault::FaultPlan *_plan = nullptr;
+    CommandPolicy _policy;
+    Rng _jitter; ///< backoff jitter stream (reseeded per plan)
+    cpu::HostParams _host_params;
+    std::unique_ptr<cpu::CorePool> _host;
+    std::unique_ptr<driver::InterruptController> _irq;
 };
 
 } // namespace dmx::runtime

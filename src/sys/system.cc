@@ -70,6 +70,16 @@ class SystemSim
     /** Driver notification latency then continue with @p next. */
     void notifyThen(std::size_t a, std::function<void()> next);
 
+    /**
+     * A flow that survives injected faults: corrupted (or stalled,
+     * mapped to corrupted by the installed hook) transfers are
+     * retransmitted until delivered, each replay re-paying the full
+     * transfer under current contention.
+     */
+    void startFlowReliable(pcie::NodeId src, pcie::NodeId dst,
+                           std::uint64_t bytes,
+                           std::function<void()> done);
+
     const SystemConfig &_cfg;
     sim::EventQueue _eq;
     std::unique_ptr<pcie::Fabric> _fabric;
@@ -79,6 +89,8 @@ class SystemSim
     std::vector<AppInstance> _apps;
     pcie::NodeId _rc = 0;
     pcie::NodeId _hostmem = 0; ///< DRAM staging behind the root complex
+    std::uint64_t _flow_retries = 0;
+    std::uint64_t _dropped_irqs = 0;
     Tick _last_done = 0;
     double _accel_watts_sum = 0;
     unsigned _accel_count = 0;
@@ -113,6 +125,24 @@ SystemSim::SystemSim(const SystemConfig &cfg,
         _hostmem = _fabric->addNode(pcie::NodeKind::EndPoint, "hostmem");
         _fabric->connectCustom(_rc, _hostmem,
                                host_staging_bytes_per_sec);
+    }
+
+    if (cfg.fault_plan) {
+        if (_fabric) {
+            _fabric->setFaultHook(
+                [plan = cfg.fault_plan](std::uint32_t s, std::uint32_t d,
+                                        std::uint64_t b) {
+                    // No per-command watchdog in the closed loop: a
+                    // stalled TLP is detected by link-level replay and
+                    // retransmitted just like a corrupted one.
+                    const fault::FlowAction a = plan->onFlow(s, d, b);
+                    return a == fault::FlowAction::Stall
+                               ? fault::FlowAction::Corrupt
+                               : a;
+                });
+        }
+        _irq->setFaultHook(
+            [plan = cfg.fault_plan] { return plan->onIrq(); });
     }
 
     // Shared DRX units. The on-CPU DRX serves the whole socket, so it
@@ -299,8 +329,28 @@ void
 SystemSim::notifyThen(std::size_t a, std::function<void()> next)
 {
     (void)a;
-    const Tick latency = _irq->notify();
-    _eq.scheduleIn(latency, std::move(next));
+    const driver::InterruptController::Notification n =
+        _irq->notifyChecked();
+    if (!n.delivered)
+        ++_dropped_irqs;
+    _eq.scheduleIn(n.latency, std::move(next));
+}
+
+void
+SystemSim::startFlowReliable(pcie::NodeId src, pcie::NodeId dst,
+                             std::uint64_t bytes,
+                             std::function<void()> done)
+{
+    _fabric->startFlowChecked(
+        src, dst, bytes,
+        [this, src, dst, bytes, done = std::move(done)](bool ok) mutable {
+            if (ok) {
+                done();
+                return;
+            }
+            ++_flow_retries;
+            startFlowReliable(src, dst, bytes, std::move(done));
+        });
 }
 
 void
@@ -364,8 +414,8 @@ SystemSim::startMotion(std::size_t a, std::size_t k)
       case Placement::MultiAxl:
       case Placement::IntegratedDrx:
         // Stage through host memory.
-        _fabric->startFlow(app.accel_nodes[k], _hostmem, mt.in_bytes,
-                           [this, a, k] {
+        startFlowReliable(app.accel_nodes[k], _hostmem, mt.in_bytes,
+                          [this, a, k] {
             AppInstance &ap = _apps[a];
             closePhase(ap, Phase::Movement, 2 * k + 1);
             const MotionTiming &m = ap.model->motions[k];
@@ -387,8 +437,8 @@ SystemSim::startMotion(std::size_t a, std::size_t k)
             app.queues->rx(static_cast<unsigned>(k + 1),
                            driver::PeerKind::Accelerator)
                 .push(mt.in_bytes);
-        _fabric->startFlow(app.accel_nodes[k], site, mt.in_bytes,
-                           [this, a, k] {
+        startFlowReliable(app.accel_nodes[k], site, mt.in_bytes,
+                          [this, a, k] {
             AppInstance &ap = _apps[a];
             closePhase(ap, Phase::Movement, 2 * k + 1);
             ap.drx_units[k]->submit(ap.model->motions[k].drx_cycles,
@@ -402,8 +452,8 @@ SystemSim::startMotion(std::size_t a, std::size_t k)
         // Single flow through the switch; restructuring streams at line
         // rate inside it, so only its residual latency is exposed.
         app.flow_start = _eq.now();
-        _fabric->startFlow(app.accel_nodes[k], app.accel_nodes[k + 1],
-                           mt.in_bytes, [this, a, k] {
+        startFlowReliable(app.accel_nodes[k], app.accel_nodes[k + 1],
+                          mt.in_bytes, [this, a, k] {
             AppInstance &ap = _apps[a];
             closePhase(ap, Phase::Movement, 2 * k + 1);
             const Tick elapsed = _eq.now() - ap.flow_start;
@@ -449,8 +499,8 @@ SystemSim::restructureDone(std::size_t a, std::size_t k)
             break;
         }
         // The notify latency stays inside the Movement phase.
-        _fabric->startFlow(src, ap.accel_nodes[k + 1], mt.out_bytes,
-                           [this, a, k] {
+        startFlowReliable(src, ap.accel_nodes[k + 1], mt.out_bytes,
+                          [this, a, k] {
             AppInstance &ap2 = _apps[a];
             closePhase(ap2, Phase::Movement, 2 * k + 1);
             if (ap2.queues)
@@ -529,6 +579,8 @@ SystemSim::run()
     stats.interrupts = _irq->interruptsDelivered();
     stats.polls = _irq->pollsDelivered();
     stats.pcie_bytes = _fabric ? _fabric->totalBytes() : 0;
+    stats.flow_retries = _flow_retries;
+    stats.dropped_irqs = _dropped_irqs;
 
     // Energy.
     EnergyInputs ein;

@@ -35,6 +35,7 @@
 #include "driver/interrupts.hh"
 #include "driver/queues.hh"
 #include "drx/machine.hh"
+#include "fault/fault.hh"
 #include "pcie/fabric.hh"
 #include "sys/app_model.hh"
 #include "sys/energy.hh"
@@ -70,6 +71,12 @@ struct SystemConfig
     cpu::HostParams host;
     driver::InterruptParams irq;
     unsigned requests_per_app = 3;   ///< closed-loop requests simulated
+    /// Optional fault plan (not owned; must outlive the run). Flow
+    /// faults are recovered by link-level retransmission - the closed
+    /// loop has no per-command watchdog, so a stalled TLP is detected
+    /// and replayed like a corrupted one - and dropped completion
+    /// interrupts cost the driver's recovery-poll latency.
+    fault::FaultPlan *fault_plan = nullptr;
 };
 
 /** Per-request time split (averaged), in milliseconds. */
@@ -98,6 +105,8 @@ struct RunStats
     std::uint64_t interrupts = 0;
     std::uint64_t polls = 0;
     std::uint64_t pcie_bytes = 0;
+    std::uint64_t flow_retries = 0;   ///< link-level retransmissions
+    std::uint64_t dropped_irqs = 0;   ///< notifications recovered by poll
 };
 
 /**

@@ -122,6 +122,29 @@ TEST(DataQueueTest, PopBeyondUsedPanics)
     EXPECT_THROW(q.pop(11), std::logic_error);
 }
 
+TEST(DataQueueTest, ZeroBytePushIsRejected)
+{
+    // A zero-byte descriptor is a driver bug, not backpressure: it must
+    // not silently "succeed" and confuse head/tail accounting.
+    DataQueue q(100);
+    EXPECT_THROW(q.push(0), std::runtime_error);
+    EXPECT_EQ(q.used(), 0u);
+    EXPECT_EQ(q.tail(), 0u);
+}
+
+TEST(DataQueueTest, TailWraparoundIsGuarded)
+{
+    // head/tail are absolute monotonic counters; used() = tail - head
+    // only holds while tail has not wrapped past UINT64_MAX. Drive the
+    // tail to the limit and check the guard trips instead of wrapping.
+    const std::uint64_t max = ~std::uint64_t(0);
+    DataQueue q(max);
+    EXPECT_TRUE(q.push(max));
+    q.pop(max);
+    EXPECT_EQ(q.used(), 0u);
+    EXPECT_THROW(q.push(1), std::logic_error);
+}
+
 TEST(DrxQueuesTest, PaperPartitioningSupports40Accelerators)
 {
     // 8 GB of queue memory at 100 MB per pair, two pairs per peer.
