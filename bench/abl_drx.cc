@@ -50,8 +50,9 @@ cyclesWith(const restructure::Kernel &k, DrxConfig cfg,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "abl_drx");
     bench::banner("DRX design ablations",
                   "DESIGN.md Sec. 7 (hardware loops, double buffering, "
                   "banded MatVec, affine gathers)");
@@ -81,6 +82,9 @@ main()
                Table::num(static_cast<double>(tc) / text_base),
                Table::num(static_cast<double>(dc) / db_base)});
     };
+    report.metric("mel_base_cycles", static_cast<double>(mel_base));
+    report.metric("text_base_cycles", static_cast<double>(text_base));
+    report.metric("db_base_cycles", static_cast<double>(db_base));
     add("baseline (128 lanes, hw loops, dbl-buffer)", base_cfg);
     {
         DrxConfig c = base_cfg;
@@ -124,5 +128,5 @@ main()
                "hash-partitioned row order"});
         g.print(std::cout);
     }
-    return 0;
+    return report.write();
 }

@@ -1,7 +1,8 @@
 /**
  * @file
  * Shared helpers for the figure/table harnesses: suite caching,
- * geometric means, and uniform headers.
+ * geometric means, uniform headers, and the --json metric reporter
+ * consumed by tools/bench_diff and CI.
  */
 
 #ifndef DMX_BENCH_BENCH_UTIL_HH
@@ -9,6 +10,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,6 +21,71 @@
 
 namespace dmx::bench
 {
+
+/**
+ * Machine-readable metric sink behind every harness's `--json <path>`
+ * flag. Construction parses argv; metric() records named scalars while
+ * the harness computes its tables; write() emits
+ * {"figure": ..., "metrics": {...}} when a path was requested (and is
+ * a no-op otherwise, keeping default stdout output byte-identical).
+ */
+class BenchReport
+{
+  public:
+    BenchReport(int argc, char **argv, std::string figure)
+        : _figure(std::move(figure))
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--json") == 0) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "%s: --json needs a path\n",
+                                 argv[0]);
+                    std::exit(2);
+                }
+                _path = argv[++i];
+            }
+        }
+    }
+
+    /** Record one named scalar (names must be unique per report). */
+    void
+    metric(const std::string &name, double value)
+    {
+        _names.push_back(name);
+        _values.push_back(value);
+    }
+
+    /**
+     * Write the JSON file when --json was passed.
+     * @return 0 on success (main-friendly), 1 on I/O failure
+     */
+    int
+    write() const
+    {
+        if (_path.empty())
+            return 0;
+        std::FILE *f = std::fopen(_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n", _path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\"figure\":\"%s\",\"metrics\":{",
+                     _figure.c_str());
+        for (std::size_t i = 0; i < _names.size(); ++i) {
+            std::fprintf(f, "%s\"%s\":%.17g", i ? "," : "",
+                         _names[i].c_str(), _values[i]);
+        }
+        std::fprintf(f, "}}\n");
+        std::fclose(f);
+        return 0;
+    }
+
+  private:
+    std::string _figure;
+    std::string _path;
+    std::vector<std::string> _names;
+    std::vector<double> _values;
+};
 
 /** The five Table I applications (built once per process). */
 inline const std::vector<sys::AppModel> &

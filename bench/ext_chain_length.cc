@@ -49,8 +49,9 @@ chainApp(std::size_t k_count)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "ext_chain_length");
     bench::banner("Extension - speedup vs kernel-chain length",
                   "generalizes Sec. VII-C (Fig. 16) / conclusion");
 
@@ -65,9 +66,10 @@ main()
         const RunStats base = simulateSystem(cfg, {app});
         cfg.placement = Placement::BumpInTheWire;
         const RunStats dmx = simulateSystem(cfg, {app});
+        const double sp_x = base.avg_latency_ms / dmx.avg_latency_ms;
+        report.metric("speedup_k" + std::to_string(k), sp_x);
         t.row({std::to_string(k), Table::num(base.avg_latency_ms),
-               Table::num(dmx.avg_latency_ms),
-               Table::num(base.avg_latency_ms / dmx.avg_latency_ms),
+               Table::num(dmx.avg_latency_ms), Table::num(sp_x),
                Table::num(100 * base.breakdown.restructure_ms /
                           base.breakdown.total(), 1)});
     }
@@ -77,5 +79,5 @@ main()
                 "length - each extra kernel adds one CPU restructuring\n"
                 "step to the baseline but only a fixed-cost p2p hop to "
                 "DMX (the composable monolithic-accelerator illusion).\n");
-    return 0;
+    return report.write();
 }

@@ -14,8 +14,9 @@ using namespace dmx;
 using namespace dmx::sys;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "fig03_motivation");
     bench::banner("Figure 3 - data motion overhead motivation",
                   "Sec. II-B, Fig. 3(a) and 3(b)");
 
@@ -67,10 +68,16 @@ main()
         }
         return bench::geomean(sp);
     };
-    b.row({"per-kernel accel speedup (geomean)",
-           Table::num(bench::geomean(per_kernel)), "6.5x"});
-    b.row({"end-to-end speedup, 1 app", Table::num(e2e(1)), "1.4x"});
-    b.row({"end-to-end speedup, 10 apps", Table::num(e2e(10)), "1.1x"});
+    const double pk = bench::geomean(per_kernel);
+    const double e1 = e2e(1);
+    const double e10 = e2e(10);
+    b.row({"per-kernel accel speedup (geomean)", Table::num(pk),
+           "6.5x"});
+    b.row({"end-to-end speedup, 1 app", Table::num(e1), "1.4x"});
+    b.row({"end-to-end speedup, 10 apps", Table::num(e10), "1.1x"});
     b.print(std::cout);
-    return 0;
+    report.metric("per_kernel_speedup_geomean", pk);
+    report.metric("e2e_speedup_n1", e1);
+    report.metric("e2e_speedup_n10", e10);
+    return report.write();
 }

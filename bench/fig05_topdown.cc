@@ -14,8 +14,9 @@
 using namespace dmx;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "fig05_topdown");
     bench::banner("Figure 5 - top-down breakdown of restructuring ops",
                   "Sec. IV-A, Fig. 5");
 
@@ -25,6 +26,7 @@ main()
     Table m("Cache behaviour (misses per kilo-instruction)");
     m.header({"restructuring op", "L1I MPKI", "L1D MPKI", "L2 MPKI"});
 
+    std::vector<double> backend_pct, l1d_mpki;
     for (const auto &nr : apps::restructureSuite(32)) {
         cpu::TopDownParams params;
         params.branch_rate = nr.branch_rate;
@@ -38,6 +40,8 @@ main()
                Table::num(100 * rep.backend(), 1)});
         m.row({nr.app, Table::num(rep.mpki.l1i, 1),
                Table::num(rep.mpki.l1d, 1), Table::num(rep.mpki.l2, 1)});
+        backend_pct.push_back(100 * rep.backend());
+        l1d_mpki.push_back(rep.mpki.l1d);
     }
     t.print(std::cout);
     m.print(std::cout);
@@ -46,5 +50,7 @@ main()
                 "<=12.5%%, frontend <=14%%,\n"
                 "L1I MPKI ~2.3 (vs CloudSuite 7.8), L1D MPKI 50-215, "
                 "L2 MPKI 25-109.\n");
-    return 0;
+    report.metric("backend_pct_geomean", bench::geomean(backend_pct));
+    report.metric("l1d_mpki_geomean", bench::geomean(l1d_mpki));
+    return report.write();
 }

@@ -13,8 +13,9 @@ using namespace dmx;
 using namespace dmx::sys;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "fig11_speedup");
     bench::banner("Figure 11 - DMX end-to-end speedup over Multi-Axl",
                   "Sec. VII-A, Fig. 11");
 
@@ -37,12 +38,17 @@ main()
         t.row(std::move(row));
     }
     std::vector<std::string> gm{"GEOMEAN"};
-    for (const auto &v : per_n)
-        gm.push_back(Table::num(bench::geomean(v)));
+    for (std::size_t i = 0; i < per_n.size(); ++i) {
+        const double g = bench::geomean(per_n[i]);
+        gm.push_back(Table::num(g));
+        report.metric("speedup_geomean_n" +
+                          std::to_string(bench::concurrency_sweep[i]),
+                      g);
+    }
     t.row(std::move(gm));
     t.print(std::cout);
 
     std::printf("Paper: average speedup 3.5x (1 app) -> 8.2x (15 apps); "
                 "Video Surveillance lowest, Database Hash Join highest.\n");
-    return 0;
+    return report.write();
 }

@@ -12,8 +12,9 @@ using namespace dmx;
 using namespace dmx::sys;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "fig12_breakdown");
     bench::banner("Figure 12 - runtime breakdown Multi-Axl vs DMX",
                   "Sec. VII-A, Fig. 12(a)/(b)");
 
@@ -44,6 +45,12 @@ main()
             t.row({std::to_string(n), Table::num(mean(ks), 1),
                    Table::num(mean(rs), 1), Table::num(mean(ms), 1),
                    Table::num(mean(lat), 2)});
+            const std::string tag =
+                p == Placement::MultiAxl ? "multiaxl" : "dmx";
+            report.metric(tag + "_restructure_pct_n" + std::to_string(n),
+                          mean(rs));
+            report.metric(tag + "_latency_ms_n" + std::to_string(n),
+                          mean(lat));
         }
         t.print(std::cout);
     }
@@ -51,5 +58,5 @@ main()
     std::printf("Paper: baseline restructuring share 66.8 / 55.7 / 64.7 "
                 "/ 71.7 %% for 1/5/10/15 apps;\n"
                 "DMX restructuring share 17.0 / 15.3 / 13.5 / 7.2 %%.\n");
-    return 0;
+    return report.write();
 }

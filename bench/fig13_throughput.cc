@@ -13,8 +13,9 @@ using namespace dmx;
 using namespace dmx::sys;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "fig13_throughput");
     bench::banner("Figure 13 - throughput improvement",
                   "Sec. VII-A, Fig. 13");
 
@@ -37,8 +38,13 @@ main()
         t.row(std::move(row));
     }
     std::vector<std::string> gm{"GEOMEAN"};
-    for (const auto &v : per_n)
-        gm.push_back(Table::num(bench::geomean(v)));
+    for (std::size_t i = 0; i < per_n.size(); ++i) {
+        const double g = bench::geomean(per_n[i]);
+        gm.push_back(Table::num(g));
+        report.metric("throughput_gain_geomean_n" +
+                          std::to_string(bench::concurrency_sweep[i]),
+                      g);
+    }
     t.row(std::move(gm));
     t.print(std::cout);
 
@@ -46,5 +52,5 @@ main()
                 "throughput gains exceed the latency gains because the\n"
                 "CPU restructuring stage bottlenecks the baseline "
                 "pipeline.\n");
-    return 0;
+    return report.write();
 }

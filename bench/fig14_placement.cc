@@ -12,8 +12,9 @@ using namespace dmx;
 using namespace dmx::sys;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "fig14_placement");
     bench::banner("Figure 14 - DRX placement comparison",
                   "Sec. VII-B, Fig. 14");
 
@@ -39,7 +40,11 @@ main()
                         .avg_latency_ms;
                 sp.push_back(base_lat[i] / lat);
             }
-            row.push_back(Table::num(bench::geomean(sp)));
+            const double g = bench::geomean(sp);
+            row.push_back(Table::num(g));
+            report.metric(toString(p) + "_speedup_n" +
+                              std::to_string(n),
+                          g);
         }
         t.row(std::move(row));
     }
@@ -50,5 +55,5 @@ main()
                 "concurrency; Integrated reaches 4.4x at 15 apps; "
                 "Standalone +3%%/+48%% over Integrated at 1/15 apps;\n"
                 "BitW +33/17/26%% over Standalone at 5/10/15 apps.\n");
-    return 0;
+    return report.write();
 }

@@ -14,8 +14,9 @@ using namespace dmx;
 using namespace dmx::sys;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "fig15_energy");
     bench::banner("Figure 15 - energy reduction per DRX placement",
                   "Sec. VII-B, Fig. 15");
 
@@ -45,6 +46,11 @@ main()
         }
         const std::size_t best = static_cast<std::size_t>(
             std::max_element(red.begin(), red.end()) - red.begin());
+        for (std::size_t j = 0; j < placements.size(); ++j) {
+            report.metric(toString(placements[j]) +
+                              "_energy_reduction_n" + std::to_string(n),
+                          red[j]);
+        }
         t.row({std::to_string(n), Table::num(red[0]),
                Table::num(red[1]), Table::num(red[2]),
                toString(placements[best])});
@@ -53,5 +59,5 @@ main()
 
     std::printf("Paper: BitW best at 1/5 apps (3.8x/4.3x), Standalone "
                 "best at 10/15 apps (6.1x/6.5x), Integrated ~4x flat.\n");
-    return 0;
+    return report.write();
 }

@@ -13,8 +13,9 @@ using namespace dmx;
 using namespace dmx::sys;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "fig16_three_kernel");
     bench::banner("Figure 16 - three-kernel Personal Info Redaction+NER",
                   "Sec. VII-C, Fig. 16(a)/(b)");
 
@@ -45,14 +46,14 @@ main()
                    Table::num(100 * st.breakdown.movement_ms / tot, 1),
                    Table::num(st.avg_latency_ms)});
         }
-        s.row({std::to_string(n),
-               Table::num(base.avg_latency_ms / dmx.avg_latency_ms),
-               paper[i] + "x"});
+        const double sp_x = base.avg_latency_ms / dmx.avg_latency_ms;
+        report.metric("speedup_n" + std::to_string(n), sp_x);
+        s.row({std::to_string(n), Table::num(sp_x), paper[i] + "x"});
     }
     t.print(std::cout);
     s.print(std::cout);
 
     std::printf("Paper: with DMX the kernels account for 97.2%% -> "
                 "93.7%% of runtime for 1 -> 15 apps (data motion <5%%).\n");
-    return 0;
+    return report.write();
 }

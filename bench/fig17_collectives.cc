@@ -14,8 +14,9 @@ using namespace dmx;
 using namespace dmx::sys;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "fig17_collectives");
     bench::banner("Figure 17 - broadcast and all-reduce collectives",
                   "Sec. VII-C, Fig. 17");
 
@@ -29,10 +30,14 @@ main()
         t.row({std::to_string(n), "broadcast",
                Table::num(bc.baseline_ms), Table::num(bc.dmx_ms),
                Table::num(bc.speedup())});
+        report.metric("broadcast_speedup_n" + std::to_string(n),
+                      bc.speedup());
         const CollectiveResult ar = simulateAllReduce(cfg);
         t.row({std::to_string(n), "all-reduce",
                Table::num(ar.baseline_ms), Table::num(ar.dmx_ms),
                Table::num(ar.speedup())});
+        report.metric("allreduce_speedup_n" + std::to_string(n),
+                      ar.speedup());
     }
     t.print(std::cout);
 
@@ -40,5 +45,5 @@ main()
                 "4-32 accelerators; all-reduce gains more because it\n"
                 "involves more DMA transfers and restructuring (the "
                 "destination DRX performs the summation).\n");
-    return 0;
+    return report.write();
 }

@@ -12,8 +12,9 @@ using namespace dmx;
 using namespace dmx::sys;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "fig18_lanes");
     bench::banner("Figure 18 - RE lane-count sweep",
                   "Sec. VII-C, Fig. 18");
 
@@ -47,13 +48,14 @@ main()
                 static_cast<double>(app.motions[0].drx_cycles) / 250e6 *
                 1e3);
         }
-        t.row({std::to_string(lanes),
-               Table::num(bench::geomean(sp)),
+        const double g = bench::geomean(sp);
+        report.metric("speedup_lanes" + std::to_string(lanes), g);
+        t.row({std::to_string(lanes), Table::num(g),
                Table::num(bench::geomean(drx_ms))});
     }
     t.print(std::cout);
 
     std::printf("Paper: speedup grows to 128 lanes and flattens at 256 "
                 "-> 128 lanes is the default configuration.\n");
-    return 0;
+    return report.write();
 }

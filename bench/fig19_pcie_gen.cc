@@ -13,8 +13,9 @@ using namespace dmx;
 using namespace dmx::sys;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "fig19_pcie_gen");
     bench::banner("Figure 19 - PCIe generation sensitivity",
                   "Sec. VII-C, Fig. 19");
 
@@ -35,7 +36,9 @@ main()
             bm.push_back(base.breakdown.movement_ms);
             dm.push_back(dmx.breakdown.movement_ms);
         }
-        t.row({toString(gen), Table::num(bench::geomean(sp)),
+        const double g = bench::geomean(sp);
+        report.metric("speedup_" + toString(gen), g);
+        t.row({toString(gen), Table::num(g),
                Table::num(bench::geomean(bm)),
                Table::num(bench::geomean(dm))});
     }
@@ -45,5 +48,5 @@ main()
                 "data-movement component changes, and the baseline\n"
                 "improves more (wider uplinks + relief of its bandwidth "
                 "contention).\n");
-    return 0;
+    return report.write();
 }

@@ -11,8 +11,9 @@
 using namespace dmx;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "table1_benchmarks");
     bench::banner("Table I - end-to-end benchmarks",
                   "Sec. VI, Table I");
 
@@ -50,5 +51,6 @@ main()
         }
     }
     d.print(std::cout);
-    return 0;
+    report.metric("benchmarks", static_cast<double>(bench::suite().size()));
+    return report.write();
 }

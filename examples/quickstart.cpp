@@ -9,11 +9,19 @@
  *         -> p2p DMA -> [SVM accelerator] -> genre label
  *
  * Build & run:  ./build/examples/quickstart
+ *
+ * Pass `--trace out.json` to also record the simulated-time trace and
+ * write it in Chrome trace_event format - open it at
+ * https://ui.perfetto.dev or chrome://tracing to see the pipeline.
  */
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/random.hh"
@@ -21,6 +29,7 @@
 #include "kernels/svm.hh"
 #include "restructure/catalog.hh"
 #include "runtime/runtime.hh"
+#include "trace/trace.hh"
 
 using namespace dmx;
 using runtime::Bytes;
@@ -54,8 +63,18 @@ toFloats(const Bytes &b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+            trace_path = argv[++i];
+    }
+    trace::TraceBuffer tbuf;
+    std::unique_ptr<trace::TraceSession> session;
+    if (!trace_path.empty())
+        session = std::make_unique<trace::TraceSession>(tbuf);
+
     std::printf("DMX quickstart: FFT -> DRX mel restructure -> SVM\n\n");
 
     // ---- 1. Describe the platform: two accelerators plus one
@@ -149,5 +168,20 @@ main()
                 ticksToUs(done.completeTime()));
     std::printf("\nNo host CPU touched the data after the FFT started:\n"
                 "the DRX restructured and forwarded it peer-to-peer.\n");
+
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        tbuf.exportChromeJson(out);
+        std::printf("\n");
+        tbuf.writeSummary(std::cout);
+        std::printf("trace written to %s (open in "
+                    "https://ui.perfetto.dev)\n",
+                    trace_path.c_str());
+    }
     return 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace dmx::accel
 {
@@ -139,11 +140,17 @@ DeviceUnit::submitChecked(Cycles cycles, StatusCallback done)
     _busy_until = finish;
     _busy_seconds += ticksToSeconds(duration);
 
+    if (auto *tb = trace::active())
+        tb->span(trace::Category::Device, "job", name(), start, finish,
+                 cycles);
+
     if (action == fault::KernelAction::Hang) {
         // The engine wedged: it stays busy for the job's duration (its
         // eventual reset) but never raises completion. The caller's
         // watchdog detects the loss.
         ++_hung;
+        if (auto *tb = trace::active())
+            tb->count("accel.hung", now());
         return;
     }
 

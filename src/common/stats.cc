@@ -1,6 +1,8 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <iomanip>
 
 #include "common/logging.hh"
@@ -26,6 +28,16 @@ StatGroup::dumpAll(std::ostream &os) const
 }
 
 void
+StatGroup::dumpAllJson(std::ostream &os) const
+{
+    os << "{\"group\":\"" << _name << "\",\"stats\":{";
+    bool first = true;
+    for (const StatBase *s : _stats)
+        s->dumpJson(os, first);
+    os << "}}\n";
+}
+
+void
 StatGroup::resetAll()
 {
     for (StatBase *s : _stats)
@@ -43,6 +55,24 @@ printLine(std::ostream &os, const std::string &name, double value,
        << std::setw(16) << value << "  # " << desc << '\n';
 }
 
+/** One JSON object member; values round-trip (%.17g for non-integers). */
+void
+jsonMember(std::ostream &os, const std::string &name, double value,
+           bool &first)
+{
+    if (!first)
+        os << ',';
+    first = false;
+    char buf[40];
+    if (value == static_cast<double>(static_cast<std::int64_t>(value))) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64,
+                      static_cast<std::int64_t>(value));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+    }
+    os << '"' << name << "\":" << buf;
+}
+
 } // namespace
 
 void
@@ -52,10 +82,23 @@ Scalar::dump(std::ostream &os) const
 }
 
 void
+Scalar::dumpJson(std::ostream &os, bool &first) const
+{
+    jsonMember(os, name(), _value, first);
+}
+
+void
 Average::dump(std::ostream &os) const
 {
     printLine(os, name() + ".mean", mean(), desc());
     printLine(os, name() + ".count", static_cast<double>(_count), desc());
+}
+
+void
+Average::dumpJson(std::ostream &os, bool &first) const
+{
+    jsonMember(os, name() + ".mean", mean(), first);
+    jsonMember(os, name() + ".count", static_cast<double>(_count), first);
 }
 
 Distribution::Distribution(StatGroup *group, std::string name,
@@ -113,6 +156,19 @@ Distribution::dump(std::ostream &os) const
 }
 
 void
+Distribution::dumpJson(std::ostream &os, bool &first) const
+{
+    jsonMember(os, name() + ".mean", mean(), first);
+    jsonMember(os, name() + ".min", _min_seen, first);
+    jsonMember(os, name() + ".max", _max_seen, first);
+    jsonMember(os, name() + ".count", static_cast<double>(_count), first);
+    jsonMember(os, name() + ".underflow",
+               static_cast<double>(_underflow), first);
+    jsonMember(os, name() + ".overflow", static_cast<double>(_overflow),
+               first);
+}
+
+void
 Distribution::reset()
 {
     std::fill(_buckets.begin(), _buckets.end(), 0);
@@ -130,6 +186,12 @@ void
 Formula::dump(std::ostream &os) const
 {
     printLine(os, name(), value(), desc());
+}
+
+void
+Formula::dumpJson(std::ostream &os, bool &first) const
+{
+    jsonMember(os, name(), value(), first);
 }
 
 } // namespace dmx::stats

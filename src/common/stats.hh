@@ -43,6 +43,13 @@ class StatBase
     /** Write one or more lines describing the current value. */
     virtual void dump(std::ostream &os) const = 0;
 
+    /**
+     * Write the current value as JSON object members ("name": value
+     * pairs). @p first tracks whether a separating comma is needed and
+     * is cleared after the first member.
+     */
+    virtual void dumpJson(std::ostream &os, bool &first) const = 0;
+
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
@@ -65,6 +72,12 @@ class StatGroup
     /** Dump every registered stat. */
     void dumpAll(std::ostream &os) const;
 
+    /**
+     * Dump every registered stat as one machine-readable JSON object:
+     * {"group": <name>, "stats": {"stat.name": value, ...}}.
+     */
+    void dumpAllJson(std::ostream &os) const;
+
     /** Reset every registered stat. */
     void resetAll();
 
@@ -85,6 +98,7 @@ class Scalar : public StatBase
     double value() const { return _value; }
 
     void dump(std::ostream &os) const override;
+    void dumpJson(std::ostream &os, bool &first) const override;
     void reset() override { _value = 0; }
 
   private:
@@ -102,6 +116,7 @@ class Average : public StatBase
     std::uint64_t count() const { return _count; }
 
     void dump(std::ostream &os) const override;
+    void dumpJson(std::ostream &os, bool &first) const override;
     void reset() override { _sum = 0; _count = 0; }
 
   private:
@@ -133,6 +148,7 @@ class Distribution : public StatBase
     const std::vector<std::uint64_t> &buckets() const { return _buckets; }
 
     void dump(std::ostream &os) const override;
+    void dumpJson(std::ostream &os, bool &first) const override;
     void reset() override;
 
   private:
@@ -154,6 +170,7 @@ class Formula : public StatBase
     double value() const { return _fn ? _fn() : 0.0; }
 
     void dump(std::ostream &os) const override;
+    void dumpJson(std::ostream &os, bool &first) const override;
     void reset() override {}
 
   private:

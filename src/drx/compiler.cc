@@ -663,7 +663,8 @@ compileKernel(const Kernel &kernel, DrxMachine &machine)
 
 RunResult
 runKernelOnDrx(const Kernel &kernel, const restructure::Bytes &input,
-               DrxMachine &machine, restructure::Bytes *out)
+               DrxMachine &machine, restructure::Bytes *out,
+               Tick trace_base)
 {
     if (input.size() != kernel.input.bytes())
         dmx_fatal("runKernelOnDrx('%s'): input is %zu bytes, expected %zu",
@@ -671,8 +672,11 @@ runKernelOnDrx(const Kernel &kernel, const restructure::Bytes &input,
     const CompiledKernel compiled = compileKernel(kernel, machine);
     machine.write(compiled.input_addr, input.data(), input.size());
     RunResult res;
+    Tick stage_base = trace_base;
     for (const Program &p : compiled.programs) {
-        res += machine.run(p);
+        const RunResult stage = machine.run(p, stage_base);
+        stage_base += stage.time(machine.config().freq_hz);
+        res += stage;
         if (res.faulted)
             break; // the machine trapped; later stages never start
     }

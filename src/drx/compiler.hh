@@ -53,16 +53,18 @@ CompiledKernel compileKernel(const restructure::Kernel &kernel,
  * Convenience: compile, upload @p input, execute every stage and read
  * back the output.
  *
- * @param kernel  restructuring pipeline
- * @param input   input bytes matching kernel.input
- * @param machine target DRX
- * @param out     when non-null, receives the output bytes
+ * @param kernel     restructuring pipeline
+ * @param input      input bytes matching kernel.input
+ * @param machine    target DRX
+ * @param out        when non-null, receives the output bytes
+ * @param trace_base simulated tick anchoring the stages' trace spans
  * @return accumulated timing over all stages
  */
 RunResult runKernelOnDrx(const restructure::Kernel &kernel,
                          const restructure::Bytes &input,
                          DrxMachine &machine,
-                         restructure::Bytes *out = nullptr);
+                         restructure::Bytes *out = nullptr,
+                         Tick trace_base = 0);
 
 } // namespace dmx::drx
 

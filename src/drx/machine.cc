@@ -6,6 +6,7 @@
 
 #include "common/dtype.hh"
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace dmx::drx
 {
@@ -134,10 +135,11 @@ DrxMachine::checkScratch(const std::vector<std::vector<float>> &regs) const
 }
 
 RunResult
-DrxMachine::run(const Program &program)
+DrxMachine::run(const Program &program, Tick trace_base)
 {
     program.validate();
 
+    const ClockDomain clk{_cfg.freq_hz};
     if (_fault_hook && _fault_hook() == fault::MachineAction::Fault) {
         // The machine trapped before committing any output. Charge a
         // small fixed trap-and-report cost; recovery (retry, or CPU
@@ -147,6 +149,12 @@ DrxMachine::run(const Program &program)
         RunResult res;
         res.faulted = true;
         res.total_cycles = machine_fault_trap_cycles;
+        if (auto *tb = trace::active()) {
+            tb->span(trace::Category::Drx, "trap", "drx", trace_base,
+                     trace_base + clk.cyclesToTicks(res.total_cycles),
+                     res.total_cycles);
+            tb->count("drx.faults", trace_base);
+        }
         return res;
     }
 
@@ -577,6 +585,32 @@ DrxMachine::run(const Program &program)
              ? std::max(res.compute_cycles, res.mem_cycles)
              : res.compute_cycles + res.mem_cycles) +
         startup;
+
+    if (auto *tb = trace::active()) {
+        // Decoupled access/execute: fill, then the Restructuring Engines
+        // and the Off-chip engine run (overlapped when double-buffered,
+        // back to back otherwise).
+        const Tick fill_end = trace_base + clk.cyclesToTicks(startup);
+        const Tick exec_end =
+            fill_end + clk.cyclesToTicks(res.compute_cycles);
+        const Tick mem_begin = _cfg.double_buffer ? fill_end : exec_end;
+        tb->span(trace::Category::Drx, program.name, "drx", trace_base,
+                 trace_base + clk.cyclesToTicks(res.total_cycles),
+                 res.dyn_instructions);
+        tb->span(trace::Category::Drx, "fill", "drx.pipe", trace_base,
+                 fill_end, startup);
+        tb->span(trace::Category::Drx, "execute", "drx.pipe", fill_end,
+                 exec_end, res.compute_cycles);
+        tb->span(trace::Category::Drx, "dma", "drx.mem", mem_begin,
+                 mem_begin + clk.cyclesToTicks(res.mem_cycles),
+                 res.mem_cycles);
+        tb->count("drx.instructions", trace_base,
+                  static_cast<double>(res.dyn_instructions));
+        tb->count("drx.bytes_read", trace_base,
+                  static_cast<double>(res.bytes_read));
+        tb->count("drx.bytes_written", trace_base,
+                  static_cast<double>(res.bytes_written));
+    }
     return res;
 }
 

@@ -123,9 +123,14 @@ class DrxMachine
 
     /**
      * Execute @p program functionally and return its timing.
+     *
+     * The machine is clockless (callers place its runs in simulated
+     * time); @p trace_base anchors the run's trace spans at the caller's
+     * submission tick. It does not affect timing or results.
+     *
      * @throws via fatal on invalid programs or out-of-range accesses
      */
-    RunResult run(const Program &program);
+    RunResult run(const Program &program, Tick trace_base = 0);
 
     /**
      * Install (or clear, with nullptr) the fault-injection hook

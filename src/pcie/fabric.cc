@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace dmx::pcie
 {
@@ -165,6 +166,8 @@ Fabric::startFlowChecked(NodeId src, NodeId dst, std::uint64_t bytes,
         // wedged transfer does not consume fair-share bandwidth; the
         // caller's watchdog is responsible for detecting the loss.
         ++_stalled_flows;
+        if (auto *tb = trace::active())
+            tb->count("fabric.stalled", now());
         return _next_flow++;
     }
 
@@ -172,6 +175,8 @@ Fabric::startFlowChecked(NodeId src, NodeId dst, std::uint64_t bytes,
     flow.src = src;
     flow.dst = dst;
     flow.remaining = static_cast<double>(bytes);
+    flow.trace_begin = now();
+    flow.bytes = bytes;
     flow.path = findPath(src, dst);
     if (flow.path.empty())
         dmx_fatal("startFlow: no path between %s and %s",
@@ -180,6 +185,8 @@ Fabric::startFlowChecked(NodeId src, NodeId dst, std::uint64_t bytes,
     if (action == fault::FlowAction::Corrupt) {
         flow.corrupt = true;
         ++_corrupted_flows;
+        if (auto *tb = trace::active())
+            tb->count("fabric.corrupted", now());
     }
 
     // Start latency: DMA setup plus one traversal fee per interior node.
@@ -350,6 +357,23 @@ Fabric::onCompletionCheck()
         Flow &flow = it->second;
         if (flow.eligible_at <= t &&
             flow.remaining <= completion_epsilon) {
+            if (auto *tb = trace::active()) {
+                const std::string label = _nodes[flow.src].name + "->" +
+                                          _nodes[flow.dst].name;
+                tb->span(trace::Category::Flow, label, name(),
+                         flow.trace_begin, t, flow.bytes);
+                // Per-hop spans: one lane per directed link, so Perfetto
+                // shows each physical link's occupancy.
+                for (const DirectedLink &dl : flow.path) {
+                    const Link &link = _links[dl.link];
+                    const NodeId from = dl.forward ? link.a : link.b;
+                    const NodeId to = dl.forward ? link.b : link.a;
+                    tb->span(trace::Category::Flow, label,
+                             name() + "." + _nodes[from].name + "->" +
+                                 _nodes[to].name,
+                             flow.trace_begin, t, flow.bytes);
+                }
+            }
             done.emplace_back(std::move(flow.callback), !flow.corrupt);
             it = _flows.erase(it);
         } else {

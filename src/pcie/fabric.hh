@@ -196,6 +196,8 @@ class Fabric : public sim::SimObject
         double remaining;              ///< bytes left to stream
         double rate = 0;               ///< current bytes/second
         Tick eligible_at;              ///< start latency absorbed until here
+        Tick trace_begin = 0;          ///< submission time, for tracing
+        std::uint64_t bytes = 0;       ///< total payload, for tracing
         bool corrupt = false;          ///< delivered but fails its check
         std::vector<DirectedLink> path;
         FlowStatusCallback callback;

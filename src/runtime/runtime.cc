@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "restructure/cpu_exec.hh"
+#include "trace/trace.hh"
 
 namespace dmx::runtime
 {
@@ -147,33 +148,62 @@ struct CommandEngine
                 // CPU at its honestly worse cost.
                 ++d.fstats.fallbacks;
                 state->degraded = true;
+                const Tick begin = p.now();
+                if (auto *tb = trace::active())
+                    tb->count("runtime.degraded", begin);
                 auto self = shared_from_this();
-                fallback([self](bool) { self->settleOk(); });
+                fallback([self, begin](bool) {
+                    if (auto *tb = trace::active()) {
+                        Platform &plat = self->ctx->platform();
+                        tb->span(trace::Category::Degrade, "cpu_fallback",
+                                 plat._devices[self->device].name, begin,
+                                 plat.now());
+                    }
+                    self->settleOk();
+                });
                 return;
             }
 
             ++d.fstats.attempts;
+            const Tick attempt_begin = p.now();
             auto self = shared_from_this();
             auto settled = std::make_shared<bool>(false);
             sim::EventHandle watchdog;
             if (p._policy.timeout > 0) {
                 watchdog = p._eq.scheduleIn(
-                    p._policy.timeout, [self, settled, n] {
+                    p._policy.timeout, [self, settled, n, attempt_begin] {
                         if (*settled)
                             return;
                         *settled = true;
                         Platform &plat = self->ctx->platform();
                         ++plat._devices[self->device].fstats.timeouts;
+                        if (auto *tb = trace::active()) {
+                            tb->span(n == 0 ? trace::Category::Command
+                                            : trace::Category::Retry,
+                                     "attempt_timeout",
+                                     plat._devices[self->device].name,
+                                     attempt_begin, plat.now(), n);
+                            tb->count("runtime.timeouts", plat.now());
+                        }
                         self->fail(n, Status::TimedOut);
                     });
             }
-            work([self, settled, watchdog, n](bool ok) mutable {
+            work([self, settled, watchdog, n,
+                  attempt_begin](bool ok) mutable {
                 // A late device completion after the watchdog already
                 // failed the attempt is dropped here.
                 if (*settled)
                     return;
                 *settled = true;
                 watchdog.cancel();
+                if (auto *tb = trace::active()) {
+                    Platform &plat = self->ctx->platform();
+                    tb->span(n == 0 ? trace::Category::Command
+                                    : trace::Category::Retry,
+                             "attempt",
+                             plat._devices[self->device].name,
+                             attempt_begin, plat.now(), n);
+                }
                 if (ok)
                     self->succeed();
                 else
@@ -222,8 +252,14 @@ struct CommandEngine
             }
             state->retries = n + 1;
             ++d.fstats.retries;
+            const Tick delay = backoffDelay(p, n);
+            if (auto *tb = trace::active()) {
+                tb->count("runtime.retries", p.now());
+                tb->span(trace::Category::Retry, "backoff", d.name,
+                         p.now(), p.now() + delay, n);
+            }
             auto self = shared_from_this();
-            p._eq.scheduleIn(backoffDelay(p, n), [self, n] {
+            p._eq.scheduleIn(delay, [self, n] {
                 self->beginAttempt(n + 1);
             });
         }
@@ -259,6 +295,11 @@ struct CommandEngine
         cmd->work = std::move(work);
         cmd->fallback = std::move(fallback);
 
+        if (auto *tb = trace::active()) {
+            Platform &p = q._ctx->platform();
+            tb->instant(trace::Category::Command, "submit",
+                        p._devices[q._device].name, p.now());
+        }
         auto prev = q._last._state;
         whenDone(prev, [cmd, prev] {
             Platform &p = cmd->ctx->platform();
@@ -266,6 +307,8 @@ struct CommandEngine
                 Platform::Device &d = p._devices[cmd->device];
                 ++d.fstats.cascaded;
                 ++d.fstats.commands_failed;
+                if (auto *tb = trace::active())
+                    tb->count("runtime.cascaded", p.now());
                 fireEvent(cmd->state, Status::Failed, p.now());
                 return;
             }
@@ -517,7 +560,7 @@ CommandQueue::enqueueRestructure(const restructure::Kernel &kernel,
         d.machine->resetAlloc();
         auto result = std::make_shared<restructure::Bytes>();
         const drx::RunResult res = drx::runKernelOnDrx(
-            *kcopy, ctx->read(in), *d.machine, result.get());
+            *kcopy, ctx->read(in), *d.machine, result.get(), p.now());
         if (res.faulted) {
             // The machine trapped: charge the trap handling on the
             // unit, then report the device error at that time.
@@ -582,6 +625,8 @@ CommandQueue::enqueueCopy(BufferId src, BufferId dst,
             // (twice the traffic and setup, plus the constrained
             // uplink) but it keeps the pipeline flowing.
             ++p._devices[from].fstats.rerouted_copies;
+            if (auto *tb = trace::active())
+                tb->count("runtime.rerouted_copies", p.now());
             const pcie::NodeId rc = p._rc;
             p._fabric->startFlowChecked(
                 sn, rc, bytes,

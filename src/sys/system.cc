@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "sim/eventq.hh"
 #include "sys/calibration.hh"
+#include "trace/trace.hh"
 
 namespace dmx::sys
 {
@@ -51,8 +52,8 @@ class SystemSim
         Tick request_start = 0;
         Tick phase_start = 0;
         Tick flow_start = 0;
-        double time_ms[3] = {0, 0, 0};           ///< per Phase totals
-        std::vector<double> stage_ms;            ///< 2K-1 stage totals
+        Tick time_ticks[3] = {0, 0, 0};          ///< per Phase totals
+        std::vector<Tick> stage_ticks;           ///< 2K-1 stage totals
         double latency_ms_sum = 0;
     };
 
@@ -66,6 +67,15 @@ class SystemSim
 
     /** Close the current phase, attributing elapsed time. */
     void closePhase(AppInstance &app, Phase phase, std::size_t stage);
+
+    /** @return the app's trace track label, e.g. "app0". */
+    std::string trackName(const AppInstance &app) const;
+
+    /**
+     * Record the driver-notification wait since the last phase close as
+     * a Driver span, so an app track's spans tile its whole timeline.
+     */
+    void traceGap(AppInstance &app);
 
     /** Driver notification latency then continue with @p next. */
     void notifyThen(std::size_t a, std::function<void()> next);
@@ -202,7 +212,7 @@ SystemSim::SystemSim(const SystemConfig &cfg,
         if (kcount < 2 || inst.model->motions.size() != kcount - 1)
             dmx_fatal("AppModel '%s': malformed pipeline",
                       inst.model->name.c_str());
-        inst.stage_ms.assign(2 * kcount - 1, 0.0);
+        inst.stage_ticks.assign(2 * kcount - 1, 0);
 
         // Port demand: K accelerator chains, plus possibly a new
         // Standalone card serving this and the next app.
@@ -318,11 +328,38 @@ SystemSim::SystemSim(const SystemConfig &cfg,
 void
 SystemSim::closePhase(AppInstance &app, Phase phase, std::size_t stage)
 {
-    const double dt = ticksToMs(_eq.now() - app.phase_start);
-    app.time_ms[static_cast<int>(phase)] += dt;
-    if (stage < app.stage_ms.size())
-        app.stage_ms[stage] += dt;
-    app.phase_start = _eq.now();
+    const Tick at = _eq.now();
+    const Tick dt = at - app.phase_start;
+    app.time_ticks[static_cast<int>(phase)] += dt;
+    if (stage < app.stage_ticks.size())
+        app.stage_ticks[stage] += dt;
+    if (auto *tb = trace::active()) {
+        static constexpr trace::Category phase_cat[3] = {
+            trace::Category::Kernel, trace::Category::Restructure,
+            trace::Category::Movement};
+        static constexpr const char *phase_name[3] = {
+            "kernel", "restructure", "movement"};
+        tb->span(phase_cat[static_cast<int>(phase)],
+                 phase_name[static_cast<int>(phase)], trackName(app),
+                 app.phase_start, at, stage);
+    }
+    app.phase_start = at;
+}
+
+std::string
+SystemSim::trackName(const AppInstance &app) const
+{
+    return "app" + std::to_string(&app - _apps.data());
+}
+
+void
+SystemSim::traceGap(AppInstance &app)
+{
+    if (auto *tb = trace::active()) {
+        if (_eq.now() > app.phase_start)
+            tb->span(trace::Category::Driver, "notify_wait",
+                     trackName(app), app.phase_start, _eq.now());
+    }
 }
 
 void
@@ -331,8 +368,14 @@ SystemSim::notifyThen(std::size_t a, std::function<void()> next)
     (void)a;
     const driver::InterruptController::Notification n =
         _irq->notifyChecked();
-    if (!n.delivered)
+    if (!n.delivered) {
         ++_dropped_irqs;
+        if (auto *tb = trace::active())
+            tb->count("sys.dropped_irqs", _eq.now());
+    }
+    if (auto *tb = trace::active())
+        tb->instant(trace::Category::Driver,
+                    n.delivered ? "irq" : "poll", "host.irq", _eq.now());
     _eq.scheduleIn(n.latency, std::move(next));
 }
 
@@ -349,6 +392,11 @@ SystemSim::startFlowReliable(pcie::NodeId src, pcie::NodeId dst,
                 return;
             }
             ++_flow_retries;
+            if (auto *tb = trace::active()) {
+                tb->count("sys.flow_retries", _eq.now());
+                tb->instant(trace::Category::Retry, "flow_retry", "pcie",
+                            _eq.now());
+            }
             startFlowReliable(src, dst, bytes, std::move(done));
         });
 }
@@ -367,6 +415,7 @@ SystemSim::startKernel(std::size_t a, std::size_t k)
 {
     AppInstance &app = _apps[a];
     const KernelTiming &kt = app.model->kernels[k];
+    traceGap(app); // PcieIntegrated delivers behind a doorbell notify
     app.phase_start = _eq.now();
     if (_cfg.placement == Placement::AllCpu) {
         _pool->submit(kt.cpu_core_seconds, kt.max_host_cores,
@@ -522,6 +571,7 @@ void
 SystemSim::requestDone(std::size_t a)
 {
     AppInstance &app = _apps[a];
+    traceGap(app); // the final completion interrupt's latency
     app.latency_ms_sum += ticksToMs(_eq.now() - app.request_start);
     ++app.requests_done;
     _last_done = std::max(_last_done, _eq.now());
@@ -555,27 +605,30 @@ SystemSim::run()
         stats.avg_latency_ms +=
             app.latency_ms_sum /
             static_cast<double>(_cfg.requests_per_app);
-        stats.breakdown.kernel_ms += app.time_ms[0];
-        stats.breakdown.restructure_ms += app.time_ms[1];
-        stats.breakdown.movement_ms += app.time_ms[2];
+        stats.kernel_ticks += app.time_ticks[0];
+        stats.restructure_ticks += app.time_ticks[1];
+        stats.movement_ticks += app.time_ticks[2];
 
         double worst_stage_ms = 0;
-        for (double s : app.stage_ms) {
+        for (Tick s : app.stage_ticks) {
             worst_stage_ms = std::max(
                 worst_stage_ms,
-                s / static_cast<double>(_cfg.requests_per_app));
+                ticksToMs(s) /
+                    static_cast<double>(_cfg.requests_per_app));
         }
         bottleneck = std::max(bottleneck, worst_stage_ms);
         tput_sum += 1000.0 / worst_stage_ms;
     }
     const double n_apps = static_cast<double>(_apps.size());
     stats.avg_latency_ms /= n_apps;
-    stats.breakdown.kernel_ms /= n_reqs;
-    stats.breakdown.restructure_ms /= n_reqs;
-    stats.breakdown.movement_ms /= n_reqs;
+    stats.breakdown.kernel_ms = ticksToMs(stats.kernel_ticks) / n_reqs;
+    stats.breakdown.restructure_ms =
+        ticksToMs(stats.restructure_ticks) / n_reqs;
+    stats.breakdown.movement_ms = ticksToMs(stats.movement_ticks) / n_reqs;
     stats.avg_throughput_rps = tput_sum / n_apps;
     stats.bottleneck_stage_ms = bottleneck;
     stats.makespan_ms = ticksToMs(_last_done);
+    stats.makespan_ticks = _last_done;
     stats.interrupts = _irq->interruptsDelivered();
     stats.polls = _irq->pollsDelivered();
     stats.pcie_bytes = _fabric ? _fabric->totalBytes() : 0;

@@ -107,6 +107,15 @@ struct RunStats
     std::uint64_t pcie_bytes = 0;
     std::uint64_t flow_retries = 0;   ///< link-level retransmissions
     std::uint64_t dropped_irqs = 0;   ///< notifications recovered by poll
+
+    /// Exact integer-tick phase totals summed over every request of
+    /// every application (the ms breakdown above is these, averaged).
+    /// With tracing enabled they equal the trace's per-category span
+    /// totals tick for tick.
+    Tick kernel_ticks = 0;
+    Tick restructure_ticks = 0;
+    Tick movement_ticks = 0;
+    Tick makespan_ticks = 0;
 };
 
 /**

@@ -204,6 +204,36 @@ TEST(Stats, GroupDumpContainsNames)
     EXPECT_NE(os.str().find('7'), std::string::npos);
 }
 
+TEST(Stats, GroupDumpJsonIsMachineReadable)
+{
+    stats::StatGroup group("sys");
+    stats::Scalar a(&group, "sys.counter", "the counter");
+    stats::Average avg(&group, "sys.avg", "an average");
+    stats::Formula f(&group, "sys.double", "2x",
+                     [&] { return 2 * a.value(); });
+    a += 7;
+    avg.sample(1.25);
+    avg.sample(2.25);
+
+    std::ostringstream os;
+    group.dumpAllJson(os);
+    const std::string json = os.str();
+    // Integral values print as integers, fractional ones round-trip.
+    EXPECT_EQ(json,
+              "{\"group\":\"sys\",\"stats\":{"
+              "\"sys.counter\":7,"
+              "\"sys.avg.mean\":1.75,\"sys.avg.count\":2,"
+              "\"sys.double\":14}}\n");
+}
+
+TEST(Stats, EmptyGroupDumpJsonIsValid)
+{
+    stats::StatGroup group("empty");
+    std::ostringstream os;
+    group.dumpAllJson(os);
+    EXPECT_EQ(os.str(), "{\"group\":\"empty\",\"stats\":{}}\n");
+}
+
 TEST(StrUtil, SplitJoinRoundTrip)
 {
     const auto parts = split("a,b,,c", ',');

@@ -145,6 +145,29 @@ TEST(DataQueueTest, TailWraparoundIsGuarded)
     EXPECT_THROW(q.push(1), std::logic_error);
 }
 
+TEST(DataQueueTest, GuardTripsMidStreamNotOnlyOnFirstPush)
+{
+    // The wraparound guard must hold for any push that would carry the
+    // absolute tail past UINT64_MAX, not just a single max-sized one.
+    const std::uint64_t max = ~std::uint64_t(0);
+    DataQueue q(max);
+    EXPECT_TRUE(q.push(max - 10));
+    q.pop(max - 10);
+    EXPECT_TRUE(q.push(10)); // tail == max exactly: still legal
+    q.pop(10);
+    EXPECT_EQ(q.used(), 0u);
+    EXPECT_EQ(q.tail(), max);
+    EXPECT_THROW(q.push(1), std::logic_error);
+    // The failed push must not have perturbed the pointers.
+    EXPECT_EQ(q.tail(), max);
+    EXPECT_EQ(q.head(), max);
+}
+
+TEST(DataQueueTest, RejectsZeroCapacity)
+{
+    EXPECT_THROW(DataQueue(0), std::runtime_error);
+}
+
 TEST(DrxQueuesTest, PaperPartitioningSupports40Accelerators)
 {
     // 8 GB of queue memory at 100 MB per pair, two pairs per peer.

@@ -19,6 +19,7 @@
 #include "restructure/cpu_exec.hh"
 #include "runtime/runtime.hh"
 #include "sys/system.hh"
+#include "trace/trace.hh"
 
 using namespace dmx;
 using namespace dmx::runtime;
@@ -504,6 +505,78 @@ TEST(FaultRuntime, FaultFreePlatformSeesNoReliabilityMachinery)
     EXPECT_EQ(plat.faultStats(dev).failures, 0u);
     EXPECT_EQ(plat.droppedInterrupts(), 0u);
     EXPECT_EQ(plat.commandPolicy().timeout, 0u); // no watchdogs armed
+}
+
+// -------------------------------------------------- fault trace events
+
+TEST(FaultTrace, DegradationToCpuSurfacesAsCounterAndSpan)
+{
+    const auto kernel = restructure::melSpectrogram(8, 64, 16);
+    const restructure::Bytes input = kernelInput(kernel);
+
+    trace::TraceBuffer tb;
+    trace::TraceSession session(tb);
+
+    Platform plat;
+    const DeviceId drx = plat.addDrx("drx0", {});
+    fault::FaultPlan plan;
+    for (std::uint64_t n = 0; n < 3; ++n)
+        plan.scriptMachine(n, fault::MachineAction::Fault);
+    plat.setFaultPlan(&plan);
+
+    Context ctx = plat.createContext();
+    const BufferId in = ctx.createBuffer(input);
+    const BufferId out = ctx.createBuffer();
+    Event ev = ctx.queue(drx).enqueueRestructure(kernel, in, out);
+    ctx.finish();
+    ASSERT_TRUE(ev.ok());
+    ASSERT_TRUE(ev.degraded());
+
+    // The degradation is a trace counter...
+    EXPECT_DOUBLE_EQ(tb.counterTotal("runtime.degraded"), 1.0);
+    // ...and the CPU fallback work is a Degrade-category span with
+    // real duration on the device's track.
+    std::uint64_t degrade_spans = 0;
+    for (const trace::Span &s : tb.spans()) {
+        if (s.cat != trace::Category::Degrade)
+            continue;
+        ++degrade_spans;
+        EXPECT_EQ(tb.stringAt(s.name), "cpu_fallback");
+        EXPECT_EQ(tb.stringAt(s.track), "drx0");
+        EXPECT_GT(s.duration(), 0u);
+    }
+    EXPECT_EQ(degrade_spans, 1u);
+    // The three faulted attempts left retry evidence too.
+    EXPECT_DOUBLE_EQ(tb.counterTotal("runtime.retries"), 3.0);
+}
+
+TEST(FaultTrace, P2pRerouteSurfacesAsCounter)
+{
+    trace::TraceBuffer tb;
+    trace::TraceSession session(tb);
+
+    Platform plat;
+    const DeviceId a =
+        plat.addAccelerator("a0", accel::Domain::FFT, doubler);
+    const DeviceId b =
+        plat.addAccelerator("a1", accel::Domain::SVM, doubler);
+    fault::FaultSpec spec;
+    spec.p2p_switch_faulted = true;
+    fault::FaultPlan plan(spec);
+    plat.setFaultPlan(&plan);
+
+    Context ctx = plat.createContext();
+    const Bytes payload(4 * mib, 0xc3);
+    const BufferId src = ctx.createBuffer(payload);
+    const BufferId dst = ctx.createBuffer();
+    Event ev = ctx.queue(a).enqueueCopy(src, dst, b);
+    ctx.finish();
+    ASSERT_TRUE(ev.ok());
+
+    EXPECT_DOUBLE_EQ(tb.counterTotal("runtime.rerouted_copies"), 1.0);
+    // Nothing degraded and nothing retried on this path.
+    EXPECT_DOUBLE_EQ(tb.counterTotal("runtime.degraded"), 0.0);
+    EXPECT_DOUBLE_EQ(tb.counterTotal("runtime.retries"), 0.0);
 }
 
 // --------------------------------------------------------- determinism

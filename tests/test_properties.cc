@@ -14,12 +14,15 @@
 #include "common/random.hh"
 #include "cpu/core_pool.hh"
 #include "drx/compiler.hh"
+#include "fault/fault.hh"
 #include "kernels/aes.hh"
 #include "kernels/lz.hh"
 #include "kernels/regex.hh"
 #include "pcie/fabric.hh"
 #include "restructure/catalog.hh"
 #include "restructure/cpu_exec.hh"
+#include "sys/system.hh"
+#include "trace/trace.hh"
 
 using namespace dmx;
 
@@ -418,3 +421,182 @@ INSTANTIATE_TEST_SUITE_P(
                           DType::U8),
         ::testing::Values(-1e9f, -300.0f, -1.5f, 0.0f, 0.4f, 100.3f,
                           70000.0f, 3e9f)));
+
+// ------------------------------------------------------------------
+// Property: trace time accounting is conservative and exact. For any
+// random chain configuration, per application track the recorded spans
+// (Kernel / Restructure / Movement phases plus Driver notify-wait gaps)
+// exactly tile the track's extent with no gaps or overlap; the
+// per-category totals equal RunStats' integer-tick fields; and the
+// latest span end is the simulated makespan. Integer-tick exact - no
+// epsilon anywhere.
+
+namespace
+{
+
+/** Random but well-formed chain app: k kernels, k-1 motions. */
+sys::AppModel
+randomChainApp(std::uint64_t seed)
+{
+    Rng rng(seed * 7919 + 13);
+    sys::AppModel app;
+    app.name = "rand" + std::to_string(seed);
+    app.input_bytes = (1 + rng.below(8)) * mib;
+
+    const unsigned k = 2 + static_cast<unsigned>(rng.below(3));
+    std::uint64_t bytes = (2 + rng.below(14)) * mib;
+    for (unsigned i = 0; i < k; ++i) {
+        sys::KernelTiming kt;
+        kt.name = "k" + std::to_string(i);
+        kt.cpu_core_seconds = rng.uniform(0.002, 0.02);
+        kt.accel_cycles = 100'000 + rng.below(900'000);
+        kt.accel_freq_hz = 250e6;
+        kt.out_bytes = bytes;
+        app.kernels.push_back(kt);
+
+        if (i + 1 < k) {
+            sys::MotionTiming m;
+            m.name = "m" + std::to_string(i);
+            m.cpu_core_seconds = rng.uniform(0.005, 0.04);
+            m.drx_cycles = 200'000 + rng.below(1'500'000);
+            m.in_bytes = bytes;
+            bytes = (1 + rng.below(10)) * mib;
+            m.out_bytes = bytes;
+            app.motions.push_back(m);
+        }
+    }
+    return app;
+}
+
+/** The placements a random sweep exercises (all accelerator-backed). */
+const sys::Placement trace_placements[] = {
+    sys::Placement::MultiAxl,
+    sys::Placement::IntegratedDrx,
+    sys::Placement::StandaloneDrx,
+    sys::Placement::BumpInTheWire,
+    sys::Placement::PcieIntegrated,
+};
+
+/**
+ * Check the tiling property of @p tb against @p stats for a system of
+ * @p n_apps applications.
+ */
+void
+checkTraceTiling(const trace::TraceBuffer &tb, const sys::RunStats &stats,
+                 unsigned n_apps)
+{
+    using trace::Category;
+
+    // Per-category totals match RunStats tick for tick.
+    EXPECT_EQ(tb.categoryTicks(Category::Kernel), stats.kernel_ticks);
+    EXPECT_EQ(tb.categoryTicks(Category::Restructure),
+              stats.restructure_ticks);
+    EXPECT_EQ(tb.categoryTicks(Category::Movement), stats.movement_ticks);
+    EXPECT_EQ(tb.maxEnd(), stats.makespan_ticks);
+
+    // Per app track, phase + driver-gap spans tile the extent exactly.
+    Tick last_app_end = 0;
+    for (unsigned i = 0; i < n_apps; ++i) {
+        const std::string track = "app" + std::to_string(i);
+        std::vector<std::pair<Tick, Tick>> ivs;
+        for (const trace::Span &s : tb.spans()) {
+            if (tb.stringAt(s.track) != track)
+                continue;
+            const bool app_cat = s.cat == Category::Kernel ||
+                                 s.cat == Category::Restructure ||
+                                 s.cat == Category::Movement ||
+                                 s.cat == Category::Driver;
+            EXPECT_TRUE(app_cat)
+                << track << " span '" << tb.stringAt(s.name)
+                << "' in unexpected category";
+            ivs.emplace_back(s.begin, s.end);
+        }
+        ASSERT_FALSE(ivs.empty()) << track;
+        std::sort(ivs.begin(), ivs.end());
+        Tick covered = 0;
+        for (std::size_t j = 0; j < ivs.size(); ++j) {
+            covered += ivs[j].second - ivs[j].first;
+            if (j > 0) {
+                EXPECT_EQ(ivs[j].first, ivs[j - 1].second)
+                    << track << ": gap or overlap at span " << j;
+            }
+        }
+        EXPECT_EQ(covered, ivs.back().second - ivs.front().first)
+            << track;
+        last_app_end = std::max(last_app_end, ivs.back().second);
+    }
+    // The final request completion defines the makespan.
+    EXPECT_EQ(last_app_end, stats.makespan_ticks);
+}
+
+} // namespace
+
+class TraceTiling : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceTiling, PhaseSpansTileAppTracksExactly)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    sys::SystemConfig cfg;
+    cfg.placement = trace_placements[rng.below(std::size(trace_placements))];
+    cfg.n_apps = 1 + static_cast<unsigned>(rng.below(4));
+    cfg.requests_per_app = 1 + static_cast<unsigned>(rng.below(3));
+
+    trace::TraceBuffer tb;
+    sys::RunStats stats;
+    {
+        trace::TraceSession session(tb);
+        stats = sys::simulateSystem(cfg, {randomChainApp(seed)});
+    }
+    checkTraceTiling(tb, stats, cfg.n_apps);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChains, TraceTiling,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(TraceTilingFaults, HoldsUnderFaultPlanWithRetriesTraced)
+{
+    fault::FaultSpec spec;
+    spec.seed = 7;
+    spec.flow_stall_prob = 0.10;
+    spec.flow_corrupt_prob = 0.05;
+    spec.irq_drop_prob = 0.10;
+    fault::FaultPlan plan(spec);
+
+    sys::SystemConfig cfg;
+    cfg.placement = sys::Placement::BumpInTheWire;
+    cfg.n_apps = 3;
+    cfg.requests_per_app = 3;
+    cfg.fault_plan = &plan;
+
+    trace::TraceBuffer tb;
+    sys::RunStats stats;
+    {
+        trace::TraceSession session(tb);
+        stats = sys::simulateSystem(cfg, {randomChainApp(3)});
+    }
+
+    // The time-tiling property survives fault recovery: retransmission
+    // time lands inside the Movement phase, recovery polls inside the
+    // Driver gaps.
+    checkTraceTiling(tb, stats, cfg.n_apps);
+
+    // Retries and dropped irqs surface as trace counters matching the
+    // aggregate stats, and each retry leaves a Retry-category instant.
+    ASSERT_GT(stats.flow_retries, 0u);
+    ASSERT_GT(stats.dropped_irqs, 0u);
+    EXPECT_DOUBLE_EQ(tb.counterTotal("sys.flow_retries"),
+                     static_cast<double>(stats.flow_retries));
+    EXPECT_DOUBLE_EQ(tb.counterTotal("sys.dropped_irqs"),
+                     static_cast<double>(stats.dropped_irqs));
+    std::uint64_t retry_instants = 0;
+    for (const trace::Span &s : tb.spans()) {
+        if (s.cat == trace::Category::Retry) {
+            EXPECT_EQ(tb.stringAt(s.name), "flow_retry");
+            ++retry_instants;
+        }
+    }
+    EXPECT_EQ(retry_instants, stats.flow_retries);
+}

@@ -224,3 +224,34 @@ TEST(Runtime, ErrorsOnBadHandles)
     EXPECT_THROW(ctx.queue(42), std::runtime_error);
     EXPECT_THROW(plat.deviceName(42), std::runtime_error);
 }
+
+TEST(Runtime, CompleteTimeRefusedUntilSettled)
+{
+    // Asking a completion time of an event that never settled is a
+    // caller bug reported as an error, never a garbage tick.
+    Event invalid;
+    EXPECT_FALSE(invalid.valid());
+    EXPECT_THROW(invalid.completeTime(), std::runtime_error);
+
+    Platform plat;
+    const DeviceId dev =
+        plat.addAccelerator("a0", accel::Domain::FFT, doubler);
+    Context ctx = plat.createContext();
+    const BufferId in = ctx.createBuffer(Bytes(64, 1));
+    const BufferId out = ctx.createBuffer();
+    Event ev = ctx.queue(dev).enqueueKernel(in, out);
+    // Enqueued but not yet simulated: still pending.
+    EXPECT_TRUE(ev.valid());
+    EXPECT_FALSE(ev.complete());
+    EXPECT_THROW(ev.completeTime(), std::runtime_error);
+
+    ctx.finish();
+    EXPECT_TRUE(ev.complete());
+    EXPECT_NO_THROW(ev.completeTime());
+    EXPECT_GT(ev.completeTime(), 0u);
+
+    // The throwing path must leave the event usable.
+    Event still_pending;
+    EXPECT_THROW(still_pending.completeTime(), std::runtime_error);
+    EXPECT_EQ(still_pending.status(), Status::Pending);
+}

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests of the simulated-time tracing layer: TraceBuffer mechanics,
+ * session installation, the determinism (golden-trace) contract, the
+ * Chrome trace_event export, and the exactness contract between trace
+ * category totals and RunStats tick fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "sys/system.hh"
+#include "trace/trace.hh"
+
+using namespace dmx;
+using namespace dmx::trace;
+
+namespace
+{
+
+/** Small two-kernel app, cheap enough for many repeated runs. */
+sys::AppModel
+tinyApp()
+{
+    sys::AppModel app;
+    app.name = "tiny";
+    app.input_bytes = 4 * mib;
+
+    sys::KernelTiming k1;
+    k1.name = "k1";
+    k1.cpu_core_seconds = 0.004;
+    k1.accel_cycles = 250'000;
+    k1.accel_freq_hz = 250e6;
+    k1.out_bytes = 8 * mib;
+    app.kernels.push_back(k1);
+
+    sys::KernelTiming k2 = k1;
+    k2.name = "k2";
+    k2.out_bytes = 1 * mib;
+    app.kernels.push_back(k2);
+
+    sys::MotionTiming m;
+    m.name = "restructure";
+    m.cpu_core_seconds = 0.012;
+    m.drx_cycles = 400'000;
+    m.in_bytes = 8 * mib;
+    m.out_bytes = 4 * mib;
+    app.motions.push_back(m);
+    return app;
+}
+
+sys::SystemConfig
+smallConfig(sys::Placement p = sys::Placement::BumpInTheWire)
+{
+    sys::SystemConfig cfg;
+    cfg.placement = p;
+    cfg.n_apps = 2;
+    cfg.requests_per_app = 2;
+    return cfg;
+}
+
+/** Run the small system with tracing into @p tb. */
+sys::RunStats
+tracedRun(TraceBuffer &tb, sys::Placement p = sys::Placement::BumpInTheWire)
+{
+    TraceSession session(tb);
+    return sys::simulateSystem(smallConfig(p), {tinyApp()});
+}
+
+} // namespace
+
+// ------------------------------------------------- TraceBuffer mechanics
+
+TEST(TraceBuffer, InternReturnsStableIds)
+{
+    TraceBuffer tb;
+    const auto a = tb.intern("alpha");
+    const auto b = tb.intern("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tb.intern("alpha"), a);
+    EXPECT_EQ(tb.stringAt(a), "alpha");
+    EXPECT_EQ(tb.stringAt(b), "beta");
+    EXPECT_THROW(tb.stringAt(999), std::logic_error);
+}
+
+TEST(TraceBuffer, SpansAccumulatePerCategory)
+{
+    TraceBuffer tb;
+    tb.span(Category::Kernel, "a", "t0", 100, 300);
+    tb.span(Category::Kernel, "b", "t0", 300, 350);
+    tb.span(Category::Movement, "c", "t1", 0, 1000, 42);
+    EXPECT_EQ(tb.categoryTicks(Category::Kernel), 250u);
+    EXPECT_EQ(tb.categoryTicks(Category::Movement), 1000u);
+    EXPECT_EQ(tb.categoryTicks(Category::Retry), 0u);
+    EXPECT_EQ(tb.maxEnd(), 1000u);
+
+    const auto bd = tb.breakdown();
+    EXPECT_EQ(bd[static_cast<std::size_t>(Category::Kernel)].spans, 2u);
+    EXPECT_EQ(bd[static_cast<std::size_t>(Category::Movement)].ticks,
+              1000u);
+    EXPECT_EQ(tb.spans()[2].arg, 42u);
+}
+
+TEST(TraceBuffer, NegativeDurationPanics)
+{
+    TraceBuffer tb;
+    EXPECT_THROW(tb.span(Category::Kernel, "bad", "t", 10, 9),
+                 std::logic_error);
+}
+
+TEST(TraceBuffer, InstantHasZeroDuration)
+{
+    TraceBuffer tb;
+    tb.instant(Category::Driver, "irq", "host", 777);
+    ASSERT_EQ(tb.spans().size(), 1u);
+    EXPECT_EQ(tb.spans()[0].duration(), 0u);
+    EXPECT_EQ(tb.categoryTicks(Category::Driver), 0u);
+}
+
+TEST(TraceBuffer, CountersAreCumulative)
+{
+    TraceBuffer tb;
+    tb.count("retries", 10);
+    tb.count("retries", 20);
+    tb.count("bytes", 5, 128.0);
+    EXPECT_DOUBLE_EQ(tb.counterTotal("retries"), 2.0);
+    EXPECT_DOUBLE_EQ(tb.counterTotal("bytes"), 128.0);
+    EXPECT_DOUBLE_EQ(tb.counterTotal("unseen"), 0.0);
+    // Samples record the running total at each event.
+    EXPECT_DOUBLE_EQ(tb.counters()[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(tb.counters()[1].value, 2.0);
+}
+
+TEST(TraceBuffer, ClearEmptiesEverything)
+{
+    TraceBuffer tb;
+    tb.span(Category::Flow, "f", "link", 0, 10);
+    tb.count("c", 1);
+    EXPECT_FALSE(tb.empty());
+    tb.clear();
+    EXPECT_TRUE(tb.empty());
+    EXPECT_DOUBLE_EQ(tb.counterTotal("c"), 0.0);
+    EXPECT_EQ(tb.maxEnd(), 0u);
+}
+
+// --------------------------------------------------- session management
+
+TEST(TraceSession, InstallsAndRestoresNesting)
+{
+    EXPECT_EQ(active(), nullptr);
+    TraceBuffer outer, inner;
+    {
+        TraceSession s1(outer);
+        EXPECT_EQ(active(), &outer);
+        {
+            TraceSession s2(inner);
+            EXPECT_EQ(active(), &inner);
+        }
+        EXPECT_EQ(active(), &outer);
+    }
+    EXPECT_EQ(active(), nullptr);
+}
+
+// ------------------------------------------------------ golden contract
+
+TEST(GoldenTrace, EqualRunsProduceByteIdenticalJson)
+{
+    TraceBuffer a, b;
+    tracedRun(a);
+    tracedRun(b);
+    ASSERT_FALSE(a.empty());
+
+    std::ostringstream ja, jb;
+    a.exportChromeJson(ja);
+    b.exportChromeJson(jb);
+    EXPECT_EQ(ja.str(), jb.str());
+
+    std::ostringstream sa, sb;
+    a.writeSummary(sa);
+    b.writeSummary(sb);
+    EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(GoldenTrace, SpansAreWellFormed)
+{
+    TraceBuffer tb;
+    const sys::RunStats stats = tracedRun(tb);
+    ASSERT_FALSE(tb.spans().empty());
+    for (const Span &s : tb.spans()) {
+        EXPECT_LE(s.begin, s.end);
+        EXPECT_LE(s.end, stats.makespan_ticks);
+        EXPECT_LT(s.cat, Category::NumCategories);
+        // Interned ids must resolve.
+        EXPECT_NO_THROW(tb.stringAt(s.name));
+        EXPECT_NO_THROW(tb.stringAt(s.track));
+    }
+    for (const CounterSample &c : tb.counters())
+        EXPECT_NO_THROW(tb.stringAt(c.name));
+}
+
+TEST(GoldenTrace, ExportIsChromeTraceEventShaped)
+{
+    TraceBuffer tb;
+    tracedRun(tb);
+    std::ostringstream os;
+    tb.exportChromeJson(os);
+    const std::string json = os.str();
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+    // Balanced braces is a cheap well-formedness smoke check (no brace
+    // characters occur inside the simulator's span/track names).
+    const auto count = [&](char c) {
+        return std::count(json.begin(), json.end(), c);
+    };
+    EXPECT_EQ(count('{'), count('}'));
+    EXPECT_EQ(count('['), count(']'));
+}
+
+// ------------------------------------------- disabled-tracing contract
+
+TEST(DisabledTracing, NoSessionRecordsNothingAndChangesNothing)
+{
+    ASSERT_EQ(active(), nullptr);
+
+    // Traced reference run.
+    TraceBuffer tb;
+    const sys::RunStats traced = tracedRun(tb);
+    ASSERT_FALSE(tb.empty());
+
+    // Untraced run of the identical system.
+    const sys::RunStats plain =
+        sys::simulateSystem(smallConfig(), {tinyApp()});
+
+    // Tracing only observes: every statistic matches exactly.
+    EXPECT_EQ(plain.makespan_ticks, traced.makespan_ticks);
+    EXPECT_EQ(plain.kernel_ticks, traced.kernel_ticks);
+    EXPECT_EQ(plain.restructure_ticks, traced.restructure_ticks);
+    EXPECT_EQ(plain.movement_ticks, traced.movement_ticks);
+    EXPECT_DOUBLE_EQ(plain.avg_latency_ms, traced.avg_latency_ms);
+    EXPECT_EQ(plain.interrupts, traced.interrupts);
+    EXPECT_EQ(plain.polls, traced.polls);
+    EXPECT_EQ(plain.pcie_bytes, traced.pcie_bytes);
+}
+
+// ------------------------------------------------- exactness contract
+
+TEST(TraceExactness, CategoryTotalsEqualRunStatsTicks)
+{
+    for (const sys::Placement p :
+         {sys::Placement::MultiAxl, sys::Placement::BumpInTheWire,
+          sys::Placement::StandaloneDrx, sys::Placement::PcieIntegrated}) {
+        TraceBuffer tb;
+        const sys::RunStats stats = tracedRun(tb, p);
+        EXPECT_EQ(tb.categoryTicks(Category::Kernel), stats.kernel_ticks)
+            << toString(p);
+        EXPECT_EQ(tb.categoryTicks(Category::Restructure),
+                  stats.restructure_ticks)
+            << toString(p);
+        EXPECT_EQ(tb.categoryTicks(Category::Movement),
+                  stats.movement_ticks)
+            << toString(p);
+        EXPECT_EQ(tb.maxEnd(), stats.makespan_ticks) << toString(p);
+    }
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Performance-regression checker over the {"figure", "metrics"} JSON
+ * files emitted by the bench harnesses' --json flag.
+ *
+ * Usage:
+ *   bench_diff <baseline.json> <candidate.json> [--tolerance PCT]
+ *              [--perturb PCT]
+ *
+ * Each metric present in the baseline is compared against the
+ * candidate. Whether a change is a regression depends on the metric's
+ * direction, inferred from its name: latency/time/cycles/bytes/energy
+ * metrics regress when they grow, speedup/throughput/gain/reduction
+ * metrics regress when they shrink. A metric missing from the
+ * candidate is always an error. Exit status is 0 when every metric is
+ * within tolerance and 1 otherwise, so CI can gate on it directly.
+ *
+ * --perturb PCT is a self-test hook: it scales every candidate metric
+ * in the regressing direction by PCT percent before comparing, which
+ * must trip the checker (CI runs it and asserts a nonzero exit).
+ */
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+struct Report
+{
+    std::string figure;
+    std::map<std::string, double> metrics;
+};
+
+/**
+ * Minimal parser for the flat bench-report schema. Not a general JSON
+ * parser: it accepts exactly what BenchReport::write() produces plus
+ * insignificant whitespace.
+ */
+bool
+parseReport(const std::string &path, Report &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_diff: cannot read '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    std::size_t pos = 0;
+    const auto skipWs = [&] {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    };
+    const auto expect = [&](char c) {
+        skipWs();
+        if (pos >= text.size() || text[pos] != c) {
+            std::fprintf(stderr,
+                         "bench_diff: %s: expected '%c' at offset %zu\n",
+                         path.c_str(), c, pos);
+            return false;
+        }
+        ++pos;
+        return true;
+    };
+    const auto parseString = [&](std::string &s) {
+        if (!expect('"'))
+            return false;
+        s.clear();
+        while (pos < text.size() && text[pos] != '"')
+            s += text[pos++];
+        return expect('"');
+    };
+    const auto parseNumber = [&](double &v) {
+        skipWs();
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        v = std::strtod(start, &end);
+        if (end == start) {
+            std::fprintf(stderr,
+                         "bench_diff: %s: bad number at offset %zu\n",
+                         path.c_str(), pos);
+            return false;
+        }
+        pos += static_cast<std::size_t>(end - start);
+        return true;
+    };
+
+    if (!expect('{'))
+        return false;
+    bool first = true;
+    while (true) {
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            break;
+        }
+        if (!first && !expect(','))
+            return false;
+        first = false;
+        std::string key;
+        if (!parseString(key) || !expect(':'))
+            return false;
+        if (key == "figure") {
+            if (!parseString(out.figure))
+                return false;
+        } else if (key == "metrics") {
+            if (!expect('{'))
+                return false;
+            bool mfirst = true;
+            while (true) {
+                skipWs();
+                if (pos < text.size() && text[pos] == '}') {
+                    ++pos;
+                    break;
+                }
+                if (!mfirst && !expect(','))
+                    return false;
+                mfirst = false;
+                std::string name;
+                double value = 0;
+                if (!parseString(name) || !expect(':') ||
+                    !parseNumber(value))
+                    return false;
+                out.metrics[name] = value;
+            }
+        } else {
+            std::fprintf(stderr, "bench_diff: %s: unknown key '%s'\n",
+                         path.c_str(), key.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * @return true when larger values of the metric are better, inferred
+ *         from conventional name fragments (speedup, throughput, ...);
+ *         false when smaller is better (latency, cycles, bytes, ...)
+ */
+bool
+higherIsBetter(const std::string &name)
+{
+    static const char *const higher[] = {"speedup",    "throughput",
+                                         "gain",       "reduction",
+                                         "rps",        "bandwidth"};
+    static const char *const lower[] = {"latency", "_ms",     "time",
+                                        "cycles",  "bytes",   "energy",
+                                        "mpki",    "percent", "_pct"};
+    for (const char *frag : higher)
+        if (name.find(frag) != std::string::npos)
+            return true;
+    for (const char *frag : lower)
+        if (name.find(frag) != std::string::npos)
+            return false;
+    // Unknown metrics are treated as higher-is-better so that a
+    // shrinking value is flagged; a growing one passes.
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string base_path, cand_path;
+    double tolerance_pct = 5.0;
+    double perturb_pct = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+            tolerance_pct = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--perturb") == 0 &&
+                   i + 1 < argc) {
+            perturb_pct = std::atof(argv[++i]);
+        } else if (base_path.empty()) {
+            base_path = argv[i];
+        } else if (cand_path.empty()) {
+            cand_path = argv[i];
+        } else {
+            std::fprintf(stderr, "bench_diff: unexpected arg '%s'\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    if (base_path.empty() || cand_path.empty()) {
+        std::fprintf(stderr,
+                     "usage: bench_diff <baseline.json> <candidate.json>"
+                     " [--tolerance PCT] [--perturb PCT]\n");
+        return 2;
+    }
+
+    Report base, cand;
+    if (!parseReport(base_path, base) || !parseReport(cand_path, cand))
+        return 2;
+    if (!base.figure.empty() && !cand.figure.empty() &&
+        base.figure != cand.figure) {
+        std::fprintf(stderr,
+                     "bench_diff: figure mismatch: '%s' vs '%s'\n",
+                     base.figure.c_str(), cand.figure.c_str());
+        return 2;
+    }
+
+    int regressions = 0;
+    for (const auto &[name, base_v] : base.metrics) {
+        const auto it = cand.metrics.find(name);
+        if (it == cand.metrics.end()) {
+            std::printf("MISSING  %-40s (baseline %.6g)\n", name.c_str(),
+                        base_v);
+            ++regressions;
+            continue;
+        }
+        const bool up_good = higherIsBetter(name);
+        double cand_v = it->second;
+        if (perturb_pct != 0.0) {
+            const double f = 1.0 + perturb_pct / 100.0;
+            cand_v = up_good ? cand_v / f : cand_v * f;
+        }
+        const double delta_pct =
+            base_v == 0.0 ? (cand_v == 0.0 ? 0.0 : 100.0)
+                          : 100.0 * (cand_v - base_v) / std::fabs(base_v);
+        const bool regressed = up_good ? delta_pct < -tolerance_pct
+                                       : delta_pct > tolerance_pct;
+        std::printf("%-8s %-40s base %.6g cand %.6g (%+.2f%%, %s)\n",
+                    regressed ? "REGRESS" : "ok", name.c_str(), base_v,
+                    cand_v, delta_pct,
+                    up_good ? "higher-better" : "lower-better");
+        if (regressed)
+            ++regressions;
+    }
+
+    if (regressions) {
+        std::printf("bench_diff: %d metric(s) regressed beyond %.1f%%\n",
+                    regressions, tolerance_pct);
+        return 1;
+    }
+    std::printf("bench_diff: all %zu metric(s) within %.1f%%\n",
+                base.metrics.size(), tolerance_pct);
+    return 0;
+}
