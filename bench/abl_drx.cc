@@ -69,13 +69,46 @@ main(int argc, char **argv)
               "mel x", "text x", "db x"});
     DrxConfig base_cfg;
     base_cfg.freq_hz = 250e6; // the FPGA prototype, where compute binds
-    const Cycles mel_base = cyclesWith(mel, base_cfg, 1);
-    const Cycles text_base = cyclesWith(text, base_cfg, 3);
-    const Cycles db_base = cyclesWith(db, base_cfg, 2);
-    auto add = [&](const std::string &name, DrxConfig cfg) {
-        const Cycles mc = cyclesWith(mel, cfg, 1);
-        const Cycles tc = cyclesWith(text, cfg, 3);
-        const Cycles dc = cyclesWith(db, cfg, 2);
+
+    // One scenario per (configuration, kernel) cell, plus the two
+    // lowering studies at the end; every cell is an independent DRX
+    // simulation, so the whole table fans across workers.
+    DrxConfig no_loops = base_cfg;
+    no_loops.hardware_loops = false;
+    DrxConfig no_dbl = base_cfg;
+    no_dbl.double_buffer = false;
+    restructure::Kernel dense = mel;
+    {
+        // Banded vs dense MatVec: destroy the band structure.
+        auto w = std::make_shared<std::vector<float>>(
+            *dense.stages[1].weights);
+        for (auto &v : *w)
+            v += 1e-12f;
+        dense.stages[1].weights = w;
+    }
+    const auto affine = restructure::dbColumnarize(1u << 17, false);
+
+    std::vector<std::function<Cycles()>> thunks;
+    for (const DrxConfig &cfg : {base_cfg, no_loops, no_dbl}) {
+        thunks.push_back([&mel, cfg] { return cyclesWith(mel, cfg, 1); });
+        thunks.push_back([&text, cfg] { return cyclesWith(text, cfg, 3); });
+        thunks.push_back([&db, cfg] { return cyclesWith(db, cfg, 2); });
+    }
+    thunks.push_back(
+        [&dense, base_cfg] { return cyclesWith(dense, base_cfg, 1); });
+    thunks.push_back(
+        [&affine, base_cfg] { return cyclesWith(affine, base_cfg, 3); });
+    const std::vector<Cycles> cyc =
+        bench::runSweep<Cycles>(report, std::move(thunks));
+
+    const Cycles mel_base = cyc[0];
+    const Cycles text_base = cyc[1];
+    const Cycles db_base = cyc[2];
+    std::size_t cell = 0;
+    auto add = [&](const std::string &name) {
+        const Cycles mc = cyc[cell++];
+        const Cycles tc = cyc[cell++];
+        const Cycles dc = cyc[cell++];
         t.row({name, std::to_string(mc), std::to_string(tc),
                std::to_string(dc),
                Table::num(static_cast<double>(mc) / mel_base),
@@ -85,28 +118,13 @@ main(int argc, char **argv)
     report.metric("mel_base_cycles", static_cast<double>(mel_base));
     report.metric("text_base_cycles", static_cast<double>(text_base));
     report.metric("db_base_cycles", static_cast<double>(db_base));
-    add("baseline (128 lanes, hw loops, dbl-buffer)", base_cfg);
-    {
-        DrxConfig c = base_cfg;
-        c.hardware_loops = false;
-        add("no Instruction Repeater (software loops)", c);
-    }
-    {
-        DrxConfig c = base_cfg;
-        c.double_buffer = false;
-        add("no access/execute double buffering", c);
-    }
+    add("baseline (128 lanes, hw loops, dbl-buffer)");
+    add("no Instruction Repeater (software loops)");
+    add("no access/execute double buffering");
     t.print(std::cout);
 
-    // Banded vs dense MatVec: destroy the band structure.
     {
-        restructure::Kernel dense = mel;
-        auto w = std::make_shared<std::vector<float>>(
-            *dense.stages[1].weights);
-        for (auto &v : *w)
-            v += 1e-12f;
-        dense.stages[1].weights = w;
-        const Cycles dense_cycles = cyclesWith(dense, base_cfg, 1);
+        const Cycles dense_cycles = cyc[cell++];
         Table b("Banded MatVec lowering (mel filter bank)");
         b.header({"lowering", "cycles", "vs banded"});
         b.row({"banded (compiler-detected)", std::to_string(mel_base),
@@ -118,8 +136,7 @@ main(int argc, char **argv)
 
     // Affine strided lowering vs index-table gather.
     {
-        const auto affine = restructure::dbColumnarize(1u << 17, false);
-        const Cycles affine_cycles = cyclesWith(affine, base_cfg, 3);
+        const Cycles affine_cycles = cyc[cell++];
         Table g("Gather lowering (columnarization)");
         g.header({"lowering", "cycles", "note"});
         g.row({"affine strided streams (no index table)",

@@ -27,18 +27,31 @@ main(int argc, char **argv)
         const char *name;
         double threshold_hz;
     };
-    for (const Policy &pol :
-         {Policy{"always interrupt", 1e18},
-          Policy{"NAPI adaptive (default)", 50e3},
-          Policy{"always poll", 0.0}}) {
+    const std::vector<Policy> policies{
+        Policy{"always interrupt", 1e18},
+        Policy{"NAPI adaptive (default)", 50e3},
+        Policy{"always poll", 0.0}};
+    std::vector<std::function<RunStats()>> thunks;
+    for (const Policy &pol : policies) {
+        for (const auto &app : bench::suite()) {
+            thunks.push_back([&app, threshold = pol.threshold_hz] {
+                SystemConfig cfg;
+                cfg.n_apps = 10;
+                cfg.placement = Placement::BumpInTheWire;
+                cfg.irq.polling_threshold_hz = threshold;
+                return simulateSystem(cfg, {app});
+            });
+        }
+    }
+    const std::vector<RunStats> runs =
+        bench::runSweep<RunStats>(report, std::move(thunks));
+
+    std::size_t cell = 0;
+    for (const Policy &pol : policies) {
         std::vector<double> lat;
         std::uint64_t irqs = 0, polls = 0;
-        for (const auto &app : bench::suite()) {
-            SystemConfig cfg;
-            cfg.n_apps = 10;
-            cfg.placement = Placement::BumpInTheWire;
-            cfg.irq.polling_threshold_hz = pol.threshold_hz;
-            const RunStats s = simulateSystem(cfg, {app});
+        for (std::size_t a = 0; a < bench::suite().size(); ++a) {
+            const RunStats &s = runs[cell++];
             lat.push_back(s.avg_latency_ms);
             irqs += s.interrupts;
             polls += s.polls;

@@ -11,12 +11,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "apps/benchmarks.hh"
 #include "common/table.hh"
+#include "exec/scenario.hh"
 #include "sys/system.hh"
 
 namespace dmx::bench
@@ -28,12 +30,18 @@ namespace dmx::bench
  * the harness computes its tables; write() emits
  * {"figure": ..., "metrics": {...}} when a path was requested (and is
  * a no-op otherwise, keeping default stdout output byte-identical).
+ *
+ * Construction also parses `--jobs N` (default: DMX_JOBS, then the
+ * hardware concurrency); jobs() feeds the harness's ScenarioRunner so
+ * every sweep can fan across threads. Results are committed in
+ * submission order, so output is byte-identical at every jobs level.
  */
 class BenchReport
 {
   public:
     BenchReport(int argc, char **argv, std::string figure)
-        : _figure(std::move(figure))
+        : _figure(std::move(figure)),
+          _jobs(exec::resolveJobs(exec::parseJobsFlag(argc, argv)))
     {
         for (int i = 1; i < argc; ++i) {
             if (std::strcmp(argv[i], "--json") == 0) {
@@ -80,12 +88,31 @@ class BenchReport
         return 0;
     }
 
+    /** Worker count resolved from --jobs / DMX_JOBS / the hardware. */
+    unsigned jobs() const { return _jobs; }
+
   private:
     std::string _figure;
     std::string _path;
+    unsigned _jobs = 1;
     std::vector<std::string> _names;
     std::vector<double> _values;
 };
+
+/**
+ * Evaluate independent sweep points in parallel, results in submission
+ * order. Build one self-contained thunk per sweep point, call this, and
+ * consume the returned vector in the existing print loops: stdout and
+ * --json output stay byte-identical to the serial nested-loop version
+ * at every jobs level (`--jobs 1` runs the thunks inline, in order).
+ */
+template <typename T>
+inline std::vector<T>
+runSweep(const BenchReport &report, std::vector<std::function<T()>> thunks)
+{
+    exec::ScenarioRunner runner(report.jobs());
+    return runner.run<T>(std::move(thunks));
+}
 
 /** The five Table I applications (built once per process). */
 inline const std::vector<sys::AppModel> &

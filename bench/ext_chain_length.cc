@@ -58,14 +58,26 @@ main(int argc, char **argv)
     Table t("DMX speedup vs chain length (10 concurrent apps)");
     t.header({"kernels per app", "multi-axl (ms)", "dmx (ms)",
               "speedup (x)", "baseline restructure share %"});
-    for (std::size_t k : {2u, 3u, 4u, 5u, 6u}) {
-        const AppModel app = chainApp(k);
-        SystemConfig cfg;
-        cfg.n_apps = 10;
-        cfg.placement = Placement::MultiAxl;
-        const RunStats base = simulateSystem(cfg, {app});
-        cfg.placement = Placement::BumpInTheWire;
-        const RunStats dmx = simulateSystem(cfg, {app});
+    const std::vector<std::size_t> chain_sweep{2u, 3u, 4u, 5u, 6u};
+    std::vector<std::function<std::pair<RunStats, RunStats>()>> thunks;
+    for (std::size_t k : chain_sweep) {
+        thunks.push_back([k] {
+            const AppModel app = chainApp(k);
+            SystemConfig cfg;
+            cfg.n_apps = 10;
+            cfg.placement = Placement::MultiAxl;
+            const RunStats base = simulateSystem(cfg, {app});
+            cfg.placement = Placement::BumpInTheWire;
+            return std::make_pair(base, simulateSystem(cfg, {app}));
+        });
+    }
+    const auto runs = bench::runSweep<std::pair<RunStats, RunStats>>(
+        report, std::move(thunks));
+
+    for (std::size_t i = 0; i < chain_sweep.size(); ++i) {
+        const std::size_t k = chain_sweep[i];
+        const RunStats &base = runs[i].first;
+        const RunStats &dmx = runs[i].second;
         const double sp_x = base.avg_latency_ms / dmx.avg_latency_ms;
         report.metric("speedup_k" + std::to_string(k), sp_x);
         t.row({std::to_string(k), Table::num(base.avg_latency_ms),

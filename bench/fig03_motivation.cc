@@ -8,6 +8,8 @@
  *      6.5x per-kernel geomean).
  */
 
+#include <array>
+
 #include "bench/bench_util.hh"
 
 using namespace dmx;
@@ -23,11 +25,26 @@ main(int argc, char **argv)
     Table a("Fig 3(a): runtime breakdown (geomean shares across apps)");
     a.header({"apps", "config", "kernel %", "restructure %",
               "movement %"});
+    const std::array<Placement, 2> configs{Placement::AllCpu,
+                                           Placement::MultiAxl};
+    std::vector<std::function<RunStats()>> thunks;
     for (unsigned n : bench::concurrency_sweep) {
-        for (Placement p : {Placement::AllCpu, Placement::MultiAxl}) {
-            std::vector<double> ks, rs, ms;
+        for (Placement p : configs) {
             for (const auto &app : bench::suite()) {
-                const RunStats s = bench::runHomogeneous(app, p, n);
+                thunks.push_back(
+                    [&app, p, n] { return bench::runHomogeneous(app, p, n); });
+            }
+        }
+    }
+    const std::vector<RunStats> runs =
+        bench::runSweep<RunStats>(report, std::move(thunks));
+
+    std::size_t cell = 0;
+    for (unsigned n : bench::concurrency_sweep) {
+        for (Placement p : configs) {
+            std::vector<double> ks, rs, ms;
+            for (std::size_t i = 0; i < bench::suite().size(); ++i) {
+                const RunStats &s = runs[cell++];
                 const double tot = s.breakdown.total();
                 ks.push_back(100.0 * s.breakdown.kernel_ms / tot);
                 rs.push_back(100.0 * s.breakdown.restructure_ms / tot);
@@ -55,22 +72,34 @@ main(int argc, char **argv)
                 (static_cast<double>(k.accel_cycles) / k.accel_freq_hz));
         }
     }
-    auto e2e = [&](unsigned n) {
-        std::vector<double> sp;
+    const std::array<unsigned, 2> e2e_sweep{1u, 10u};
+    std::vector<std::function<double()>> e2e_thunks;
+    for (unsigned n : e2e_sweep) {
         for (const auto &app : bench::suite()) {
-            const double all_cpu =
-                bench::runHomogeneous(app, Placement::AllCpu, n)
-                    .avg_latency_ms;
-            const double multi =
-                bench::runHomogeneous(app, Placement::MultiAxl, n)
-                    .avg_latency_ms;
-            sp.push_back(all_cpu / multi);
+            e2e_thunks.push_back([&app, n] {
+                const double all_cpu =
+                    bench::runHomogeneous(app, Placement::AllCpu, n)
+                        .avg_latency_ms;
+                const double multi =
+                    bench::runHomogeneous(app, Placement::MultiAxl, n)
+                        .avg_latency_ms;
+                return all_cpu / multi;
+            });
         }
+    }
+    const std::vector<double> e2e_sp =
+        bench::runSweep<double>(report, std::move(e2e_thunks));
+    auto e2e = [&](std::size_t which) {
+        const std::size_t apps_n = bench::suite().size();
+        const std::vector<double> sp(
+            e2e_sp.begin() + static_cast<std::ptrdiff_t>(which * apps_n),
+            e2e_sp.begin() +
+                static_cast<std::ptrdiff_t>((which + 1) * apps_n));
         return bench::geomean(sp);
     };
     const double pk = bench::geomean(per_kernel);
-    const double e1 = e2e(1);
-    const double e10 = e2e(10);
+    const double e1 = e2e(0);
+    const double e10 = e2e(1);
     b.row({"per-kernel accel speedup (geomean)", Table::num(pk),
            "6.5x"});
     b.row({"end-to-end speedup, 1 app", Table::num(e1), "1.4x"});

@@ -26,12 +26,22 @@ main(int argc, char **argv)
     Table m("Cache behaviour (misses per kilo-instruction)");
     m.header({"restructuring op", "L1I MPKI", "L1D MPKI", "L2 MPKI"});
 
+    const auto ops = apps::restructureSuite(32);
+    std::vector<std::function<cpu::TopDownReport()>> thunks;
+    for (const auto &nr : ops) {
+        thunks.push_back([&nr] {
+            cpu::TopDownParams params;
+            params.branch_rate = nr.branch_rate;
+            return cpu::characterize(nr.kernel, nr.input, params);
+        });
+    }
+    const std::vector<cpu::TopDownReport> reports =
+        bench::runSweep<cpu::TopDownReport>(report, std::move(thunks));
+
     std::vector<double> backend_pct, l1d_mpki;
-    for (const auto &nr : apps::restructureSuite(32)) {
-        cpu::TopDownParams params;
-        params.branch_rate = nr.branch_rate;
-        const cpu::TopDownReport rep =
-            cpu::characterize(nr.kernel, nr.input, params);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto &nr = ops[i];
+        const cpu::TopDownReport &rep = reports[i];
         t.row({nr.app, Table::num(100 * rep.retiring, 1),
                Table::num(100 * rep.frontend, 1),
                Table::num(100 * rep.bad_speculation, 1),

@@ -21,19 +21,31 @@ main(int argc, char **argv)
 
     Table t("Fig 11: latency speedup (x) vs concurrent instances");
     t.header({"benchmark", "1", "5", "10", "15"});
+    std::vector<std::function<double()>> thunks;
+    for (const auto &app : bench::suite()) {
+        for (unsigned n : bench::concurrency_sweep) {
+            thunks.push_back([&app, n] {
+                const double base =
+                    bench::runHomogeneous(app, Placement::MultiAxl, n)
+                        .avg_latency_ms;
+                const double dmx =
+                    bench::runHomogeneous(app, Placement::BumpInTheWire, n)
+                        .avg_latency_ms;
+                return base / dmx;
+            });
+        }
+    }
+    const std::vector<double> speedups =
+        bench::runSweep<double>(report, std::move(thunks));
+
     std::vector<std::vector<double>> per_n(bench::concurrency_sweep.size());
+    std::size_t cell = 0;
     for (const auto &app : bench::suite()) {
         std::vector<std::string> row{app.name};
         for (std::size_t i = 0; i < bench::concurrency_sweep.size(); ++i) {
-            const unsigned n = bench::concurrency_sweep[i];
-            const double base =
-                bench::runHomogeneous(app, Placement::MultiAxl, n)
-                    .avg_latency_ms;
-            const double dmx =
-                bench::runHomogeneous(app, Placement::BumpInTheWire, n)
-                    .avg_latency_ms;
-            per_n[i].push_back(base / dmx);
-            row.push_back(Table::num(base / dmx));
+            const double s = speedups[cell++];
+            per_n[i].push_back(s);
+            row.push_back(Table::num(s));
         }
         t.row(std::move(row));
     }

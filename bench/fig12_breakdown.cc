@@ -6,6 +6,8 @@
  * baseline and shrinks to 7.2%-17.0% under DMX.
  */
 
+#include <array>
+
 #include "bench/bench_util.hh"
 
 using namespace dmx;
@@ -18,8 +20,22 @@ main(int argc, char **argv)
     bench::banner("Figure 12 - runtime breakdown Multi-Axl vs DMX",
                   "Sec. VII-A, Fig. 12(a)/(b)");
 
-    for (Placement p :
-         {Placement::MultiAxl, Placement::BumpInTheWire}) {
+    const std::array<Placement, 2> placements{Placement::MultiAxl,
+                                              Placement::BumpInTheWire};
+    std::vector<std::function<RunStats()>> thunks;
+    for (Placement p : placements) {
+        for (unsigned n : bench::concurrency_sweep) {
+            for (const auto &app : bench::suite()) {
+                thunks.push_back(
+                    [&app, p, n] { return bench::runHomogeneous(app, p, n); });
+            }
+        }
+    }
+    const std::vector<RunStats> runs =
+        bench::runSweep<RunStats>(report, std::move(thunks));
+
+    std::size_t cell = 0;
+    for (Placement p : placements) {
         Table t(p == Placement::MultiAxl
                     ? "Fig 12(a): Multi-Axl baseline breakdown (%)"
                     : "Fig 12(b): DMX breakdown (%)");
@@ -27,8 +43,8 @@ main(int argc, char **argv)
                   "avg latency (ms)"});
         for (unsigned n : bench::concurrency_sweep) {
             std::vector<double> ks, rs, ms, lat;
-            for (const auto &app : bench::suite()) {
-                const RunStats s = bench::runHomogeneous(app, p, n);
+            for (std::size_t a = 0; a < bench::suite().size(); ++a) {
+                const RunStats &s = runs[cell++];
                 const double tot = s.breakdown.total();
                 ks.push_back(100 * s.breakdown.kernel_ms / tot);
                 rs.push_back(100 * s.breakdown.restructure_ms / tot);

@@ -21,19 +21,31 @@ main(int argc, char **argv)
 
     Table t("Fig 13: throughput improvement (x) vs concurrent instances");
     t.header({"benchmark", "1", "5", "10", "15"});
+    std::vector<std::function<double()>> thunks;
+    for (const auto &app : bench::suite()) {
+        for (unsigned n : bench::concurrency_sweep) {
+            thunks.push_back([&app, n] {
+                const double base =
+                    bench::runHomogeneous(app, Placement::MultiAxl, n)
+                        .avg_throughput_rps;
+                const double dmx =
+                    bench::runHomogeneous(app, Placement::BumpInTheWire, n)
+                        .avg_throughput_rps;
+                return dmx / base;
+            });
+        }
+    }
+    const std::vector<double> gains =
+        bench::runSweep<double>(report, std::move(thunks));
+
     std::vector<std::vector<double>> per_n(bench::concurrency_sweep.size());
+    std::size_t cell = 0;
     for (const auto &app : bench::suite()) {
         std::vector<std::string> row{app.name};
         for (std::size_t i = 0; i < bench::concurrency_sweep.size(); ++i) {
-            const unsigned n = bench::concurrency_sweep[i];
-            const double base =
-                bench::runHomogeneous(app, Placement::MultiAxl, n)
-                    .avg_throughput_rps;
-            const double dmx =
-                bench::runHomogeneous(app, Placement::BumpInTheWire, n)
-                    .avg_throughput_rps;
-            per_n[i].push_back(dmx / base);
-            row.push_back(Table::num(dmx / base));
+            const double g = gains[cell++];
+            per_n[i].push_back(g);
+            row.push_back(Table::num(g));
         }
         t.row(std::move(row));
     }

@@ -25,21 +25,33 @@ main(int argc, char **argv)
     Table t("Fig 14: average latency speedup (x) over Multi-Axl");
     t.header({"apps", "integrated", "standalone", "bump-in-the-wire",
               "pcie-integrated"});
+    std::vector<std::function<double()>> thunks;
+    for (unsigned n : bench::concurrency_sweep) {
+        for (const auto &app : bench::suite())
+            thunks.push_back([&app, n] {
+                return bench::runHomogeneous(app, Placement::MultiAxl, n)
+                    .avg_latency_ms;
+            });
+        for (Placement p : placements) {
+            for (const auto &app : bench::suite())
+                thunks.push_back([&app, p, n] {
+                    return bench::runHomogeneous(app, p, n).avg_latency_ms;
+                });
+        }
+    }
+    const std::vector<double> lats =
+        bench::runSweep<double>(report, std::move(thunks));
+
+    std::size_t cell = 0;
     for (unsigned n : bench::concurrency_sweep) {
         std::vector<std::string> row{std::to_string(n)};
         std::vector<double> base_lat;
-        for (const auto &app : bench::suite())
-            base_lat.push_back(
-                bench::runHomogeneous(app, Placement::MultiAxl, n)
-                    .avg_latency_ms);
+        for (std::size_t i = 0; i < bench::suite().size(); ++i)
+            base_lat.push_back(lats[cell++]);
         for (Placement p : placements) {
             std::vector<double> sp;
-            for (std::size_t i = 0; i < bench::suite().size(); ++i) {
-                const double lat =
-                    bench::runHomogeneous(bench::suite()[i], p, n)
-                        .avg_latency_ms;
-                sp.push_back(base_lat[i] / lat);
-            }
+            for (std::size_t i = 0; i < bench::suite().size(); ++i)
+                sp.push_back(base_lat[i] / lats[cell++]);
             const double g = bench::geomean(sp);
             row.push_back(Table::num(g));
             report.metric(toString(p) + "_speedup_n" +

@@ -27,21 +27,33 @@ main(int argc, char **argv)
     Table t("Fig 15: energy reduction (x) over Multi-Axl");
     t.header({"apps", "integrated", "standalone", "bump-in-the-wire",
               "best"});
+    std::vector<std::function<double()>> thunks;
+    for (unsigned n : bench::concurrency_sweep) {
+        for (const auto &app : bench::suite())
+            thunks.push_back([&app, n] {
+                return bench::runHomogeneous(app, Placement::MultiAxl, n)
+                    .energy.total();
+            });
+        for (Placement p : placements) {
+            for (const auto &app : bench::suite())
+                thunks.push_back([&app, p, n] {
+                    return bench::runHomogeneous(app, p, n).energy.total();
+                });
+        }
+    }
+    const std::vector<double> joules =
+        bench::runSweep<double>(report, std::move(thunks));
+
+    std::size_t cell = 0;
     for (unsigned n : bench::concurrency_sweep) {
         std::vector<double> base_j;
-        for (const auto &app : bench::suite())
-            base_j.push_back(
-                bench::runHomogeneous(app, Placement::MultiAxl, n)
-                    .energy.total());
+        for (std::size_t i = 0; i < bench::suite().size(); ++i)
+            base_j.push_back(joules[cell++]);
         std::vector<double> red;
-        for (Placement p : placements) {
+        for (std::size_t p = 0; p < placements.size(); ++p) {
             std::vector<double> r;
-            for (std::size_t i = 0; i < bench::suite().size(); ++i) {
-                const double j =
-                    bench::runHomogeneous(bench::suite()[i], p, n)
-                        .energy.total();
-                r.push_back(base_j[i] / j);
-            }
+            for (std::size_t i = 0; i < bench::suite().size(); ++i)
+                r.push_back(base_j[i] / joules[cell++]);
             red.push_back(bench::geomean(r));
         }
         const std::size_t best = static_cast<std::size_t>(

@@ -29,12 +29,22 @@ main(int argc, char **argv)
     s.header({"apps", "speedup (x)", "paper"});
     const std::vector<std::string> paper{"1.9", "~2.5", "~3.3", "4.2"};
 
+    std::vector<std::function<std::pair<RunStats, RunStats>()>> thunks;
+    for (unsigned n : bench::concurrency_sweep) {
+        thunks.push_back([&app, n] {
+            return std::make_pair(
+                bench::runHomogeneous(app, Placement::MultiAxl, n),
+                bench::runHomogeneous(app, Placement::BumpInTheWire, n));
+        });
+    }
+    const auto runs =
+        bench::runSweep<std::pair<RunStats, RunStats>>(report,
+                                                       std::move(thunks));
+
     for (std::size_t i = 0; i < bench::concurrency_sweep.size(); ++i) {
         const unsigned n = bench::concurrency_sweep[i];
-        const RunStats base =
-            bench::runHomogeneous(app, Placement::MultiAxl, n);
-        const RunStats dmx =
-            bench::runHomogeneous(app, Placement::BumpInTheWire, n);
+        const RunStats &base = runs[i].first;
+        const RunStats &dmx = runs[i].second;
         for (const auto &[name, st] :
              {std::pair<const char *, const RunStats &>{"multi-axl",
                                                         base},

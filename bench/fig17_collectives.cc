@@ -23,16 +23,30 @@ main(int argc, char **argv)
     Table t("Fig 17: collective latency, baseline vs DMX");
     t.header({"accels", "collective", "baseline (ms)", "dmx (ms)",
               "speedup (x)"});
-    for (unsigned n : {4u, 8u, 16u, 32u}) {
-        CollectiveConfig cfg;
-        cfg.n_accels = n;
-        const CollectiveResult bc = simulateBroadcast(cfg);
+    const std::vector<unsigned> accels{4u, 8u, 16u, 32u};
+    std::vector<std::function<std::pair<CollectiveResult,
+                                        CollectiveResult>()>> thunks;
+    for (unsigned n : accels) {
+        thunks.push_back([n] {
+            CollectiveConfig cfg;
+            cfg.n_accels = n;
+            return std::make_pair(simulateBroadcast(cfg),
+                                  simulateAllReduce(cfg));
+        });
+    }
+    const auto runs =
+        bench::runSweep<std::pair<CollectiveResult, CollectiveResult>>(
+            report, std::move(thunks));
+
+    for (std::size_t i = 0; i < accels.size(); ++i) {
+        const unsigned n = accels[i];
+        const CollectiveResult &bc = runs[i].first;
         t.row({std::to_string(n), "broadcast",
                Table::num(bc.baseline_ms), Table::num(bc.dmx_ms),
                Table::num(bc.speedup())});
         report.metric("broadcast_speedup_n" + std::to_string(n),
                       bc.speedup());
-        const CollectiveResult ar = simulateAllReduce(cfg);
+        const CollectiveResult &ar = runs[i].second;
         t.row({std::to_string(n), "all-reduce",
                Table::num(ar.baseline_ms), Table::num(ar.dmx_ms),
                Table::num(ar.speedup())});

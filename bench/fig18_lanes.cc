@@ -26,28 +26,45 @@ main(int argc, char **argv)
             "(5 apps, 250 MHz FPGA DRX)");
     t.header({"lanes", "geomean speedup (x)", "drx restructure ms "
                                               "(geomean)"});
-    for (unsigned lanes : {32u, 64u, 128u, 256u}) {
-        apps::SuiteParams params;
-        params.drx.lanes = lanes;
-        params.drx.freq_hz = 250e6;
-        const auto suite = apps::standardSuite(params);
-
+    const std::vector<unsigned> lane_sweep{32u, 64u, 128u, 256u};
+    struct LanePoint
+    {
         std::vector<double> sp, drx_ms;
-        for (const auto &app : suite) {
-            SystemConfig cfg;
-            cfg.n_apps = 5;
-            cfg.drx.lanes = lanes;
-            cfg.drx.freq_hz = 250e6;
-            cfg.placement = Placement::MultiAxl;
-            const double base =
-                simulateSystem(cfg, {app}).avg_latency_ms;
-            cfg.placement = Placement::BumpInTheWire;
-            const RunStats d = simulateSystem(cfg, {app});
-            sp.push_back(base / d.avg_latency_ms);
-            drx_ms.push_back(
-                static_cast<double>(app.motions[0].drx_cycles) / 250e6 *
-                1e3);
-        }
+    };
+    std::vector<std::function<LanePoint()>> thunks;
+    for (unsigned lanes : lane_sweep) {
+        thunks.push_back([lanes] {
+            apps::SuiteParams params;
+            params.drx.lanes = lanes;
+            params.drx.freq_hz = 250e6;
+            const auto suite = apps::standardSuite(params);
+
+            LanePoint pt;
+            for (const auto &app : suite) {
+                SystemConfig cfg;
+                cfg.n_apps = 5;
+                cfg.drx.lanes = lanes;
+                cfg.drx.freq_hz = 250e6;
+                cfg.placement = Placement::MultiAxl;
+                const double base =
+                    simulateSystem(cfg, {app}).avg_latency_ms;
+                cfg.placement = Placement::BumpInTheWire;
+                const RunStats d = simulateSystem(cfg, {app});
+                pt.sp.push_back(base / d.avg_latency_ms);
+                pt.drx_ms.push_back(
+                    static_cast<double>(app.motions[0].drx_cycles) /
+                    250e6 * 1e3);
+            }
+            return pt;
+        });
+    }
+    const std::vector<LanePoint> points =
+        bench::runSweep<LanePoint>(report, std::move(thunks));
+
+    for (std::size_t i = 0; i < lane_sweep.size(); ++i) {
+        const unsigned lanes = lane_sweep[i];
+        const std::vector<double> &sp = points[i].sp;
+        const std::vector<double> &drx_ms = points[i].drx_ms;
         const double g = bench::geomean(sp);
         report.metric("speedup_lanes" + std::to_string(lanes), g);
         t.row({std::to_string(lanes), Table::num(g),

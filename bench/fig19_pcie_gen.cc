@@ -23,15 +23,31 @@ main(int argc, char **argv)
             " (10 apps)");
     t.header({"generation", "geomean speedup (x)",
               "baseline movement (ms)", "dmx movement (ms)"});
-    for (pcie::Generation gen :
-         {pcie::Generation::Gen3, pcie::Generation::Gen4,
-          pcie::Generation::Gen5}) {
-        std::vector<double> sp, bm, dm;
+    const std::vector<pcie::Generation> gens{pcie::Generation::Gen3,
+                                             pcie::Generation::Gen4,
+                                             pcie::Generation::Gen5};
+    std::vector<std::function<std::pair<RunStats, RunStats>()>> thunks;
+    for (pcie::Generation gen : gens) {
         for (const auto &app : bench::suite()) {
-            const RunStats base = bench::runHomogeneous(
-                app, Placement::MultiAxl, 10, gen);
-            const RunStats dmx = bench::runHomogeneous(
-                app, Placement::BumpInTheWire, 10, gen);
+            thunks.push_back([&app, gen] {
+                return std::make_pair(
+                    bench::runHomogeneous(app, Placement::MultiAxl, 10,
+                                          gen),
+                    bench::runHomogeneous(app, Placement::BumpInTheWire,
+                                          10, gen));
+            });
+        }
+    }
+    const auto runs = bench::runSweep<std::pair<RunStats, RunStats>>(
+        report, std::move(thunks));
+
+    std::size_t cell = 0;
+    for (pcie::Generation gen : gens) {
+        std::vector<double> sp, bm, dm;
+        for (std::size_t a = 0; a < bench::suite().size(); ++a) {
+            const RunStats &base = runs[cell].first;
+            const RunStats &dmx = runs[cell].second;
+            ++cell;
             sp.push_back(base.avg_latency_ms / dmx.avg_latency_ms);
             bm.push_back(base.breakdown.movement_ms);
             dm.push_back(dmx.breakdown.movement_ms);

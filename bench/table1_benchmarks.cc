@@ -29,27 +29,38 @@ main(int argc, char **argv)
     Table d("Derived per-stage timings (1 instance, uncontended)");
     d.header({"Benchmark", "Stage", "Host (ms)", "Device (ms)",
               "Device"});
-    cpu::HostParams host;
+    using Rows = std::vector<std::vector<std::string>>;
+    std::vector<std::function<Rows()>> thunks;
     for (const auto &app : bench::suite()) {
-        for (const auto &k : app.kernels) {
-            const double cores =
-                k.max_host_cores > 0 ? k.max_host_cores
-                                     : host.max_job_cores;
-            d.row({app.name, k.name,
-                   Table::num(k.cpu_core_seconds / cores * 1e3),
-                   Table::num(static_cast<double>(k.accel_cycles) /
-                              k.accel_freq_hz * 1e3),
-                   "accelerator"});
-        }
-        for (const auto &m : app.motions) {
-            d.row({app.name, m.name,
-                   Table::num(m.cpu_core_seconds / host.max_job_cores *
-                              1e3),
-                   Table::num(static_cast<double>(m.drx_cycles) / 1e9 *
-                              1e3),
-                   "DRX (1 GHz)"});
-        }
+        thunks.push_back([&app] {
+            cpu::HostParams host;
+            Rows rows;
+            for (const auto &k : app.kernels) {
+                const double cores =
+                    k.max_host_cores > 0 ? k.max_host_cores
+                                         : host.max_job_cores;
+                rows.push_back(
+                    {app.name, k.name,
+                     Table::num(k.cpu_core_seconds / cores * 1e3),
+                     Table::num(static_cast<double>(k.accel_cycles) /
+                                k.accel_freq_hz * 1e3),
+                     "accelerator"});
+            }
+            for (const auto &m : app.motions) {
+                rows.push_back(
+                    {app.name, m.name,
+                     Table::num(m.cpu_core_seconds / host.max_job_cores *
+                                1e3),
+                     Table::num(static_cast<double>(m.drx_cycles) / 1e9 *
+                                1e3),
+                     "DRX (1 GHz)"});
+            }
+            return rows;
+        });
     }
+    for (Rows &rows : bench::runSweep<Rows>(report, std::move(thunks)))
+        for (std::vector<std::string> &row : rows)
+            d.row(std::move(row));
     d.print(std::cout);
     report.metric("benchmarks", static_cast<double>(bench::suite().size()));
     return report.write();

@@ -5,6 +5,13 @@
  * All stochastic behaviour in the simulator (workload generation, test
  * data) must draw from an explicitly seeded Rng so runs are reproducible.
  * The generator is xoshiro256** with a splitmix64 seeding routine.
+ *
+ * Streams are explicitly *splittable*: Rng(seed, stream) derives an
+ * independent stream per (seed, stream-id) pair, so N parallel
+ * scenarios can share one experiment seed while each drawing from its
+ * own uncorrelated sequence (stream id = submission index in
+ * exec::ScenarioRunner). Stream 0 is bit-identical to the legacy
+ * single-argument constructor.
  */
 
 #ifndef DMX_COMMON_RANDOM_HH
@@ -21,17 +28,26 @@ namespace dmx
 class Rng
 {
   public:
-    /** @param seed any 64-bit value; equal seeds give equal streams */
-    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    /**
+     * @param seed   any 64-bit value; equal seeds give equal streams
+     * @param stream stream id splitting the seed into independent
+     *               sequences; stream 0 reproduces the legacy
+     *               single-argument seeding exactly
+     */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull,
+                 std::uint64_t stream = 0)
     {
         // splitmix64 expansion of the seed into the xoshiro state.
+        // A nonzero stream id relocates the splitmix origin through an
+        // avalanching finalizer, so (seed, i) and (seed, j) expand
+        // from statistically unrelated points of the splitmix
+        // sequence rather than nearby ones.
         std::uint64_t x = seed;
+        if (stream != 0)
+            x ^= mix64(stream + 0x9e3779b97f4a7c15ull) | 1;
         for (auto &word : _state) {
             x += 0x9e3779b97f4a7c15ull;
-            std::uint64_t z = x;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-            word = z ^ (z >> 31);
+            word = mix64(x);
         }
     }
 
@@ -99,6 +115,15 @@ class Rng
     rotl(std::uint64_t x, int k)
     {
         return (x << k) | (x >> (64 - k));
+    }
+
+    /** splitmix64's avalanching finalizer. */
+    static std::uint64_t
+    mix64(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
     }
 
     std::array<std::uint64_t, 4> _state{};

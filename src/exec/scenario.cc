@@ -1,0 +1,53 @@
+#include "exec/scenario.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace dmx::exec
+{
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("DMX_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || v < 1)
+            dmx_fatal("DMX_JOBS='%s': expected a positive integer", env);
+        return static_cast<unsigned>(v);
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? hc : 1;
+}
+
+unsigned
+parseJobsFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") != 0)
+            continue;
+        if (i + 1 >= argc)
+            dmx_fatal("%s: --jobs needs a worker count", argv[0]);
+        char *end = nullptr;
+        const long v = std::strtol(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || *end != '\0' || v < 1)
+            dmx_fatal("%s: --jobs '%s': expected a positive integer",
+                      argv[0], argv[i + 1]);
+        return static_cast<unsigned>(v);
+    }
+    return 0;
+}
+
+ScenarioRunner::ScenarioRunner(unsigned jobs, std::uint64_t seed)
+    : _jobs(resolveJobs(jobs)), _seed(seed)
+{
+    if (_jobs > 1)
+        _pool = std::make_unique<ThreadPool>(_jobs);
+}
+
+} // namespace dmx::exec

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A work-stealing thread pool for fanning independent *simulation
+ * scenarios* across host hardware threads.
+ *
+ * The simulator itself stays strictly single-threaded per scenario
+ * (reproducibility beats parallel host speed inside one event queue);
+ * what parallelizes embarrassingly well is the space *around* one
+ * simulation: figure sweeps, ablation grids, property-test matrices and
+ * multi-tenant stress points are all independent closed-loop runs. The
+ * pool executes those as opaque tasks:
+ *
+ *  - every worker owns a deque; submissions are distributed round-robin
+ *    so unrelated scenarios start spread out;
+ *  - a worker pops from the *front* of its own deque (FIFO for cache
+ *    friendliness across a sweep) and, when empty, steals from the
+ *    *back* of a sibling's deque, so long-running scenarios at the
+ *    front of one deque cannot strand queued work behind them;
+ *  - a pool constructed with zero workers spawns no threads at all and
+ *    runs every submitted task inline on the caller - the degenerate
+ *    mode ScenarioRunner uses for `--jobs 1` so the legacy serial path
+ *    stays exactly the legacy serial path.
+ *
+ * The pool makes no determinism promises by itself - tasks complete in
+ * whatever order the host schedules them. Determinism is the job of
+ * ScenarioRunner's ordered reducer (see scenario.hh).
+ */
+
+#ifndef DMX_EXEC_THREAD_POOL_HH
+#define DMX_EXEC_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dmx::exec
+{
+
+/** Work-stealing pool of host threads executing opaque tasks. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * @param workers thread count; 0 spawns no threads and makes
+     *                submit() run tasks inline on the caller
+     */
+    explicit ThreadPool(unsigned workers);
+
+    /** Drains nothing: joins after the queues empty (wait() first if
+     *  completion order matters to you). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task (or run it inline for a 0-worker pool).
+     * Tasks must not throw: a scenario that can fail should capture
+     * its failure in its result object.
+     */
+    void submit(Task task);
+
+    /** Block until every task submitted so far has finished. */
+    void wait();
+
+    /** @return the number of worker threads (0 = inline mode). */
+    unsigned workers() const { return static_cast<unsigned>(_workers.size()); }
+
+    /** @return tasks executed so far via stealing (observability). */
+    std::uint64_t stolenCount() const
+    {
+        return _stolen.load(std::memory_order_relaxed);
+    }
+
+    /** @return tasks executed so far, stolen or not. */
+    std::uint64_t executedCount() const
+    {
+        return _executed.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** One worker's private deque; siblings steal from the back. */
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<Task> jobs;
+    };
+
+    void workerLoop(unsigned self);
+
+    /** Pop from own front, else steal from a sibling's back. */
+    bool takeTask(unsigned self, Task &out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> _queues;
+    std::vector<std::thread> _workers;
+
+    std::mutex _sleep_mu;              ///< guards the two CVs' predicates
+    std::condition_variable _wake;     ///< signalled on submit/shutdown
+    std::condition_variable _idle;     ///< signalled when _inflight hits 0
+    std::atomic<std::uint64_t> _queued{0};   ///< tasks sitting in deques
+    std::atomic<std::uint64_t> _inflight{0}; ///< submitted, not finished
+    std::atomic<std::uint64_t> _stolen{0};
+    std::atomic<std::uint64_t> _executed{0};
+    std::atomic<std::uint64_t> _next_queue{0}; ///< round-robin cursor
+    bool _stop = false;                ///< guarded by _sleep_mu
+};
+
+} // namespace dmx::exec
+
+#endif // DMX_EXEC_THREAD_POOL_HH

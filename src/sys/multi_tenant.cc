@@ -1,0 +1,70 @@
+#include "sys/multi_tenant.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace dmx::sys
+{
+
+MultiTenantStats
+simulateMultiTenant(const MultiTenantConfig &cfg,
+                    const std::vector<AppModel> &apps)
+{
+    if (apps.empty())
+        dmx_fatal("simulateMultiTenant: no application models");
+    if (cfg.tenants == 0)
+        dmx_fatal("simulateMultiTenant: need at least one tenant");
+
+    // The shared run: K closed-loop streams over one fabric. The
+    // system simulator already gives every instance its own chain and
+    // contends them on the shared switches/uplinks/host pool; the
+    // heterogeneous app mix is what makes it multi-tenant.
+    SystemConfig sys_cfg;
+    sys_cfg.placement = cfg.placement;
+    sys_cfg.gen = cfg.gen;
+    sys_cfg.n_apps = cfg.tenants;
+    sys_cfg.requests_per_app = cfg.requests_per_tenant;
+    sys_cfg.fault_plan = cfg.fault_plan;
+
+    MultiTenantStats out;
+    out.aggregate = simulateSystem(sys_cfg, apps);
+
+    // Solo baselines: one uncontended, fault-free run per *distinct*
+    // model in the mix (run after the shared simulation so a stateful
+    // FaultPlan's stream is not perturbed).
+    std::map<std::size_t, double> solo_ms;
+    if (!cfg.skip_solo_baseline) {
+        SystemConfig solo_cfg = sys_cfg;
+        solo_cfg.n_apps = 1;
+        solo_cfg.fault_plan = nullptr;
+        for (std::size_t m = 0;
+             m < apps.size() && m < cfg.tenants; ++m) {
+            solo_ms[m] =
+                simulateSystem(solo_cfg, {apps[m]}).avg_latency_ms;
+        }
+    }
+
+    double tput_sum = 0, tput_sq_sum = 0;
+    for (unsigned t = 0; t < cfg.tenants; ++t) {
+        TenantStats ts;
+        const std::size_t m = t % apps.size();
+        ts.app_name = apps[m].name;
+        ts.latency_ms = out.aggregate.per_app_latency_ms[t];
+        const auto it = solo_ms.find(m);
+        ts.solo_latency_ms = it != solo_ms.end() ? it->second : 0;
+        // Closed loop: each stream issues its next request as soon as
+        // the previous one completes.
+        ts.throughput_rps =
+            ts.latency_ms > 0 ? 1000.0 / ts.latency_ms : 0;
+        tput_sum += ts.throughput_rps;
+        tput_sq_sum += ts.throughput_rps * ts.throughput_rps;
+        out.tenants.push_back(std::move(ts));
+    }
+    const double k = static_cast<double>(cfg.tenants);
+    out.fairness =
+        tput_sq_sum > 0 ? (tput_sum * tput_sum) / (k * tput_sq_sum) : 0;
+    return out;
+}
+
+} // namespace dmx::sys

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Multi-tenant stress mode: K concurrent closed-loop request streams
+ * over one shared pcie::Fabric.
+ *
+ * The figure harnesses run *homogeneous* scale-out (n_apps copies of
+ * one application). Production data-motion service looks different:
+ * many tenants with *different* kernel chains contend for the same
+ * switches, uplinks, host cores and DRX units at the same time. This
+ * mode builds that mix - tenant i runs its own closed request loop
+ * with its own accelerator chain, every stream sharing the fabric and
+ * host resources of the configured placement - and reports per-tenant
+ * service quality next to the aggregate:
+ *
+ *  - per-tenant mean request latency and closed-loop throughput,
+ *  - the slowdown of the worst-treated tenant vs. running alone
+ *    (isolation factor), and
+ *  - Jain's fairness index over per-tenant throughput, 1.0 = all
+ *    tenants get equal service, 1/K = one tenant monopolizes.
+ *
+ * A stress *sweep* (tools/stress_multitenant) fans independent tenant
+ * counts across exec::ScenarioRunner workers; each stress point is one
+ * deterministic simulation, so the sweep is reproducible at any
+ * --jobs level.
+ */
+
+#ifndef DMX_SYS_MULTI_TENANT_HH
+#define DMX_SYS_MULTI_TENANT_HH
+
+#include <vector>
+
+#include "sys/system.hh"
+
+namespace dmx::sys
+{
+
+/** One tenant's service quality inside the shared system. */
+struct TenantStats
+{
+    std::string app_name;        ///< which chain this tenant runs
+    double latency_ms = 0;       ///< mean request latency, contended
+    double solo_latency_ms = 0;  ///< same chain running alone
+    double throughput_rps = 0;   ///< closed-loop rate: requests/latency
+
+    /** @return contended latency over solo latency (>= ~1). */
+    double
+    slowdown() const
+    {
+        return solo_latency_ms > 0 ? latency_ms / solo_latency_ms : 0;
+    }
+};
+
+/** Results of one multi-tenant stress point. */
+struct MultiTenantStats
+{
+    RunStats aggregate;               ///< whole-system view
+    std::vector<TenantStats> tenants; ///< per-stream view, tenant order
+
+    /** Jain's fairness index over per-tenant throughput. */
+    double fairness = 0;
+
+    /** @return the worst per-tenant slowdown vs. running alone. */
+    double
+    worstSlowdown() const
+    {
+        double worst = 0;
+        for (const TenantStats &t : tenants)
+            worst = std::max(worst, t.slowdown());
+        return worst;
+    }
+};
+
+/** Configuration of one stress point. */
+struct MultiTenantConfig
+{
+    Placement placement = Placement::BumpInTheWire;
+    pcie::Generation gen = pcie::Generation::Gen3;
+    unsigned tenants = 4;            ///< K concurrent request streams
+    unsigned requests_per_tenant = 3;
+    /// Optional fault plan shared by the whole stress point (not
+    /// owned; must outlive the run).
+    fault::FaultPlan *fault_plan = nullptr;
+    /// When true, skip the K solo baseline runs (solo_latency_ms and
+    /// slowdowns read 0); cheaper for large sweeps.
+    bool skip_solo_baseline = false;
+};
+
+/**
+ * Run one multi-tenant stress point: @p cfg.tenants concurrent
+ * closed-loop streams, tenant i running apps[i % apps.size()], all
+ * sharing one fabric/host/DRX complex under cfg.placement.
+ *
+ * @param cfg  stress-point configuration
+ * @param apps the tenant application mix (must be non-empty)
+ * @return aggregate plus per-tenant statistics, tenant order
+ */
+MultiTenantStats simulateMultiTenant(const MultiTenantConfig &cfg,
+                                     const std::vector<AppModel> &apps);
+
+} // namespace dmx::sys
+
+#endif // DMX_SYS_MULTI_TENANT_HH

@@ -602,9 +602,10 @@ SystemSim::run()
             dmx_panic("system: app '%s' finished %u of %u requests",
                       app.model->name.c_str(), app.requests_done,
                       _cfg.requests_per_app);
-        stats.avg_latency_ms +=
+        stats.per_app_latency_ms.push_back(
             app.latency_ms_sum /
-            static_cast<double>(_cfg.requests_per_app);
+            static_cast<double>(_cfg.requests_per_app));
+        stats.avg_latency_ms += stats.per_app_latency_ms.back();
         stats.kernel_ticks += app.time_ticks[0];
         stats.restructure_ticks += app.time_ticks[1];
         stats.movement_ticks += app.time_ticks[2];

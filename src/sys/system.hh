@@ -116,6 +116,11 @@ struct RunStats
     Tick restructure_ticks = 0;
     Tick movement_ticks = 0;
     Tick makespan_ticks = 0;
+
+    /// Mean request latency of each application instance (size n_apps);
+    /// avg_latency_ms is the mean of these. The multi-tenant stress
+    /// mode reads per-tenant service quality out of this.
+    std::vector<double> per_app_latency_ms;
 };
 
 /**

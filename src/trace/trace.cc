@@ -11,7 +11,12 @@ namespace dmx::trace
 namespace
 {
 
-TraceBuffer *g_active = nullptr;
+// Thread-local so that parallel scenario workers (src/exec/) each see
+// only their own scenario's buffer: installing a session on one worker
+// can never leak spans into another scenario running concurrently. In
+// the single-threaded simulator this is indistinguishable from a
+// process-wide pointer.
+thread_local TraceBuffer *g_active = nullptr;
 
 /** JSON string escaping for names (quotes, backslashes, control). */
 std::string

@@ -14,10 +14,13 @@
  *    (retries, degradations, re-routed copies, dropped interrupts).
  *
  * Instrumentation sites across runtime / pcie / drx / accel / sys all
- * consult the process-wide active buffer (trace::active()); with no
+ * consult the *thread-local* active buffer (trace::active()); with no
  * session installed every site reduces to one null-pointer check, so
  * tracing is zero-overhead when disabled and can never perturb
- * simulated time (it only ever *observes* ticks).
+ * simulated time (it only ever *observes* ticks). Thread-locality is
+ * what lets exec::ScenarioRunner run scenarios in parallel with fully
+ * isolated per-scenario traces: a session installed on one worker
+ * thread is invisible to every other.
  *
  * Determinism contract: the simulator is single-threaded and
  * deterministic, so two equal-seed runs record byte-identical traces -
@@ -186,13 +189,17 @@ class TraceBuffer
     std::map<std::uint32_t, double> _counter_totals;
 };
 
-/** @return the installed buffer, or nullptr when tracing is disabled. */
+/**
+ * @return the calling thread's installed buffer, or nullptr when
+ *         tracing is disabled on this thread
+ */
 TraceBuffer *active();
 
 /**
- * RAII installation of a TraceBuffer as the process-wide active trace
- * sink. Sessions nest; destruction restores the previously active
- * buffer. The buffer must outlive the session.
+ * RAII installation of a TraceBuffer as the calling thread's active
+ * trace sink. Sessions nest; destruction restores the previously
+ * active buffer. The buffer must outlive the session, and the session
+ * must be destroyed on the thread that created it.
  */
 class TraceSession
 {

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Coverage for the collective simulations (sys/collectives.cc):
+ * golden-value pins for the default Figure 17 configuration, structural
+ * properties (speedup, scaling, generation sensitivity), determinism,
+ * and the negative paths (too-few participants, zero-length payload).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sys/collectives.hh"
+
+using namespace dmx;
+using namespace dmx::sys;
+
+namespace
+{
+
+CollectiveConfig
+configFor(unsigned n)
+{
+    CollectiveConfig cfg;
+    cfg.n_accels = n;
+    return cfg;
+}
+
+} // namespace
+
+// Golden values for the Fig. 17 default configuration (8 MiB payload,
+// Gen3, 8 accelerators), pinned from the reference implementation at
+// the table's printed precision. A change here is a change to the
+// collective model and must be deliberate.
+TEST(Collectives, GoldenBroadcastEightAccels)
+{
+    const CollectiveResult r = simulateBroadcast(configFor(8));
+    EXPECT_NEAR(r.baseline_ms, 13.55, 0.01);
+    EXPECT_NEAR(r.dmx_ms, 5.60, 0.01);
+    EXPECT_NEAR(r.speedup(), 2.42, 0.01);
+}
+
+TEST(Collectives, GoldenAllReduceEightAccels)
+{
+    const CollectiveResult r = simulateAllReduce(configFor(8));
+    EXPECT_NEAR(r.baseline_ms, 69.19, 0.01);
+    EXPECT_NEAR(r.dmx_ms, 10.57, 0.01);
+    EXPECT_NEAR(r.speedup(), 6.54, 0.01);
+}
+
+TEST(Collectives, DeterministicAcrossRuns)
+{
+    for (unsigned n : {4u, 8u, 16u}) {
+        const CollectiveResult a = simulateBroadcast(configFor(n));
+        const CollectiveResult b = simulateBroadcast(configFor(n));
+        EXPECT_EQ(a.baseline_ms, b.baseline_ms) << n;
+        EXPECT_EQ(a.dmx_ms, b.dmx_ms) << n;
+        const CollectiveResult c = simulateAllReduce(configFor(n));
+        const CollectiveResult d = simulateAllReduce(configFor(n));
+        EXPECT_EQ(c.baseline_ms, d.baseline_ms) << n;
+        EXPECT_EQ(c.dmx_ms, d.dmx_ms) << n;
+    }
+}
+
+TEST(Collectives, DmxBeatsBaselineAtEveryScale)
+{
+    for (unsigned n : {4u, 8u, 16u, 32u}) {
+        EXPECT_GT(simulateBroadcast(configFor(n)).speedup(), 1.0) << n;
+        EXPECT_GT(simulateAllReduce(configFor(n)).speedup(), 1.0) << n;
+    }
+}
+
+TEST(Collectives, BaselineLatencyGrowsWithParticipants)
+{
+    // The driver issues baseline DMAs sequentially, so more
+    // participants mean strictly more baseline time; all-reduce gains
+    // grow with scale (the paper's Fig. 17 trend).
+    double prev_bc = 0, prev_ar = 0, prev_ar_speedup = 0;
+    for (unsigned n : {4u, 8u, 16u, 32u}) {
+        const CollectiveResult bc = simulateBroadcast(configFor(n));
+        const CollectiveResult ar = simulateAllReduce(configFor(n));
+        EXPECT_GT(bc.baseline_ms, prev_bc) << n;
+        EXPECT_GT(ar.baseline_ms, prev_ar) << n;
+        EXPECT_GT(ar.speedup(), prev_ar_speedup) << n;
+        prev_bc = bc.baseline_ms;
+        prev_ar = ar.baseline_ms;
+        prev_ar_speedup = ar.speedup();
+    }
+}
+
+TEST(Collectives, NewerPcieGenerationIsNoSlower)
+{
+    CollectiveConfig g3 = configFor(8);
+    CollectiveConfig g5 = configFor(8);
+    g5.gen = pcie::Generation::Gen5;
+    EXPECT_LE(simulateBroadcast(g5).baseline_ms,
+              simulateBroadcast(g3).baseline_ms);
+    EXPECT_LE(simulateBroadcast(g5).dmx_ms,
+              simulateBroadcast(g3).dmx_ms);
+    EXPECT_LE(simulateAllReduce(g5).dmx_ms,
+              simulateAllReduce(g3).dmx_ms);
+}
+
+TEST(Collectives, RejectsFewerThanTwoParticipants)
+{
+    EXPECT_THROW(simulateBroadcast(configFor(0)), std::runtime_error);
+    EXPECT_THROW(simulateBroadcast(configFor(1)), std::runtime_error);
+    EXPECT_THROW(simulateAllReduce(configFor(0)), std::runtime_error);
+    EXPECT_THROW(simulateAllReduce(configFor(1)), std::runtime_error);
+}
+
+TEST(Collectives, ZeroLengthPayloadCostsOnlyFixedOverheads)
+{
+    // A zero-byte collective is well-formed: no transfer time, but the
+    // CPU restructuring (baseline) and DRX processing (DMX) still run,
+    // so both latencies stay finite and non-negative.
+    CollectiveConfig cfg = configFor(4);
+    cfg.bytes = 0;
+    const CollectiveResult bc = simulateBroadcast(cfg);
+    EXPECT_GE(bc.baseline_ms, 0.0);
+    EXPECT_GE(bc.dmx_ms, 0.0);
+    EXPECT_LT(bc.baseline_ms, simulateBroadcast(configFor(4)).baseline_ms);
+    const CollectiveResult ar = simulateAllReduce(cfg);
+    EXPECT_GE(ar.baseline_ms, 0.0);
+    EXPECT_GE(ar.dmx_ms, 0.0);
+}

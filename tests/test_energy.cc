@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Coverage for the energy model (sys/energy.cc): hand-computed golden
+ * values against the calibration constants, the accelerator idle-time
+ * clamp, zero-input and component-additivity properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/calibration.hh"
+#include "sys/energy.hh"
+
+using namespace dmx;
+using namespace dmx::sys;
+
+// Hand-computed against calibration.hh:
+//   host  = 1.5 cs x 9 W + 2 s x 35 W             = 83.5 J
+//   accel = 3 s x 25 W + (2 s x 2 - 3 s) x 8 W    = 83 J
+//   drx   = 0.5 s x 4 W + 2 s x 3 units x 5 W     = 32 J
+//   pcie  = 8e9 B x 1.25e-9 J/B                   = 10 J
+TEST(Energy, GoldenHandComputedReport)
+{
+    EnergyInputs in;
+    in.makespan_seconds = 2;
+    in.host_busy_core_seconds = 1.5;
+    in.accel_busy_seconds = 3;
+    in.accel_count = 2;
+    in.accel_active_watts = 25;
+    in.accel_idle_watts = 8;
+    in.drx_busy_seconds = 0.5;
+    in.drx_count = 3;
+    in.drx_static_watts_per_unit = watts_bitw_static;
+    in.pcie_bytes = 8'000'000'000ull;
+
+    const EnergyReport rep = computeEnergy(in);
+    EXPECT_DOUBLE_EQ(rep.host_joules, 83.5);
+    EXPECT_DOUBLE_EQ(rep.accel_joules, 83.0);
+    EXPECT_DOUBLE_EQ(rep.drx_joules, 32.0);
+    EXPECT_DOUBLE_EQ(rep.pcie_joules, 10.0);
+    EXPECT_DOUBLE_EQ(rep.total(), 208.5);
+}
+
+TEST(Energy, ZeroInputsZeroEnergy)
+{
+    const EnergyReport rep = computeEnergy(EnergyInputs{});
+    EXPECT_DOUBLE_EQ(rep.host_joules, 0.0);
+    EXPECT_DOUBLE_EQ(rep.accel_joules, 0.0);
+    EXPECT_DOUBLE_EQ(rep.drx_joules, 0.0);
+    EXPECT_DOUBLE_EQ(rep.pcie_joules, 0.0);
+    EXPECT_DOUBLE_EQ(rep.total(), 0.0);
+}
+
+TEST(Energy, AccelIdleTimeClampsAtZero)
+{
+    // Overlapped accelerator busy time can exceed makespan x count
+    // (the inputs are summed over devices); negative idle time must
+    // not subtract energy.
+    EnergyInputs in;
+    in.makespan_seconds = 1;
+    in.accel_busy_seconds = 3; // > makespan x count = 2
+    in.accel_count = 2;
+    in.accel_active_watts = 10;
+    in.accel_idle_watts = 100; // would dominate if the clamp broke
+    const EnergyReport rep = computeEnergy(in);
+    EXPECT_DOUBLE_EQ(rep.accel_joules, 30.0);
+}
+
+TEST(Energy, PcieEnergyIsLinearInBytes)
+{
+    EnergyInputs in;
+    in.pcie_bytes = 1'000'000'000ull;
+    const double one = computeEnergy(in).pcie_joules;
+    EXPECT_DOUBLE_EQ(one, 1e9 * joules_per_pcie_byte);
+    in.pcie_bytes *= 2;
+    EXPECT_DOUBLE_EQ(computeEnergy(in).pcie_joules, 2 * one);
+}
+
+TEST(Energy, StaticDrxPowerScalesWithUnitCountAndMakespan)
+{
+    // The per-unit static term is what separates Bump-in-the-Wire
+    // (one DRX per accelerator) from Standalone (shared cards) at
+    // scale - it must scale with both unit count and makespan.
+    EnergyInputs in;
+    in.makespan_seconds = 2;
+    in.drx_count = 4;
+    in.drx_static_watts_per_unit = watts_standalone_static;
+    const double four = computeEnergy(in).drx_joules;
+    EXPECT_DOUBLE_EQ(four, 2.0 * 4 * watts_standalone_static);
+    in.drx_count = 8;
+    EXPECT_DOUBLE_EQ(computeEnergy(in).drx_joules, 2 * four);
+    in.makespan_seconds = 4;
+    EXPECT_DOUBLE_EQ(computeEnergy(in).drx_joules, 4 * four);
+}
+
+TEST(Energy, ComponentsAreIndependent)
+{
+    // host-only inputs leave every other component at zero.
+    EnergyInputs in;
+    in.host_busy_core_seconds = 2;
+    const EnergyReport rep = computeEnergy(in);
+    EXPECT_DOUBLE_EQ(rep.host_joules, 2 * watts_per_busy_core);
+    EXPECT_DOUBLE_EQ(rep.accel_joules, 0.0);
+    EXPECT_DOUBLE_EQ(rep.drx_joules, 0.0);
+    EXPECT_DOUBLE_EQ(rep.pcie_joules, 0.0);
+}

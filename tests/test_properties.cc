@@ -14,6 +14,7 @@
 #include "common/random.hh"
 #include "cpu/core_pool.hh"
 #include "drx/compiler.hh"
+#include "exec/scenario.hh"
 #include "fault/fault.hh"
 #include "kernels/aes.hh"
 #include "kernels/lz.hh"
@@ -22,6 +23,7 @@
 #include "restructure/catalog.hh"
 #include "restructure/cpu_exec.hh"
 #include "sys/system.hh"
+#include "util_random_chain.hh"
 #include "trace/trace.hh"
 
 using namespace dmx;
@@ -434,48 +436,8 @@ INSTANTIATE_TEST_SUITE_P(
 namespace
 {
 
-/** Random but well-formed chain app: k kernels, k-1 motions. */
-sys::AppModel
-randomChainApp(std::uint64_t seed)
-{
-    Rng rng(seed * 7919 + 13);
-    sys::AppModel app;
-    app.name = "rand" + std::to_string(seed);
-    app.input_bytes = (1 + rng.below(8)) * mib;
-
-    const unsigned k = 2 + static_cast<unsigned>(rng.below(3));
-    std::uint64_t bytes = (2 + rng.below(14)) * mib;
-    for (unsigned i = 0; i < k; ++i) {
-        sys::KernelTiming kt;
-        kt.name = "k" + std::to_string(i);
-        kt.cpu_core_seconds = rng.uniform(0.002, 0.02);
-        kt.accel_cycles = 100'000 + rng.below(900'000);
-        kt.accel_freq_hz = 250e6;
-        kt.out_bytes = bytes;
-        app.kernels.push_back(kt);
-
-        if (i + 1 < k) {
-            sys::MotionTiming m;
-            m.name = "m" + std::to_string(i);
-            m.cpu_core_seconds = rng.uniform(0.005, 0.04);
-            m.drx_cycles = 200'000 + rng.below(1'500'000);
-            m.in_bytes = bytes;
-            bytes = (1 + rng.below(10)) * mib;
-            m.out_bytes = bytes;
-            app.motions.push_back(m);
-        }
-    }
-    return app;
-}
-
-/** The placements a random sweep exercises (all accelerator-backed). */
-const sys::Placement trace_placements[] = {
-    sys::Placement::MultiAxl,
-    sys::Placement::IntegratedDrx,
-    sys::Placement::StandaloneDrx,
-    sys::Placement::BumpInTheWire,
-    sys::Placement::PcieIntegrated,
-};
+using testutil::randomChainApp;
+using testutil::randomSystemConfig;
 
 /**
  * Check the tiling property of @p tb against @p stats for a system of
@@ -529,6 +491,42 @@ checkTraceTiling(const trace::TraceBuffer &tb, const sys::RunStats &stats,
     EXPECT_EQ(last_app_end, stats.makespan_ticks);
 }
 
+/** One point of the tiling sweep, captured for later assertion. */
+struct TilingRun
+{
+    trace::TraceBuffer tb;
+    sys::RunStats stats;
+    unsigned n_apps = 0;
+};
+
+/**
+ * All 12 tiling scenarios, fanned once through a ScenarioRunner (worker
+ * count from DMX_JOBS / hardware). Each scenario records into its own
+ * per-scenario TraceBuffer - the runner installs it as the executing
+ * thread's trace sink - and the TEST_P cases below assert on the cached
+ * results, so the sweep cost is paid once regardless of jobs level and
+ * the recorded traces are jobs-invariant.
+ */
+const std::vector<TilingRun> &
+tilingRuns()
+{
+    static const std::vector<TilingRun> runs = [] {
+        exec::ScenarioRunner runner;
+        return runner.map<TilingRun>(
+            12, [](exec::ScenarioContext &ctx, std::size_t i) {
+                const std::uint64_t seed = i;
+                Rng rng(seed);
+                const sys::SystemConfig cfg = randomSystemConfig(rng);
+                TilingRun r;
+                r.n_apps = cfg.n_apps;
+                r.stats = sys::simulateSystem(cfg, {randomChainApp(seed)});
+                r.tb = ctx.trace();
+                return r;
+            });
+    }();
+    return runs;
+}
+
 } // namespace
 
 class TraceTiling : public ::testing::TestWithParam<std::uint64_t>
@@ -537,20 +535,8 @@ class TraceTiling : public ::testing::TestWithParam<std::uint64_t>
 
 TEST_P(TraceTiling, PhaseSpansTileAppTracksExactly)
 {
-    const std::uint64_t seed = GetParam();
-    Rng rng(seed);
-    sys::SystemConfig cfg;
-    cfg.placement = trace_placements[rng.below(std::size(trace_placements))];
-    cfg.n_apps = 1 + static_cast<unsigned>(rng.below(4));
-    cfg.requests_per_app = 1 + static_cast<unsigned>(rng.below(3));
-
-    trace::TraceBuffer tb;
-    sys::RunStats stats;
-    {
-        trace::TraceSession session(tb);
-        stats = sys::simulateSystem(cfg, {randomChainApp(seed)});
-    }
-    checkTraceTiling(tb, stats, cfg.n_apps);
+    const TilingRun &r = tilingRuns()[GetParam()];
+    checkTraceTiling(r.tb, r.stats, r.n_apps);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomChains, TraceTiling,

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared random-chain application generator for the property and
+ * differential test suites: a well-formed k-kernel / (k-1)-motion chain
+ * derived deterministically from a seed, so every suite that sweeps
+ * "random chain configs" draws from the same family.
+ */
+
+#ifndef DMX_TESTS_UTIL_RANDOM_CHAIN_HH
+#define DMX_TESTS_UTIL_RANDOM_CHAIN_HH
+
+#include <cstdint>
+#include <iterator>
+#include <string>
+
+#include "common/random.hh"
+#include "common/units.hh"
+#include "sys/system.hh"
+
+namespace dmx::testutil
+{
+
+/** Random but well-formed chain app: k kernels, k-1 motions. */
+inline sys::AppModel
+randomChainApp(std::uint64_t seed)
+{
+    Rng rng(seed * 7919 + 13);
+    sys::AppModel app;
+    app.name = "rand" + std::to_string(seed);
+    app.input_bytes = (1 + rng.below(8)) * mib;
+
+    const unsigned k = 2 + static_cast<unsigned>(rng.below(3));
+    std::uint64_t bytes = (2 + rng.below(14)) * mib;
+    for (unsigned i = 0; i < k; ++i) {
+        sys::KernelTiming kt;
+        kt.name = "k" + std::to_string(i);
+        kt.cpu_core_seconds = rng.uniform(0.002, 0.02);
+        kt.accel_cycles = 100'000 + rng.below(900'000);
+        kt.accel_freq_hz = 250e6;
+        kt.out_bytes = bytes;
+        app.kernels.push_back(kt);
+
+        if (i + 1 < k) {
+            sys::MotionTiming m;
+            m.name = "m" + std::to_string(i);
+            m.cpu_core_seconds = rng.uniform(0.005, 0.04);
+            m.drx_cycles = 200'000 + rng.below(1'500'000);
+            m.in_bytes = bytes;
+            bytes = (1 + rng.below(10)) * mib;
+            m.out_bytes = bytes;
+            app.motions.push_back(m);
+        }
+    }
+    return app;
+}
+
+/**
+ * Random but well-formed SystemConfig drawn from @p rng: an
+ * accelerator-backed placement, 1-4 app instances, 1-3 requests each.
+ */
+inline sys::SystemConfig
+randomSystemConfig(Rng &rng)
+{
+    static constexpr sys::Placement placements[] = {
+        sys::Placement::MultiAxl,       sys::Placement::IntegratedDrx,
+        sys::Placement::StandaloneDrx,  sys::Placement::BumpInTheWire,
+        sys::Placement::PcieIntegrated,
+    };
+    sys::SystemConfig cfg;
+    cfg.placement = placements[rng.below(std::size(placements))];
+    cfg.n_apps = 1 + static_cast<unsigned>(rng.below(4));
+    cfg.requests_per_app = 1 + static_cast<unsigned>(rng.below(3));
+    return cfg;
+}
+
+} // namespace dmx::testutil
+
+#endif // DMX_TESTS_UTIL_RANDOM_CHAIN_HH
