@@ -22,11 +22,19 @@ DataQueue::push(std::uint64_t bytes)
                   "(tail=%llu, push=%llu)",
                   static_cast<unsigned long long>(_tail),
                   static_cast<unsigned long long>(bytes));
-    if (used() + bytes > _capacity)
+    if (used() + bytes > _capacity) {
+        ++_overflows;
         return false;
+    }
     _tail += bytes;
     _high_water = std::max(_high_water, used());
     return true;
+}
+
+void
+DataQueue::setCreditWindow(std::uint64_t bytes)
+{
+    _credit_window = bytes > _capacity ? _capacity : bytes;
 }
 
 void
@@ -67,6 +75,22 @@ DrxQueues::maxPeers(std::uint64_t mem_bytes, std::uint64_t pair_bytes)
 {
     // Each peer consumes two pairs.
     return static_cast<unsigned>(mem_bytes / (2 * pair_bytes));
+}
+
+void
+DrxQueues::labelQueues(const std::string &owner)
+{
+    for (unsigned p = 0; p < _peers; ++p) {
+        for (int k = 0; k < 2; ++k) {
+            const PeerKind kind =
+                k == 0 ? PeerKind::Accelerator : PeerKind::Drx;
+            const char *kname = k == 0 ? "acc" : "drx";
+            rx(p, kind).setLabel(owner + ".p" + std::to_string(p) + "." +
+                                 kname + ".rx");
+            tx(p, kind).setLabel(owner + ".p" + std::to_string(p) + "." +
+                                 kname + ".tx");
+        }
+    }
 }
 
 std::size_t

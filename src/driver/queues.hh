@@ -13,6 +13,7 @@
 #define DMX_DRIVER_QUEUES_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/units.hh"
@@ -55,11 +56,37 @@ class DataQueue
     std::uint64_t tail() const { return _tail; }
     std::uint64_t highWater() const { return _high_water; }
 
+    /** Name the queue for per-queue overflow/backpressure reporting. */
+    void setLabel(std::string label) { _label = std::move(label); }
+
+    /** @return the queue's label ("" until setLabel). */
+    const std::string &label() const { return _label; }
+
+    /** @return pushes rejected for lack of space. */
+    std::uint64_t overflows() const { return _overflows; }
+
+    /**
+     * Credit window for producer backpressure, in bytes. Defaults to
+     * the queue capacity; a robust::CreditGate sized with this value
+     * can never admit a push the ring would reject.
+     */
+    std::uint64_t creditWindow() const
+    {
+        return _credit_window ? _credit_window : _capacity;
+    }
+
+    /** Override the credit window (clamped to the capacity; 0 resets
+     *  to the default full-capacity window). */
+    void setCreditWindow(std::uint64_t bytes);
+
   private:
     std::uint64_t _capacity;
     std::uint64_t _head = 0; ///< consumption pointer (absolute)
     std::uint64_t _tail = 0; ///< production pointer (absolute)
     std::uint64_t _high_water = 0;
+    std::uint64_t _overflows = 0;
+    std::uint64_t _credit_window = 0; ///< 0 = capacity
+    std::string _label;
 };
 
 /** Which of the two queue pairs a peer connection uses. */
@@ -77,6 +104,12 @@ class DrxQueues
      */
     DrxQueues(std::uint64_t mem_bytes, std::uint64_t pair_bytes,
               unsigned peers);
+
+    /**
+     * Label every queue "<owner>.p<peer>.<acc|drx>.<rx|tx>" so
+     * overflow and backpressure reports name the offending queue.
+     */
+    void labelQueues(const std::string &owner);
 
     /** @return max peers representable with this partitioning. */
     static unsigned maxPeers(std::uint64_t mem_bytes,

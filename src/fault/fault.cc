@@ -135,6 +135,13 @@ FaultPlan::onIrq()
 }
 
 void
+FaultPlan::onQueueOverflow(std::string_view queue)
+{
+    ++_stats.queue_overflows;
+    ++_stats.queue_overflow_by_queue[std::string(queue)];
+}
+
+void
 FaultPlan::scriptFlow(std::uint64_t nth, FlowAction action)
 {
     _flow_script[nth] = action;

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "common/random.hh"
 #include "fault/hooks.hh"
@@ -66,6 +67,15 @@ struct FaultStats
     std::uint64_t irqs_seen = 0;
     std::uint64_t irqs_dropped = 0;
 
+    /// Data-queue pushes rejected for lack of space, keyed by queue
+    /// label (see DataQueue::setLabel) so the offending queue - not
+    /// just an aggregate - is identifiable. Overflows are an overload
+    /// symptom, not an injected fault, so they do not count toward
+    /// injected().
+    std::uint64_t queue_overflows = 0;
+    std::map<std::string, std::uint64_t, std::less<>>
+        queue_overflow_by_queue;
+
     /** @return total faults injected across every site. */
     std::uint64_t
     injected() const
@@ -102,6 +112,13 @@ class FaultPlan
 
     /** Decide the fate of a completion notification. */
     IrqAction onIrq();
+
+    /**
+     * Report a data-queue push rejected for lack of space. Pure
+     * accounting (no decision): the per-queue tally names the
+     * offending queue in stats() and diagnostics.
+     */
+    void onQueueOverflow(std::string_view queue);
 
     /** @return true while the switch p2p path is considered down. */
     bool p2pFaulted() const { return _spec.p2p_switch_faulted; }

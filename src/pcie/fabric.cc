@@ -208,6 +208,8 @@ Fabric::startFlowChecked(NodeId src, NodeId dst, std::uint64_t bytes,
     advanceProgress();
     const FlowId id = _next_flow++;
     _flows.emplace(id, std::move(flow));
+    if (_flows.size() > _peak_active_flows)
+        _peak_active_flows = _flows.size();
     solveRates();
     scheduleNextCompletion();
     return id;

@@ -140,6 +140,13 @@ class Fabric : public sim::SimObject
     /** @return number of in-flight flows. */
     std::size_t activeFlows() const { return _flows.size(); }
 
+    /**
+     * @return peak number of concurrently in-flight flows observed.
+     * Pure observability for overload diagnosis: how deep did the
+     * fabric's contention ever get? Never affects timing.
+     */
+    std::size_t peakActiveFlows() const { return _peak_active_flows; }
+
     /** @return nodes in the fabric. */
     std::size_t nodeCount() const { return _nodes.size(); }
 
@@ -222,6 +229,7 @@ class Fabric : public sim::SimObject
     fault::FlowHook _fault_hook;
     std::uint64_t _stalled_flows = 0;
     std::uint64_t _corrupted_flows = 0;
+    std::size_t _peak_active_flows = 0;
     std::vector<Node> _nodes;
     std::vector<Link> _links;
     std::vector<LinkStats> _link_stats;

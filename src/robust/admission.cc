@@ -1,0 +1,83 @@
+#include "robust/admission.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "trace/trace.hh"
+
+namespace dmx::robust
+{
+
+const char *
+toString(AdmissionPolicy p)
+{
+    switch (p) {
+      case AdmissionPolicy::Unbounded: return "unbounded";
+      case AdmissionPolicy::StaticCap: return "static-cap";
+      case AdmissionPolicy::Adaptive:  return "adaptive";
+    }
+    return "?";
+}
+
+AdmissionController::AdmissionController(std::string label,
+                                         AdmissionConfig cfg)
+    : _label(std::move(label)), _cfg(cfg)
+{
+}
+
+bool
+AdmissionController::decide(Tick now, std::uint64_t depth, unsigned priority)
+{
+    switch (_cfg.policy) {
+      case AdmissionPolicy::Unbounded:
+        return true;
+      case AdmissionPolicy::StaticCap: {
+        // Each priority level below 0 halves the share of the cap;
+        // everyone keeps at least one slot of headroom.
+        const unsigned shift = std::min(priority, 63u);
+        const std::uint64_t cap =
+            std::max<std::uint64_t>(_cfg.queue_depth_cap >> shift, 1);
+        return depth < cap;
+      }
+      case AdmissionPolicy::Adaptive: {
+        if (!_above)
+            return true;
+        const Tick grace = priority == 0 ? 2 * _cfg.interval : _cfg.interval;
+        return now - _first_above < grace;
+      }
+    }
+    return true;
+}
+
+bool
+AdmissionController::admit(Tick now, std::uint64_t depth, unsigned priority)
+{
+    const bool ok = decide(now, depth, priority);
+    if (ok) {
+        ++_admitted;
+    } else {
+        ++_shed;
+        if (auto *tb = trace::active()) {
+            tb->instant(trace::Category::Robust, "shed", _label, now, depth);
+            tb->count("robust.shed", now);
+        }
+    }
+    return ok;
+}
+
+void
+AdmissionController::recordSojourn(Tick sojourn, Tick now)
+{
+    if (_cfg.policy != AdmissionPolicy::Adaptive)
+        return;
+    if (sojourn > _cfg.sojourn_target) {
+        if (!_above) {
+            _above = true;
+            _first_above = now;
+        }
+    } else {
+        _above = false;
+    }
+}
+
+} // namespace dmx::robust

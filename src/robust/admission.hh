@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Admission control and load shedding for request streams.
+ *
+ * An AdmissionController sits in front of a command queue or a
+ * multi-tenant request stream and decides, per request, whether to
+ * admit or shed. Three policies:
+ *
+ *  - Unbounded: legacy behaviour, everything is admitted;
+ *  - StaticCap: admit while outstanding depth < cap, with the cap
+ *    halved per priority level so high-priority tenants (priority 0)
+ *    keep their full share when low-priority tenants are squeezed;
+ *  - Adaptive: CoDel-style - track the sojourn time (admission to
+ *    completion) of finished requests; once sojourn has stayed above
+ *    the target continuously for longer than the interval, shed until
+ *    a below-target sample is observed. Priority 0 tolerates 2x the
+ *    interval before shedding begins.
+ *
+ * Shed requests settle as Status::Shed, a terminal state callers
+ * observe exactly like TimedOut. Decisions depend only on simulated
+ * ticks and prior samples, never on wall clock, so they are
+ * byte-reproducible.
+ */
+
+#ifndef DMX_ROBUST_ADMISSION_HH
+#define DMX_ROBUST_ADMISSION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+#include "robust/robust.hh"
+
+namespace dmx::robust
+{
+
+/** One admission decision point (per device or per system). */
+class AdmissionController
+{
+  public:
+    /**
+     * @param label decision-point label used in traces/diagnostics
+     * @param cfg   policy and thresholds
+     */
+    explicit AdmissionController(std::string label, AdmissionConfig cfg = {});
+
+    /**
+     * Decide whether to admit a request arriving at @p now.
+     *
+     * @param now      arrival tick
+     * @param depth    requests currently outstanding behind this gate
+     * @param priority tenant priority; 0 is highest
+     * @return true to admit, false to shed
+     */
+    bool admit(Tick now, std::uint64_t depth, unsigned priority = 0);
+
+    /**
+     * Feed back the sojourn time of a finished request (Adaptive policy
+     * state; harmless no-op for the others).
+     */
+    void recordSojourn(Tick sojourn, Tick now);
+
+    const std::string &label() const { return _label; }
+    const AdmissionConfig &config() const { return _cfg; }
+    std::uint64_t admitted() const { return _admitted; }
+    std::uint64_t shed() const { return _shed; }
+
+    /** @return true while the Adaptive policy is in its shedding state. */
+    bool overloaded() const { return _above; }
+
+  private:
+    bool decide(Tick now, std::uint64_t depth, unsigned priority);
+
+    std::string _label;
+    AdmissionConfig _cfg;
+    std::uint64_t _admitted = 0;
+    std::uint64_t _shed = 0;
+
+    // Adaptive (CoDel-style) state.
+    bool _above = false;       ///< sojourn currently above target
+    Tick _first_above = 0;     ///< when the above-target episode began
+};
+
+} // namespace dmx::robust
+
+#endif // DMX_ROBUST_ADMISSION_HH

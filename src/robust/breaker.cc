@@ -1,0 +1,110 @@
+#include "robust/breaker.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "trace/trace.hh"
+
+namespace dmx::robust
+{
+
+const char *
+toString(BreakerState s)
+{
+    switch (s) {
+      case BreakerState::Closed:   return "closed";
+      case BreakerState::Open:     return "open";
+      case BreakerState::HalfOpen: return "half-open";
+    }
+    return "?";
+}
+
+CircuitBreaker::CircuitBreaker(std::string label, const BreakerConfig &cfg)
+    : _label(std::move(label)), _cfg(cfg),
+      _health(cfg.failure_threshold ? cfg.failure_threshold : 3)
+{
+    if (_cfg.cooldown == 0)
+        dmx_fatal("CircuitBreaker %s: cooldown must be > 0", _label.c_str());
+    if (_cfg.half_open_probes == 0)
+        _cfg.half_open_probes = 1;
+}
+
+void
+CircuitBreaker::transition(BreakerState to, Tick now)
+{
+    if (to == _state)
+        return;
+    const bool was_quarantined = _state != BreakerState::Closed;
+    const bool is_quarantined = to != BreakerState::Closed;
+    if (!was_quarantined && is_quarantined) {
+        _quarantine_since = now;
+    } else if (was_quarantined && !is_quarantined) {
+        _quarantine_ticks += now - _quarantine_since;
+    }
+    _state = to;
+    if (auto *tb = trace::active()) {
+        std::string name = std::string("breaker_") + toString(to);
+        tb->instant(trace::Category::Robust, name, _label, now);
+        tb->count(std::string("robust.breaker_") + toString(to), now);
+    }
+}
+
+bool
+CircuitBreaker::allow(Tick now)
+{
+    switch (_state) {
+      case BreakerState::Closed:
+        return true;
+      case BreakerState::Open:
+        if (now >= _opened_at + _cfg.cooldown) {
+            transition(BreakerState::HalfOpen, now);
+            _probes_in_flight = 1;
+            _probe_successes = 0;
+            return true;
+        }
+        ++_fast_fails;
+        return false;
+      case BreakerState::HalfOpen:
+        if (_probes_in_flight < _cfg.half_open_probes) {
+            ++_probes_in_flight;
+            return true;
+        }
+        ++_fast_fails;
+        return false;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::recordSuccess(Tick now)
+{
+    _health.recordSuccess();
+    if (_state == BreakerState::HalfOpen) {
+        ++_probe_successes;
+        if (_probe_successes >= _cfg.half_open_probes) {
+            ++_closes;
+            _health.reset();
+            transition(BreakerState::Closed, now);
+        }
+    }
+}
+
+void
+CircuitBreaker::recordFailure(Tick now)
+{
+    _health.recordFailure();
+    if (_state == BreakerState::Closed) {
+        if (!_health.healthy()) {
+            ++_opens;
+            _opened_at = now;
+            transition(BreakerState::Open, now);
+        }
+    } else if (_state == BreakerState::HalfOpen) {
+        // A failed probe re-arms the full cool-down.
+        ++_opens;
+        _opened_at = now;
+        transition(BreakerState::Open, now);
+    }
+}
+
+} // namespace dmx::robust

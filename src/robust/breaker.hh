@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Per-device circuit breaker (Closed -> Open -> HalfOpen).
+ *
+ * A breaker layers a quarantine policy on top of fault::HealthTracker:
+ * the tracker decides *when* a device is sick (consecutive-failure
+ * streak), the breaker decides *what to do about it* - reject traffic
+ * up front for a deterministic tick-based cool-down, then let a bounded
+ * number of probe commands through (HalfOpen) and close again only
+ * when they succeed. This turns "every command burns its full
+ * retry/backoff budget against a dead device" into "commands fast-fail
+ * immediately while the device is quarantined".
+ *
+ * All transitions are driven by explicit simulated ticks and are traced
+ * (Category::Robust instants) and counted, so breaker behaviour is
+ * byte-reproducible under exec::ScenarioRunner.
+ */
+
+#ifndef DMX_ROBUST_BREAKER_HH
+#define DMX_ROBUST_BREAKER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+#include "fault/health.hh"
+#include "robust/robust.hh"
+
+namespace dmx::robust
+{
+
+/** Breaker states, classic three-state machine. */
+enum class BreakerState : std::uint8_t
+{
+    Closed,   ///< traffic flows; failures are being counted
+    Open,     ///< quarantined; everything fast-fails until cooldown
+    HalfOpen, ///< probing: a few commands allowed to test recovery
+};
+
+/** @return human name, e.g. "half-open". */
+const char *toString(BreakerState s);
+
+/** Deterministic per-device circuit breaker. */
+class CircuitBreaker
+{
+  public:
+    /**
+     * @param label device label used in traces/diagnostics
+     * @param cfg   thresholds and cool-down (cfg.enabled is ignored
+     *              here; an instantiated breaker is an enabled breaker)
+     */
+    CircuitBreaker(std::string label, const BreakerConfig &cfg);
+
+    /**
+     * Gate a command about to dispatch at @p now. Returns true when the
+     * command may proceed. An Open breaker whose cool-down has elapsed
+     * transitions to HalfOpen and admits the probe; otherwise rejection
+     * is counted as a fast-fail.
+     */
+    bool allow(Tick now);
+
+    /** Record a command success observed at @p now. */
+    void recordSuccess(Tick now);
+
+    /** Record a command failure (or timeout) observed at @p now. */
+    void recordFailure(Tick now);
+
+    BreakerState state() const { return _state; }
+    const std::string &label() const { return _label; }
+    const fault::HealthTracker &health() const { return _health; }
+
+    /** @return Closed->Open (and HalfOpen->Open) transitions. */
+    std::uint64_t opens() const { return _opens; }
+
+    /** @return HalfOpen->Closed recoveries. */
+    std::uint64_t closes() const { return _closes; }
+
+    /** @return commands rejected by allow(). */
+    std::uint64_t fastFails() const { return _fast_fails; }
+
+    /** @return total ticks spent Open or HalfOpen up to @p now. */
+    Tick
+    quarantineTicks(Tick now) const
+    {
+        Tick t = _quarantine_ticks;
+        if (_state != BreakerState::Closed)
+            t += now - _quarantine_since;
+        return t;
+    }
+
+  private:
+    void transition(BreakerState to, Tick now);
+
+    std::string _label;
+    BreakerConfig _cfg;
+    fault::HealthTracker _health;
+    BreakerState _state = BreakerState::Closed;
+    Tick _opened_at = 0;
+    Tick _quarantine_since = 0;
+    Tick _quarantine_ticks = 0;
+    unsigned _probes_in_flight = 0;
+    unsigned _probe_successes = 0;
+    std::uint64_t _opens = 0;
+    std::uint64_t _closes = 0;
+    std::uint64_t _fast_fails = 0;
+};
+
+} // namespace dmx::robust
+
+#endif // DMX_ROBUST_BREAKER_HH

@@ -1,0 +1,75 @@
+#include "robust/credit.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "trace/trace.hh"
+
+namespace dmx::robust
+{
+
+CreditGate::CreditGate(std::string label, std::uint64_t window)
+    : _label(std::move(label)), _window(window)
+{
+    if (_window == 0)
+        dmx_fatal("CreditGate %s: window must be > 0", _label.c_str());
+}
+
+void
+CreditGate::grantNow(std::uint64_t bytes, Tick now)
+{
+    _used += bytes;
+    if (_used > _high_water)
+        _high_water = _used;
+    if (_used > _window)
+        dmx_panic("CreditGate %s: granted %llu past window %llu",
+                  _label.c_str(), (unsigned long long)_used,
+                  (unsigned long long)_window);
+    (void)now;
+}
+
+void
+CreditGate::acquire(std::uint64_t bytes, Tick now, GrantFn grant)
+{
+    if (bytes == 0)
+        dmx_fatal("CreditGate %s: zero-byte acquire", _label.c_str());
+    if (bytes > _window)
+        dmx_fatal("CreditGate %s: acquire of %llu exceeds window %llu",
+                  _label.c_str(), (unsigned long long)bytes,
+                  (unsigned long long)_window);
+
+    // FIFO fairness: once anyone waits, everyone waits behind them.
+    if (_waiters.empty() && _used + bytes <= _window) {
+        grantNow(bytes, now);
+        grant(now);
+        return;
+    }
+
+    ++_stalls;
+    if (auto *tb = trace::active())
+        tb->count("robust.backpressure_stalls", now);
+    _waiters.push_back({bytes, now, std::move(grant)});
+}
+
+void
+CreditGate::release(std::uint64_t bytes, Tick now)
+{
+    if (bytes > _used)
+        dmx_panic("CreditGate %s: release of %llu exceeds held %llu",
+                  _label.c_str(), (unsigned long long)bytes,
+                  (unsigned long long)_used);
+    _used -= bytes;
+
+    while (!_waiters.empty() && _used + _waiters.front().bytes <= _window) {
+        Waiter w = std::move(_waiters.front());
+        _waiters.pop_front();
+        _stall_ticks += now - w.since;
+        if (auto *tb = trace::active())
+            tb->span(trace::Category::Robust, "backpressure", _label,
+                     w.since, now, w.bytes);
+        grantNow(w.bytes, now);
+        w.grant(now);
+    }
+}
+
+} // namespace dmx::robust

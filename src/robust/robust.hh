@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Overload-protection and failure-containment configuration.
+ *
+ * The robust layer bounds how far the system is allowed to degrade
+ * under sustained overload or repeated device faults. It provides four
+ * cooperating mechanisms, all default-off so legacy behaviour (and
+ * byte-identical output) is preserved until a caller opts in:
+ *
+ *  - credit-based backpressure (CreditGate): producers block in
+ *    simulated time instead of overrunning a bounded DataQueue;
+ *  - admission control (AdmissionController): requests past a depth or
+ *    sojourn-time limit are shed up front instead of queueing forever;
+ *  - per-device circuit breakers (CircuitBreaker): a flapping device is
+ *    quarantined so fresh commands fast-fail to CPU degradation or shed
+ *    instead of burning a full retry/backoff budget each;
+ *  - deadline budgets (CommandPolicy::deadline / RobustConfig::deadline):
+ *    retries and backoff draw down one end-to-end budget.
+ *
+ * Everything here is driven by explicit simulated ticks - no wall
+ * clock, no global state - so runs stay bit-reproducible under
+ * exec::ScenarioRunner at any --jobs level.
+ */
+
+#ifndef DMX_ROBUST_ROBUST_HH
+#define DMX_ROBUST_ROBUST_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace dmx::robust
+{
+
+/** Admission policy in front of a request stream or command queue. */
+enum class AdmissionPolicy : std::uint8_t
+{
+    Unbounded, ///< legacy: admit everything (default)
+    StaticCap, ///< admit while outstanding depth < queue_depth_cap
+    Adaptive,  ///< CoDel-style: shed while sojourn time stays above
+               ///< sojourn_target for longer than interval
+};
+
+/** @return human name, e.g. "static-cap". */
+const char *toString(AdmissionPolicy p);
+
+/** Credit-based producer backpressure on bounded data queues. */
+struct BackpressureConfig
+{
+    bool enabled = false;
+
+    /**
+     * Credit window in bytes; 0 means "the queue's capacity". A gate
+     * never hands out more credits than the protected queue can hold,
+     * so an admitted push can never overflow.
+     */
+    std::uint64_t credit_window = 0;
+};
+
+/** Admission-control knobs; interpretation depends on the policy. */
+struct AdmissionConfig
+{
+    AdmissionPolicy policy = AdmissionPolicy::Unbounded;
+
+    /** StaticCap: max outstanding requests at priority 0. */
+    std::uint64_t queue_depth_cap = 8;
+
+    /** Adaptive: acceptable sojourn (queueing + service) time. */
+    Tick sojourn_target = 2 * tick_per_ms;
+
+    /**
+     * Adaptive: how long sojourn may stay above target before the
+     * controller starts shedding (priority 0 tolerates 2x this).
+     */
+    Tick interval = 20 * tick_per_ms;
+
+    /**
+     * Closed-loop streams re-issue a shed request after this delay so
+     * a shed can never re-arrive at the same tick it was rejected.
+     */
+    Tick shed_retry = tick_per_ms;
+};
+
+/** Per-device circuit breaker (Closed -> Open -> HalfOpen). */
+struct BreakerConfig
+{
+    bool enabled = false;
+
+    /**
+     * Consecutive failures that trip Closed -> Open. 0 means "use the
+     * device HealthTracker threshold already configured by the fault
+     * plan".
+     */
+    unsigned failure_threshold = 0;
+
+    /** Ticks an Open breaker rejects traffic before probing. */
+    Tick cooldown = 10 * tick_per_ms;
+
+    /** Probe commands admitted (and successes required) in HalfOpen. */
+    unsigned half_open_probes = 1;
+};
+
+/** The whole overload-protection feature set; all default-off. */
+struct RobustConfig
+{
+    BackpressureConfig backpressure;
+    AdmissionConfig admission;
+    BreakerConfig breaker;
+
+    /**
+     * End-to-end per-request deadline in ticks (0 = unbounded). The
+     * runtime copies it into CommandPolicy::deadline; the sys layer
+     * counts a request that settles past it as a deadline miss.
+     */
+    Tick deadline = 0;
+
+    /** @return true when any protection feature is switched on. */
+    bool
+    anyEnabled() const
+    {
+        return backpressure.enabled || breaker.enabled || deadline != 0 ||
+               admission.policy != AdmissionPolicy::Unbounded;
+    }
+};
+
+} // namespace dmx::robust
+
+#endif // DMX_ROBUST_ROBUST_HH

@@ -34,6 +34,7 @@ toString(Status s)
       case Status::Ok: return "ok";
       case Status::Failed: return "failed";
       case Status::TimedOut: return "timed-out";
+      case Status::Shed: return "shed";
     }
     return "?";
 }
@@ -51,12 +52,15 @@ struct EventWaiters
 namespace
 {
 
-// One waiter registry per process is enough: entries are erased when
-// fired, and the keys are unique shared states.
+// One waiter registry per simulation thread: entries are erased when
+// fired, and the keys are unique shared states. Thread-local (not
+// process-global) so exec::ScenarioRunner can run whole platforms in
+// parallel worker threads without sharing waiter state - a simulation
+// registers and fires its waiters on one thread.
 std::map<void *, EventWaiters> &
 waiterMap()
 {
-    static std::map<void *, EventWaiters> m;
+    thread_local std::map<void *, EventWaiters> m;
     return m;
 }
 
@@ -88,6 +92,12 @@ whenDone(const std::shared_ptr<Event::State> &state,
 }
 
 } // namespace
+
+void
+onSettled(const Event &ev, std::function<void()> fn)
+{
+    whenDone(ev._state, std::move(fn));
+}
 
 Tick
 Event::completeTime() const
@@ -135,6 +145,63 @@ struct CommandEngine
         std::shared_ptr<Event::State> state;
         AttemptFn work;
         AttemptFn fallback; ///< CPU degradation path (may be empty)
+        bool fast_failable = false; ///< may settle Failed up front on an
+                                    ///< unhealthy device (kernels)
+        bool counted = false;       ///< holds a slot in Device::outstanding
+        Tick submitted = 0;         ///< launch tick (sojourn feedback)
+        Tick deadline_at = 0;       ///< absolute settle-by tick (0 = none)
+
+        /**
+         * Drop the command's outstanding-depth slot and feed the
+         * admission controller its sojourn sample. Runs exactly once,
+         * from whichever terminal settle path fires first.
+         */
+        void
+        release()
+        {
+            if (!counted)
+                return;
+            counted = false;
+            Platform &p = ctx->platform();
+            Platform::Device &d = p._devices[device];
+            if (d.outstanding > 0)
+                --d.outstanding;
+            if (d.admission)
+                d.admission->recordSojourn(p.now() - submitted, p.now());
+        }
+
+        /** Terminal non-Ok settle shared by every containment path. */
+        void
+        settleErr(Status reason)
+        {
+            Platform &p = ctx->platform();
+            ++p._devices[device].fstats.commands_failed;
+            release();
+            fireEvent(state, reason, p.now());
+        }
+
+        /** Run the CPU degradation path instead of the device. */
+        void
+        degradeToCpu()
+        {
+            Platform &p = ctx->platform();
+            Platform::Device &d = p._devices[device];
+            ++d.fstats.fallbacks;
+            state->degraded = true;
+            const Tick begin = p.now();
+            if (auto *tb = trace::active())
+                tb->count("runtime.degraded", begin);
+            auto self = shared_from_this();
+            fallback([self, begin](bool) {
+                if (auto *tb = trace::active()) {
+                    Platform &plat = self->ctx->platform();
+                    tb->span(trace::Category::Degrade, "cpu_fallback",
+                             plat._devices[self->device].name, begin,
+                             plat.now());
+                }
+                self->settleOk();
+            });
+        }
 
         void
         beginAttempt(unsigned n)
@@ -142,25 +209,59 @@ struct CommandEngine
             Platform &p = ctx->platform();
             Platform::Device &d = p._devices[device];
 
-            if (fallback && !d.health.healthy()) {
+            // Deadline budget spent before this attempt even starts.
+            if (deadline_at && p.now() >= deadline_at) {
+                ++d.fstats.deadline_exhausted;
+                if (auto *tb = trace::active())
+                    tb->count("runtime.deadline_exhausted", p.now());
+                settleErr(Status::TimedOut);
+                return;
+            }
+
+            // Circuit breaker: a quarantined device fast-fails fresh
+            // work up front - to CPU degradation when a fallback
+            // exists, to Shed otherwise - instead of burning the full
+            // watchdog + retry/backoff budget per command.
+            if (d.breaker && !d.breaker->allow(p.now())) {
+                ++d.fstats.breaker_fast_fails;
+                if (auto *tb = trace::active())
+                    tb->count("runtime.breaker_fast_fails", p.now());
+                if (fallback) {
+                    degradeToCpu();
+                    return;
+                }
+                ++d.fstats.shed;
+                if (auto *tb = trace::active())
+                    tb->count("runtime.shed", p.now());
+                settleErr(Status::Shed);
+                return;
+            }
+
+            if (fallback && !d.breaker && !d.health.healthy()) {
                 // Graceful degradation: the device tripped its
                 // unhealthy threshold, so run the work on the host
-                // CPU at its honestly worse cost.
-                ++d.fstats.fallbacks;
-                state->degraded = true;
-                const Tick begin = p.now();
-                if (auto *tb = trace::active())
-                    tb->count("runtime.degraded", begin);
-                auto self = shared_from_this();
-                fallback([self, begin](bool) {
-                    if (auto *tb = trace::active()) {
-                        Platform &plat = self->ctx->platform();
-                        tb->span(trace::Category::Degrade, "cpu_fallback",
-                                 plat._devices[self->device].name, begin,
-                                 plat.now());
-                    }
-                    self->settleOk();
-                });
+                // CPU at its honestly worse cost. (With a breaker
+                // installed the breaker governs quarantine instead,
+                // so HalfOpen probes can reach the device again.)
+                degradeToCpu();
+                return;
+            }
+
+            // Fast-fail: a *fresh* no-fallback command against a device
+            // already marked unhealthy settles Failed immediately
+            // rather than waiting out a full watchdog timeout against
+            // hardware known to be down. Retries of a command already
+            // in flight (n > 0) still dispatch, preserving the full
+            // attempt accounting of the legacy recovery path.
+            if (n == 0 && fast_failable && !fallback && !d.breaker &&
+                !d.health.healthy()) {
+                ++d.fstats.fast_fails;
+                if (auto *tb = trace::active()) {
+                    tb->instant(trace::Category::Robust, "fast_fail",
+                                d.name, p.now());
+                    tb->count("runtime.fast_fails", p.now());
+                }
+                settleErr(Status::Failed);
                 return;
             }
 
@@ -169,9 +270,18 @@ struct CommandEngine
             auto self = shared_from_this();
             auto settled = std::make_shared<bool>(false);
             sim::EventHandle watchdog;
-            if (p._policy.timeout > 0) {
+            // The watchdog never outlives the deadline budget: clip it
+            // to the remaining budget so the final TimedOut settles at
+            // the deadline, not a full timeout later.
+            Tick timeout = p._policy.timeout;
+            if (deadline_at) {
+                const Tick remaining = deadline_at - p.now();
+                if (timeout == 0 || remaining < timeout)
+                    timeout = remaining;
+            }
+            if (timeout > 0) {
                 watchdog = p._eq.scheduleIn(
-                    p._policy.timeout, [self, settled, n, attempt_begin] {
+                    timeout, [self, settled, n, attempt_begin] {
                         if (*settled)
                             return;
                         *settled = true;
@@ -215,7 +325,10 @@ struct CommandEngine
         succeed()
         {
             Platform &p = ctx->platform();
-            p._devices[device].health.recordSuccess();
+            Platform::Device &d = p._devices[device];
+            d.health.recordSuccess();
+            if (d.breaker)
+                d.breaker->recordSuccess(p.now());
             settleOk();
         }
 
@@ -223,6 +336,7 @@ struct CommandEngine
         settleOk()
         {
             Platform &p = ctx->platform();
+            release();
             if (p._plan) {
                 // Completion reaches the host through the driver
                 // notification path (possibly a recovery poll when the
@@ -244,15 +358,26 @@ struct CommandEngine
             Platform &p = ctx->platform();
             Platform::Device &d = p._devices[device];
             d.health.recordFailure();
+            if (d.breaker)
+                d.breaker->recordFailure(p.now());
             ++d.fstats.failures;
             if (n >= p._policy.max_retries) {
-                ++d.fstats.commands_failed;
-                fireEvent(state, reason, p.now());
+                settleErr(reason);
+                return;
+            }
+            const Tick delay = backoffDelay(p, n);
+            // Deadline-budgeted retries: when the backoff wait would
+            // land at or past the deadline, stop retrying and settle
+            // TimedOut now - the budget cannot buy another attempt.
+            if (deadline_at && p.now() + delay >= deadline_at) {
+                ++d.fstats.deadline_exhausted;
+                if (auto *tb = trace::active())
+                    tb->count("runtime.deadline_exhausted", p.now());
+                settleErr(Status::TimedOut);
                 return;
             }
             state->retries = n + 1;
             ++d.fstats.retries;
-            const Tick delay = backoffDelay(p, n);
             if (auto *tb = trace::active()) {
                 tb->count("runtime.retries", p.now());
                 tb->span(trace::Category::Retry, "backoff", d.name,
@@ -284,21 +409,44 @@ struct CommandEngine
      * in-order contract means its input was never produced).
      */
     static Event
-    launch(CommandQueue &q, AttemptFn work, AttemptFn fallback)
+    launch(CommandQueue &q, AttemptFn work, AttemptFn fallback,
+           bool fast_failable)
     {
         Event ev;
         ev._state = std::make_shared<Event::State>();
+        Platform &plat = q._ctx->platform();
+        Platform::Device &dev = plat._devices[q._device];
+
+        // Admission control: shed up front, before the command joins
+        // the in-order chain, so a shed neither occupies the device
+        // nor cascades an error into its successors.
+        if (dev.admission &&
+            !dev.admission->admit(plat.now(), dev.outstanding,
+                                  q._ctx->priority())) {
+            ++dev.fstats.shed;
+            ++dev.fstats.commands_failed;
+            if (auto *tb = trace::active())
+                tb->count("runtime.shed", plat.now());
+            fireEvent(ev._state, Status::Shed, plat.now());
+            return ev;
+        }
+
         auto cmd = std::make_shared<Command>();
         cmd->ctx = q._ctx;
         cmd->device = q._device;
         cmd->state = ev._state;
         cmd->work = std::move(work);
         cmd->fallback = std::move(fallback);
+        cmd->fast_failable = fast_failable;
+        cmd->submitted = plat.now();
+        cmd->counted = true;
+        ++dev.outstanding;
+        if (plat._policy.deadline)
+            cmd->deadline_at = plat.now() + plat._policy.deadline;
 
         if (auto *tb = trace::active()) {
-            Platform &p = q._ctx->platform();
-            tb->instant(trace::Category::Command, "submit",
-                        p._devices[q._device].name, p.now());
+            tb->instant(trace::Category::Command, "submit", dev.name,
+                        plat.now());
         }
         auto prev = q._last._state;
         whenDone(prev, [cmd, prev] {
@@ -306,10 +454,9 @@ struct CommandEngine
             if (prev && prev->status != Status::Ok) {
                 Platform::Device &d = p._devices[cmd->device];
                 ++d.fstats.cascaded;
-                ++d.fstats.commands_failed;
                 if (auto *tb = trace::active())
                     tb->count("runtime.cascaded", p.now());
-                fireEvent(cmd->state, Status::Failed, p.now());
+                cmd->settleErr(Status::Failed);
                 return;
             }
             p._eq.scheduleIn(0, [cmd] { cmd->beginAttempt(0); });
@@ -355,6 +502,7 @@ Platform::addAccelerator(const std::string &name, accel::Domain domain,
     _devices.push_back(std::move(dev));
     if (_plan)
         wireDevice(_devices.back());
+    wireRobust(_devices.back());
     return _devices.size() - 1;
 }
 
@@ -372,6 +520,7 @@ Platform::addDrx(const std::string &name, const drx::DrxConfig &cfg)
     _devices.push_back(std::move(dev));
     if (_plan)
         wireDevice(_devices.back());
+    wireRobust(_devices.back());
     return _devices.size() - 1;
 }
 
@@ -379,6 +528,12 @@ Context
 Platform::createContext()
 {
     return Context(*this);
+}
+
+std::unique_ptr<Context>
+Platform::createContextPtr()
+{
+    return std::unique_ptr<Context>(new Context(*this));
 }
 
 const std::string &
@@ -441,6 +596,64 @@ Platform::setCommandPolicy(const CommandPolicy &policy)
     _policy = policy;
     if (_plan && _policy.timeout == 0)
         _policy.timeout = default_fault_timeout;
+}
+
+void
+Platform::setRobustConfig(const robust::RobustConfig &cfg)
+{
+    _robust = cfg;
+    if (cfg.deadline)
+        _policy.deadline = cfg.deadline;
+    for (auto &dev : _devices)
+        wireRobust(dev);
+}
+
+void
+Platform::wireRobust(Device &dev)
+{
+    if (_robust.breaker.enabled) {
+        robust::BreakerConfig bc = _robust.breaker;
+        if (bc.failure_threshold == 0) {
+            // Default the trip threshold to the device's configured
+            // unhealthy threshold so breaker and health agree on what
+            // "keeps failing" means.
+            bc.failure_threshold = dev.health.threshold();
+        }
+        dev.breaker =
+            std::make_unique<robust::CircuitBreaker>(dev.name, bc);
+    } else {
+        dev.breaker.reset();
+    }
+    if (_robust.admission.policy != robust::AdmissionPolicy::Unbounded) {
+        dev.admission = std::make_unique<robust::AdmissionController>(
+            dev.name, _robust.admission);
+    } else {
+        dev.admission.reset();
+    }
+}
+
+const robust::CircuitBreaker *
+Platform::deviceBreaker(DeviceId id) const
+{
+    if (id >= _devices.size())
+        dmx_fatal("Platform::deviceBreaker: bad device id %zu", id);
+    return _devices[id].breaker.get();
+}
+
+const robust::AdmissionController *
+Platform::deviceAdmission(DeviceId id) const
+{
+    if (id >= _devices.size())
+        dmx_fatal("Platform::deviceAdmission: bad device id %zu", id);
+    return _devices[id].admission.get();
+}
+
+std::uint64_t
+Platform::outstandingCommands(DeviceId id) const
+{
+    if (id >= _devices.size())
+        dmx_fatal("Platform::outstandingCommands: bad device id %zu", id);
+    return _devices[id].outstanding;
 }
 
 bool
@@ -534,7 +747,8 @@ CommandQueue::enqueueKernel(BufferId in, BufferId out)
                 done(ok);
             });
     };
-    return CommandEngine::launch(*this, std::move(work), nullptr);
+    return CommandEngine::launch(*this, std::move(work), nullptr,
+                                 /*fast_failable=*/true);
 }
 
 Event
@@ -594,7 +808,8 @@ CommandQueue::enqueueRestructure(const restructure::Kernel &kernel,
             });
     };
     return CommandEngine::launch(*this, std::move(work),
-                                 std::move(fallback));
+                                 std::move(fallback),
+                                 /*fast_failable=*/false);
 }
 
 Event
@@ -642,7 +857,10 @@ CommandQueue::enqueueCopy(BufferId src, BufferId dst,
         }
         p._fabric->startFlowChecked(sn, dn, bytes, deliver);
     };
-    return CommandEngine::launch(*this, std::move(work), nullptr);
+    // Copies are not fast-failable: device health tracks the command
+    // engine, while DMA rides the fabric, which may be fine.
+    return CommandEngine::launch(*this, std::move(work), nullptr,
+                                 /*fast_failable=*/false);
 }
 
 void

@@ -54,6 +54,9 @@
 #include "fault/health.hh"
 #include "pcie/fabric.hh"
 #include "restructure/ir.hh"
+#include "robust/admission.hh"
+#include "robust/breaker.hh"
+#include "robust/robust.hh"
 #include "sim/eventq.hh"
 
 namespace dmx::runtime
@@ -77,7 +80,10 @@ enum class Status : std::uint8_t
     Pending,  ///< not yet settled (still queued or executing)
     Ok,       ///< completed successfully
     Failed,   ///< device error, retry budget exhausted, or cascaded
-    TimedOut, ///< final attempt's watchdog expired
+    TimedOut, ///< final attempt's watchdog expired, or deadline budget
+              ///< exhausted across retries
+    Shed,     ///< rejected by admission control or an open circuit
+              ///< breaker; terminal, observed exactly like TimedOut
 };
 
 /** @return human name, e.g. "timed-out". */
@@ -101,6 +107,13 @@ struct CommandPolicy
     /// Uniform jitter fraction added on top of the backoff delay
     /// (delay *= 1 + jitter_frac * U[0,1)), decorrelating retries.
     double jitter_frac = 0.25;
+    /// End-to-end deadline budget per command, in ticks; 0 disables it.
+    /// Watchdogs, retries and backoff all draw down this one budget
+    /// (watchdogs are clipped to the remaining budget, and a retry
+    /// whose backoff would land past the deadline settles TimedOut
+    /// immediately), so a command never spends longer than
+    /// submit + deadline across all recovery attempts.
+    Tick deadline = 0;
 };
 
 namespace detail
@@ -160,8 +173,17 @@ class Event
     friend class CommandQueue;
     friend class Context;
     friend struct detail::CommandEngine;
+    friend void onSettled(const Event &, std::function<void()>);
     std::shared_ptr<State> _state;
 };
+
+/**
+ * Register @p fn to run (at the settle tick, on the simulation thread)
+ * when @p ev settles; runs immediately when the event already settled.
+ * This is the public completion hook higher layers use to return
+ * credits / collect latencies without polling.
+ */
+void onSettled(const Event &ev, std::function<void()> fn);
 
 class Context;
 class Platform;
@@ -236,6 +258,14 @@ class Context
 
     Platform &platform() { return *_platform; }
 
+    /**
+     * Set the tenant priority admission control uses for commands from
+     * this context (0 = highest; see robust::AdmissionController).
+     */
+    void setPriority(unsigned p) { _priority = p; }
+
+    unsigned priority() const { return _priority; }
+
   private:
     friend class Platform;
     friend class CommandQueue;
@@ -245,6 +275,7 @@ class Context
     Platform *_platform;
     std::vector<Bytes> _buffers;
     std::vector<std::unique_ptr<CommandQueue>> _queues;
+    unsigned _priority = 0;
 };
 
 /** Per-device fault and recovery counters. */
@@ -259,6 +290,15 @@ struct DeviceFaultStats
                                        ///< predecessor's error
     std::uint64_t fallbacks = 0;       ///< commands degraded to host CPU
     std::uint64_t rerouted_copies = 0; ///< p2p copies staged via the RC
+    std::uint64_t shed = 0;            ///< commands shed (admission or
+                                       ///< open breaker without fallback)
+    std::uint64_t fast_fails = 0;      ///< fresh commands failed
+                                       ///< immediately on an unhealthy
+                                       ///< device (no watchdog burned)
+    std::uint64_t breaker_fast_fails = 0; ///< commands rejected by an
+                                          ///< open/probing breaker
+    std::uint64_t deadline_exhausted = 0; ///< commands settled TimedOut
+                                          ///< by the deadline budget
 };
 
 /** The platform: devices, fabric and the simulated clock. */
@@ -287,6 +327,12 @@ class Platform
     /** Create an execution context spanning all devices. */
     Context createContext();
 
+    /**
+     * Heap-allocating variant for callers that manage many short-lived
+     * contexts (one per request) whose addresses must stay stable.
+     */
+    std::unique_ptr<Context> createContextPtr();
+
     /** @return current simulated time. */
     Tick now() const { return _eq.now(); }
 
@@ -298,6 +344,13 @@ class Platform
 
     /** Drive the simulation until the event queue drains. */
     void drain() { _eq.run(); }
+
+    /**
+     * @return the platform's event queue. Open-loop drivers (the
+     * overload stress engine) use this to schedule request arrivals at
+     * absolute simulated times between drains.
+     */
+    sim::EventQueue &eventQueue() { return _eq; }
 
     // --------------------------------------------- fault & reliability
 
@@ -319,6 +372,27 @@ class Platform
     void setCommandPolicy(const CommandPolicy &policy);
 
     const CommandPolicy &commandPolicy() const { return _policy; }
+
+    // ---------------------------------------- overload protection
+
+    /**
+     * Install the overload-protection feature set. Creates (or tears
+     * down) per-device circuit breakers and admission controllers and
+     * copies the end-to-end deadline into the command policy. The
+     * default-constructed RobustConfig restores legacy behaviour.
+     */
+    void setRobustConfig(const robust::RobustConfig &cfg);
+
+    const robust::RobustConfig &robustConfig() const { return _robust; }
+
+    /** @return the breaker of @p id (nullptr when breakers are off). */
+    const robust::CircuitBreaker *deviceBreaker(DeviceId id) const;
+
+    /** @return the admission gate of @p id (nullptr when off). */
+    const robust::AdmissionController *deviceAdmission(DeviceId id) const;
+
+    /** @return commands admitted on @p id and not yet settled. */
+    std::uint64_t outstandingCommands(DeviceId id) const;
 
     /** @return false once a device tripped the unhealthy threshold. */
     bool deviceHealthy(DeviceId id) const;
@@ -351,10 +425,16 @@ class Platform
         pcie::NodeId node = 0;
         fault::HealthTracker health;
         DeviceFaultStats fstats;
+        std::uint64_t outstanding = 0; ///< admitted, not yet settled
+        std::unique_ptr<robust::CircuitBreaker> breaker;
+        std::unique_ptr<robust::AdmissionController> admission;
     };
 
     /** Wire the installed plan's hooks into one device. */
     void wireDevice(Device &dev);
+
+    /** (Re)build one device's breaker/admission from _robust. */
+    void wireRobust(Device &dev);
 
     sim::EventQueue _eq;
     std::unique_ptr<pcie::Fabric> _fabric;
@@ -364,6 +444,7 @@ class Platform
 
     fault::FaultPlan *_plan = nullptr;
     CommandPolicy _policy;
+    robust::RobustConfig _robust;
     Rng _jitter; ///< backoff jitter stream (reseeded per plan)
     cpu::HostParams _host_params;
     std::unique_ptr<cpu::CorePool> _host;

@@ -26,6 +26,8 @@ simulateMultiTenant(const MultiTenantConfig &cfg,
     sys_cfg.n_apps = cfg.tenants;
     sys_cfg.requests_per_app = cfg.requests_per_tenant;
     sys_cfg.fault_plan = cfg.fault_plan;
+    sys_cfg.robust = cfg.robust;
+    sys_cfg.priorities = cfg.priorities;
 
     MultiTenantStats out;
     out.aggregate = simulateSystem(sys_cfg, apps);
@@ -38,6 +40,8 @@ simulateMultiTenant(const MultiTenantConfig &cfg,
         SystemConfig solo_cfg = sys_cfg;
         solo_cfg.n_apps = 1;
         solo_cfg.fault_plan = nullptr;
+        solo_cfg.robust = {};
+        solo_cfg.priorities.clear();
         for (std::size_t m = 0;
              m < apps.size() && m < cfg.tenants; ++m) {
             solo_ms[m] =
@@ -51,6 +55,9 @@ simulateMultiTenant(const MultiTenantConfig &cfg,
         const std::size_t m = t % apps.size();
         ts.app_name = apps[m].name;
         ts.latency_ms = out.aggregate.per_app_latency_ms[t];
+        ts.p99_latency_ms = out.aggregate.per_app_p99_latency_ms[t];
+        ts.shed = out.aggregate.per_app_shed[t];
+        ts.deadline_misses = out.aggregate.per_app_deadline_misses[t];
         const auto it = solo_ms.find(m);
         ts.solo_latency_ms = it != solo_ms.end() ? it->second : 0;
         // Closed loop: each stream issues its next request as soon as

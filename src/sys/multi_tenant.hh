@@ -41,6 +41,9 @@ struct TenantStats
     double latency_ms = 0;       ///< mean request latency, contended
     double solo_latency_ms = 0;  ///< same chain running alone
     double throughput_rps = 0;   ///< closed-loop rate: requests/latency
+    double p99_latency_ms = 0;   ///< nearest-rank p99, contended
+    std::uint64_t shed = 0;      ///< requests shed by admission control
+    std::uint64_t deadline_misses = 0; ///< completions past the deadline
 
     /** @return contended latency over solo latency (>= ~1). */
     double
@@ -83,6 +86,11 @@ struct MultiTenantConfig
     /// When true, skip the K solo baseline runs (solo_latency_ms and
     /// slowdowns read 0); cheaper for large sweeps.
     bool skip_solo_baseline = false;
+    /// Overload protection for the shared run (solo baselines always
+    /// run unprotected); all default-off = legacy behaviour.
+    robust::RobustConfig robust;
+    /// Optional per-tenant admission priorities (0 = highest).
+    std::vector<unsigned> priorities;
 };
 
 /**

@@ -1,0 +1,284 @@
+#include "sys/overload.hh"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "driver/queues.hh"
+#include "robust/credit.hh"
+#include "runtime/runtime.hh"
+#include "sys/system.hh"
+
+namespace dmx::sys
+{
+
+namespace
+{
+
+/**
+ * The stress kernel: a byte-bound streaming pass (checksum-rotate) so
+ * service time scales with request_bytes through the device's op-rate
+ * model while the functional work stays trivial.
+ */
+runtime::Bytes
+streamKernel(const runtime::Bytes &in, kernels::OpCount &ops)
+{
+    runtime::Bytes out(in.size());
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        acc = static_cast<std::uint8_t>(acc + in[i]);
+        out[i] = acc;
+    }
+    ops.int_ops += in.size();
+    ops.bytes_read += in.size();
+    ops.bytes_written += out.size();
+    return out;
+}
+
+/** Build the device bank on @p plat; @return the device ids. */
+std::vector<runtime::DeviceId>
+addBank(runtime::Platform &plat, unsigned devices)
+{
+    std::vector<runtime::DeviceId> ids;
+    ids.reserve(devices);
+    for (unsigned d = 0; d < devices; ++d)
+        ids.push_back(plat.addAccelerator(
+            "axl" + std::to_string(d), accel::Domain::Crypto,
+            streamKernel));
+    return ids;
+}
+
+/**
+ * Service time of one request on an idle, fault-free platform: the
+ * saturation yardstick arrivals are spaced against.
+ */
+Tick
+soloServiceTicks(const OverloadConfig &cfg)
+{
+    runtime::Platform plat;
+    const auto ids = addBank(plat, 1);
+    runtime::Context ctx = plat.createContext();
+    const auto in = ctx.createBuffer(
+        runtime::Bytes(cfg.request_bytes, std::uint8_t{1}));
+    const auto out = ctx.createBuffer();
+    const runtime::Event ev = ctx.queue(ids[0]).enqueueKernel(in, out);
+    ctx.finish();
+    if (!ev.ok())
+        dmx_panic("overload: calibration request did not complete");
+    return ev.completeTime();
+}
+
+/** The live open-loop stress run. */
+class OverloadSim
+{
+  public:
+    explicit OverloadSim(const OverloadConfig &cfg) : _cfg(cfg)
+    {
+        if (cfg.devices == 0)
+            dmx_fatal("overload: need at least one device");
+        if (cfg.requests == 0)
+            dmx_fatal("overload: need at least one request");
+        if (cfg.load <= 0)
+            dmx_fatal("overload: load must be positive");
+        if (cfg.request_bytes == 0)
+            dmx_fatal("overload: request_bytes must be nonzero");
+        if (cfg.ring_bytes < cfg.request_bytes)
+            dmx_fatal("overload: ring_bytes smaller than one request");
+    }
+
+    OverloadStats
+    run()
+    {
+        const Tick service = soloServiceTicks(_cfg);
+
+        _ids = addBank(_plat, _cfg.devices);
+        if (_cfg.fault_rate > 0) {
+            fault::FaultSpec spec;
+            spec.seed = _cfg.seed;
+            spec.kernel_fail_prob = 0.8 * _cfg.fault_rate;
+            spec.kernel_hang_prob = 0.2 * _cfg.fault_rate;
+            _plan = std::make_unique<fault::FaultPlan>(spec);
+            _plat.setFaultPlan(_plan.get());
+        }
+        robust::RobustConfig rc = _cfg.robust;
+        if (_cfg.deadline_factor > 0)
+            rc.deadline = static_cast<Tick>(
+                _cfg.deadline_factor * static_cast<double>(service));
+        _plat.setRobustConfig(rc);
+
+        for (unsigned d = 0; d < _cfg.devices; ++d) {
+            _rings.emplace_back(
+                std::make_unique<driver::DataQueue>(_cfg.ring_bytes));
+            _rings.back()->setLabel("axl" + std::to_string(d) +
+                                    ".submit");
+            if (_cfg.robust.backpressure.enabled) {
+                driver::DataQueue &ring = *_rings.back();
+                if (_cfg.robust.backpressure.credit_window)
+                    ring.setCreditWindow(
+                        _cfg.robust.backpressure.credit_window);
+                _gates.push_back(std::make_unique<robust::CreditGate>(
+                    ring.label(), ring.creditWindow()));
+            }
+        }
+
+        // Offered load: one request per `interval` system-wide equals
+        // `load` times the bank's aggregate saturation rate.
+        const Tick interval = std::max<Tick>(
+            1, static_cast<Tick>(
+                   static_cast<double>(service) /
+                   (_cfg.load * static_cast<double>(_cfg.devices))));
+        _reqs.resize(_cfg.requests);
+        for (unsigned i = 0; i < _cfg.requests; ++i) {
+            _plat.eventQueue().schedule(
+                static_cast<Tick>(i) * interval,
+                [this, i] { arrive(i); });
+        }
+        _plat.drain();
+        return collect(service);
+    }
+
+  private:
+    struct Request
+    {
+        std::unique_ptr<runtime::Context> ctx;
+        Tick start = 0;
+        std::size_t dev = 0;
+        bool push_ok = false;
+    };
+
+    void
+    arrive(unsigned i)
+    {
+        Request &r = _reqs[i];
+        r.dev = i % _cfg.devices;
+        r.start = _plat.now();
+        ++_offered;
+        if (!_gates.empty()) {
+            // Credit-gated submission: blocked producers wait in
+            // simulated time (latency keeps accruing from arrival), so
+            // an admitted push can never overrun the ring.
+            _gates[r.dev]->acquire(_cfg.request_bytes, _plat.now(),
+                                   [this, i](Tick) { submit(i); });
+            return;
+        }
+        submit(i);
+    }
+
+    void
+    submit(unsigned i)
+    {
+        Request &r = _reqs[i];
+        driver::DataQueue &ring = *_rings[r.dev];
+        r.push_ok = ring.push(_cfg.request_bytes);
+        if (!r.push_ok && _plan)
+            _plan->onQueueOverflow(ring.label());
+        r.ctx = _plat.createContextPtr();
+        const auto in = r.ctx->createBuffer(runtime::Bytes(
+            _cfg.request_bytes, static_cast<std::uint8_t>(i)));
+        const auto out = r.ctx->createBuffer();
+        const runtime::Event ev =
+            r.ctx->queue(_ids[r.dev]).enqueueKernel(in, out);
+        runtime::onSettled(ev,
+                           [this, i, ev] { settle(i, ev.status()); });
+    }
+
+    void
+    settle(unsigned i, runtime::Status status)
+    {
+        Request &r = _reqs[i];
+        if (r.push_ok)
+            _rings[r.dev]->pop(_cfg.request_bytes);
+        if (!_gates.empty())
+            _gates[r.dev]->release(_cfg.request_bytes, _plat.now());
+        switch (status) {
+          case runtime::Status::Ok:
+            ++_completed;
+            _latencies_ms.push_back(ticksToMs(_plat.now() - r.start));
+            break;
+          case runtime::Status::Shed:     ++_shed; break;
+          case runtime::Status::TimedOut: ++_timed_out; break;
+          default:                        ++_failed; break;
+        }
+        _last_settle = std::max(_last_settle, _plat.now());
+        // The context (buffers, queues) stays alive until collect():
+        // the engine owns it, nothing else references it after settle.
+    }
+
+    OverloadStats
+    collect(Tick service)
+    {
+        (void)service;
+        OverloadStats st;
+        st.offered = _offered;
+        st.completed = _completed;
+        st.shed = _shed;
+        st.failed = _failed;
+        st.timed_out = _timed_out;
+        st.makespan_ms = ticksToMs(_last_settle);
+        const double makespan_s = ticksToSeconds(_last_settle);
+        st.goodput_rps =
+            makespan_s > 0 ? static_cast<double>(_completed) / makespan_s
+                           : 0;
+        double lat_sum = 0;
+        for (double l : _latencies_ms)
+            lat_sum += l;
+        st.mean_latency_ms =
+            _latencies_ms.empty()
+                ? 0
+                : lat_sum / static_cast<double>(_latencies_ms.size());
+        st.p99_latency_ms = percentileNearestRank(_latencies_ms, 0.99);
+
+        for (const auto &ring : _rings) {
+            st.queue_overflows += ring->overflows();
+            st.max_ring_high_water =
+                std::max(st.max_ring_high_water, ring->highWater());
+        }
+        st.ring_credit_window =
+            _rings.empty() ? 0 : _rings.front()->creditWindow();
+        for (const auto &gate : _gates) {
+            st.backpressure_stalls += gate->stalls();
+            st.backpressure_stall_ms += ticksToMs(gate->stallTicks());
+        }
+        for (const runtime::DeviceId id : _ids) {
+            const runtime::DeviceFaultStats &fs = _plat.faultStats(id);
+            st.retries += fs.retries;
+            st.watchdog_timeouts += fs.timeouts;
+            st.breaker_fast_fails += fs.breaker_fast_fails;
+            if (const robust::CircuitBreaker *b =
+                    _plat.deviceBreaker(id)) {
+                st.breaker_opens += b->opens();
+                st.breaker_open_ms +=
+                    ticksToMs(b->quarantineTicks(_plat.now()));
+            }
+        }
+        return st;
+    }
+
+    OverloadConfig _cfg;
+    runtime::Platform _plat;
+    std::unique_ptr<fault::FaultPlan> _plan;
+    std::vector<runtime::DeviceId> _ids;
+    std::vector<std::unique_ptr<driver::DataQueue>> _rings;
+    std::vector<std::unique_ptr<robust::CreditGate>> _gates;
+    std::vector<Request> _reqs;
+    std::vector<double> _latencies_ms;
+    std::uint64_t _offered = 0;
+    std::uint64_t _completed = 0;
+    std::uint64_t _shed = 0;
+    std::uint64_t _failed = 0;
+    std::uint64_t _timed_out = 0;
+    Tick _last_settle = 0;
+};
+
+} // namespace
+
+OverloadStats
+simulateOverload(const OverloadConfig &cfg)
+{
+    OverloadSim sim(cfg);
+    return sim.run();
+}
+
+} // namespace dmx::sys

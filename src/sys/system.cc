@@ -1,8 +1,11 @@
 #include "sys/system.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
+#include "robust/admission.hh"
+#include "robust/credit.hh"
 #include "sim/eventq.hh"
 #include "sys/calibration.hh"
 #include "trace/trace.hh"
@@ -22,6 +25,21 @@ toString(Placement p)
       case Placement::PcieIntegrated: return "pcie-integrated";
     }
     return "?";
+}
+
+double
+percentileNearestRank(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    const auto n = static_cast<double>(values.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p * n));
+    if (rank == 0)
+        rank = 1;
+    if (rank > values.size())
+        rank = values.size();
+    return values[rank - 1];
 }
 
 namespace
@@ -55,6 +73,17 @@ class SystemSim
         Tick time_ticks[3] = {0, 0, 0};          ///< per Phase totals
         std::vector<Tick> stage_ticks;           ///< 2K-1 stage totals
         double latency_ms_sum = 0;
+
+        unsigned priority = 0;                   ///< admission priority
+        std::uint64_t shed = 0;                  ///< admission-shed requests
+        std::uint64_t deadline_misses = 0;
+        std::vector<double> latencies_ms;        ///< completed, for p99
+        /// Credit gates in front of the BitW per-stage RX rings,
+        /// indexed by motion k (gate k guards rx(k+1, Accelerator)).
+        std::vector<std::unique_ptr<robust::CreditGate>> gates;
+        /// Whether the in-flight motion's RX push was accepted; a
+        /// rejected (overflowed) push must not be popped later.
+        bool push_ok = true;
     };
 
     void startRequest(std::size_t a);
@@ -90,6 +119,12 @@ class SystemSim
                            std::uint64_t bytes,
                            std::function<void()> done);
 
+    /** @return app a's credit gate for motion k, or nullptr. */
+    robust::CreditGate *gateFor(std::size_t a, std::size_t k);
+
+    /** Account a rejected DataQueue push against the offending queue. */
+    void reportOverflow(const driver::DataQueue &q);
+
     const SystemConfig &_cfg;
     sim::EventQueue _eq;
     std::unique_ptr<pcie::Fabric> _fabric;
@@ -101,6 +136,11 @@ class SystemSim
     pcie::NodeId _hostmem = 0; ///< DRAM staging behind the root complex
     std::uint64_t _flow_retries = 0;
     std::uint64_t _dropped_irqs = 0;
+    /// System-level admission: depth is the system-wide in-flight
+    /// request count; sojourn feedback is end-to-end request latency.
+    std::unique_ptr<robust::AdmissionController> _admission;
+    std::uint64_t _inflight = 0;
+    std::uint64_t _queue_overflows = 0;
     Tick _last_done = 0;
     double _accel_watts_sum = 0;
     unsigned _accel_count = 0;
@@ -304,6 +344,20 @@ SystemSim::SystemSim(const SystemConfig &cfg,
             inst.queues = std::make_unique<driver::DrxQueues>(
                 drx_queue_mem_bytes, drx_queue_pair_bytes,
                 static_cast<unsigned>(kcount));
+            inst.queues->labelQueues("app" + std::to_string(i));
+            if (cfg.robust.backpressure.enabled) {
+                for (std::size_t k = 0; k + 1 < kcount; ++k) {
+                    driver::DataQueue &q = inst.queues->rx(
+                        static_cast<unsigned>(k + 1),
+                        driver::PeerKind::Accelerator);
+                    if (cfg.robust.backpressure.credit_window)
+                        q.setCreditWindow(
+                            cfg.robust.backpressure.credit_window);
+                    inst.gates.push_back(
+                        std::make_unique<robust::CreditGate>(
+                            q.label(), q.creditWindow()));
+                }
+            }
         }
         if (cfg.placement == Placement::IntegratedDrx) {
             inst.drx_units.assign(
@@ -321,8 +375,14 @@ SystemSim::SystemSim(const SystemConfig &cfg,
             inst.switch_drx_nodes.assign(kcount, cur_switch);
         }
 
+        inst.priority =
+            i < cfg.priorities.size() ? cfg.priorities[i] : 0;
         _apps.push_back(std::move(inst));
     }
+
+    if (cfg.robust.admission.policy != robust::AdmissionPolicy::Unbounded)
+        _admission = std::make_unique<robust::AdmissionController>(
+            "sys.admission", cfg.robust.admission);
 }
 
 void
@@ -401,10 +461,44 @@ SystemSim::startFlowReliable(pcie::NodeId src, pcie::NodeId dst,
         });
 }
 
+robust::CreditGate *
+SystemSim::gateFor(std::size_t a, std::size_t k)
+{
+    AppInstance &app = _apps[a];
+    return k < app.gates.size() ? app.gates[k].get() : nullptr;
+}
+
+void
+SystemSim::reportOverflow(const driver::DataQueue &q)
+{
+    ++_queue_overflows;
+    if (_cfg.fault_plan)
+        _cfg.fault_plan->onQueueOverflow(q.label());
+    if (auto *tb = trace::active()) {
+        tb->instant(trace::Category::Robust, "queue_overflow",
+                    q.label().empty() ? "queue" : q.label(), _eq.now());
+        tb->count("sys.queue_overflows", _eq.now());
+    }
+}
+
 void
 SystemSim::startRequest(std::size_t a)
 {
     AppInstance &app = _apps[a];
+    if (_admission &&
+        !_admission->admit(_eq.now(), _inflight, app.priority)) {
+        // Shed: the request terminates immediately (observed like a
+        // timeout) and still counts toward the closed loop's quota;
+        // the re-issue is delayed so the loop cannot spin in place.
+        ++app.shed;
+        ++app.requests_done;
+        _last_done = std::max(_last_done, _eq.now());
+        if (app.requests_done < _cfg.requests_per_app)
+            _eq.scheduleIn(_cfg.robust.admission.shed_retry,
+                           [this, a] { startRequest(a); });
+        return;
+    }
+    ++_inflight;
     app.request_start = _eq.now();
     app.phase_start = _eq.now();
     startKernel(a, 0);
@@ -481,20 +575,45 @@ SystemSim::startMotion(std::size_t a, std::size_t k)
         return;
       case Placement::StandaloneDrx:
       case Placement::BumpInTheWire: {
-        const pcie::NodeId site = app.drx_nodes[k];
-        if (app.queues)
-            app.queues->rx(static_cast<unsigned>(k + 1),
-                           driver::PeerKind::Accelerator)
-                .push(mt.in_bytes);
-        startFlowReliable(app.accel_nodes[k], site, mt.in_bytes,
-                          [this, a, k] {
+        const auto flow_in = [this, a, k] {
             AppInstance &ap = _apps[a];
-            closePhase(ap, Phase::Movement, 2 * k + 1);
-            ap.drx_units[k]->submit(ap.model->motions[k].drx_cycles,
-                                    [this, a, k] {
-                restructureDone(a, k);
+            startFlowReliable(ap.accel_nodes[k], ap.drx_nodes[k],
+                              ap.model->motions[k].in_bytes,
+                              [this, a, k] {
+                AppInstance &ap2 = _apps[a];
+                closePhase(ap2, Phase::Movement, 2 * k + 1);
+                ap2.drx_units[k]->submit(
+                    ap2.model->motions[k].drx_cycles,
+                    [this, a, k] { restructureDone(a, k); });
             });
-        });
+        };
+        if (app.queues) {
+            driver::DataQueue &q = app.queues->rx(
+                static_cast<unsigned>(k + 1),
+                driver::PeerKind::Accelerator);
+            if (robust::CreditGate *gate = gateFor(a, k)) {
+                // Credit-gated producer: the accelerator may not push
+                // until the RX ring has window room; a blocked push
+                // waits in simulated time and is traced as
+                // backpressure. Grants are clamped to the ring's
+                // capacity, so a granted push can never overflow.
+                gate->acquire(app.model->motions[k].in_bytes, _eq.now(),
+                              [this, a, k, flow_in](Tick) {
+                    AppInstance &ap = _apps[a];
+                    ap.queues
+                        ->rx(static_cast<unsigned>(k + 1),
+                             driver::PeerKind::Accelerator)
+                        .push(ap.model->motions[k].in_bytes);
+                    ap.push_ok = true;
+                    flow_in();
+                });
+                return;
+            }
+            app.push_ok = q.push(mt.in_bytes);
+            if (!app.push_ok)
+                reportOverflow(q);
+        }
+        flow_in();
         return;
       }
       case Placement::PcieIntegrated: {
@@ -552,10 +671,20 @@ SystemSim::restructureDone(std::size_t a, std::size_t k)
                           [this, a, k] {
             AppInstance &ap2 = _apps[a];
             closePhase(ap2, Phase::Movement, 2 * k + 1);
-            if (ap2.queues)
-                ap2.queues->rx(static_cast<unsigned>(k + 1),
-                               driver::PeerKind::Accelerator)
-                    .pop(ap2.model->motions[k].in_bytes);
+            if (ap2.queues) {
+                driver::DataQueue &q = ap2.queues->rx(
+                    static_cast<unsigned>(k + 1),
+                    driver::PeerKind::Accelerator);
+                const std::uint64_t bytes =
+                    ap2.model->motions[k].in_bytes;
+                if (robust::CreditGate *gate = gateFor(a, k)) {
+                    q.pop(bytes);
+                    gate->release(bytes, _eq.now());
+                } else if (ap2.push_ok) {
+                    // A rejected push left nothing to pop.
+                    q.pop(bytes);
+                }
+            }
             deliverToNext(a, k);
         });
     });
@@ -572,7 +701,18 @@ SystemSim::requestDone(std::size_t a)
 {
     AppInstance &app = _apps[a];
     traceGap(app); // the final completion interrupt's latency
-    app.latency_ms_sum += ticksToMs(_eq.now() - app.request_start);
+    const Tick lat_ticks = _eq.now() - app.request_start;
+    app.latency_ms_sum += ticksToMs(lat_ticks);
+    app.latencies_ms.push_back(ticksToMs(lat_ticks));
+    if (_inflight > 0)
+        --_inflight;
+    if (_admission)
+        _admission->recordSojourn(lat_ticks, _eq.now());
+    if (_cfg.robust.deadline && lat_ticks > _cfg.robust.deadline) {
+        ++app.deadline_misses;
+        if (auto *tb = trace::active())
+            tb->count("sys.deadline_misses", _eq.now());
+    }
     ++app.requests_done;
     _last_done = std::max(_last_done, _eq.now());
     if (app.requests_done < _cfg.requests_per_app)
@@ -602,10 +742,24 @@ SystemSim::run()
             dmx_panic("system: app '%s' finished %u of %u requests",
                       app.model->name.c_str(), app.requests_done,
                       _cfg.requests_per_app);
+        // Latency means are over *completed* requests; shed requests
+        // never started, so they carry no latency. With admission off
+        // (shed == 0) this is the legacy divisor bit for bit.
+        const double completed =
+            static_cast<double>(_cfg.requests_per_app - app.shed);
         stats.per_app_latency_ms.push_back(
-            app.latency_ms_sum /
-            static_cast<double>(_cfg.requests_per_app));
+            completed > 0 ? app.latency_ms_sum / completed : 0.0);
         stats.avg_latency_ms += stats.per_app_latency_ms.back();
+        stats.per_app_p99_latency_ms.push_back(
+            percentileNearestRank(app.latencies_ms, 0.99));
+        stats.per_app_shed.push_back(app.shed);
+        stats.shed_requests += app.shed;
+        stats.per_app_deadline_misses.push_back(app.deadline_misses);
+        stats.deadline_misses += app.deadline_misses;
+        for (const auto &gate : app.gates) {
+            stats.backpressure_stalls += gate->stalls();
+            stats.backpressure_stall_ticks += gate->stallTicks();
+        }
         stats.kernel_ticks += app.time_ticks[0];
         stats.restructure_ticks += app.time_ticks[1];
         stats.movement_ticks += app.time_ticks[2];
@@ -614,11 +768,11 @@ SystemSim::run()
         for (Tick s : app.stage_ticks) {
             worst_stage_ms = std::max(
                 worst_stage_ms,
-                ticksToMs(s) /
-                    static_cast<double>(_cfg.requests_per_app));
+                completed > 0 ? ticksToMs(s) / completed : 0.0);
         }
         bottleneck = std::max(bottleneck, worst_stage_ms);
-        tput_sum += 1000.0 / worst_stage_ms;
+        if (worst_stage_ms > 0)
+            tput_sum += 1000.0 / worst_stage_ms;
     }
     const double n_apps = static_cast<double>(_apps.size());
     stats.avg_latency_ms /= n_apps;
@@ -635,6 +789,8 @@ SystemSim::run()
     stats.pcie_bytes = _fabric ? _fabric->totalBytes() : 0;
     stats.flow_retries = _flow_retries;
     stats.dropped_irqs = _dropped_irqs;
+    stats.queue_overflows = _queue_overflows;
+    stats.peak_active_flows = _fabric ? _fabric->peakActiveFlows() : 0;
 
     // Energy.
     EnergyInputs ein;

@@ -37,6 +37,7 @@
 #include "drx/machine.hh"
 #include "fault/fault.hh"
 #include "pcie/fabric.hh"
+#include "robust/robust.hh"
 #include "sys/app_model.hh"
 #include "sys/energy.hh"
 
@@ -77,6 +78,12 @@ struct SystemConfig
     /// and replayed like a corrupted one - and dropped completion
     /// interrupts cost the driver's recovery-poll latency.
     fault::FaultPlan *fault_plan = nullptr;
+    /// Overload protection (backpressure / admission / deadline); all
+    /// default-off, preserving byte-identical legacy behaviour.
+    robust::RobustConfig robust;
+    /// Optional per-app admission priorities (0 = highest); apps past
+    /// the end of the vector default to priority 0.
+    std::vector<unsigned> priorities;
 };
 
 /** Per-request time split (averaged), in milliseconds. */
@@ -121,7 +128,39 @@ struct RunStats
     /// avg_latency_ms is the mean of these. The multi-tenant stress
     /// mode reads per-tenant service quality out of this.
     std::vector<double> per_app_latency_ms;
+
+    /// p99 (nearest-rank) request latency per application instance,
+    /// over that app's *completed* requests.
+    std::vector<double> per_app_p99_latency_ms;
+
+    /// Requests shed by admission control, per app and in total. A
+    /// shed request terminates immediately (observed like a timeout)
+    /// and the closed loop re-issues after the configured shed_retry.
+    std::vector<std::uint64_t> per_app_shed;
+    std::uint64_t shed_requests = 0;
+
+    /// Completed requests whose latency exceeded robust.deadline.
+    std::vector<std::uint64_t> per_app_deadline_misses;
+    std::uint64_t deadline_misses = 0;
+
+    /// DataQueue pushes rejected for lack of space (per-queue detail
+    /// lands in the fault plan's stats / trace).
+    std::uint64_t queue_overflows = 0;
+
+    /// Credit-gate producer stalls and total stalled simulated ticks
+    /// (zero unless robust.backpressure is enabled).
+    std::uint64_t backpressure_stalls = 0;
+    Tick backpressure_stall_ticks = 0;
+
+    /// Peak concurrently in-flight fabric flows (overload depth).
+    std::uint64_t peak_active_flows = 0;
 };
+
+/**
+ * Nearest-rank percentile of @p values (p in (0, 1]); 0 when empty.
+ * Deterministic helper shared by the sys engines and stress tools.
+ */
+double percentileNearestRank(std::vector<double> values, double p);
 
 /**
  * Build and run one system.

@@ -88,6 +88,7 @@ toString(Category c)
       case Category::Device:      return "device";
       case Category::Flow:        return "flow";
       case Category::Drx:         return "drx";
+      case Category::Robust:      return "robust";
       case Category::NumCategories: break;
     }
     return "?";

@@ -69,6 +69,7 @@ enum class Category : std::uint8_t
     Device,      ///< accelerator/DRX unit occupancy
     Flow,        ///< PCIe fabric flows and per-hop spans
     Drx,         ///< DRX machine phases (fetch / execute / DMA)
+    Robust,      ///< overload protection: backpressure, shed, breakers
     NumCategories,
 };
 

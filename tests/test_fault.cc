@@ -332,6 +332,48 @@ TEST(FaultRuntime, RetryBudgetExhaustionSettlesFailed)
     EXPECT_TRUE(ctx.read(out).empty());
 }
 
+TEST(FaultRuntime, FreshCommandOnFailedDeviceFastFails)
+{
+    Platform plat;
+    const DeviceId dev =
+        plat.addAccelerator("a0", accel::Domain::FFT, doubler);
+    fault::FaultPlan plan;
+    for (std::uint64_t n = 0; n < 8; ++n)
+        plan.scriptKernel(n, fault::KernelAction::Fail);
+    plat.setFaultPlan(&plan);
+
+    // Burn the retry budget once so the device trips its unhealthy
+    // threshold and stays down.
+    Context c1 = plat.createContext();
+    const BufferId in1 = c1.createBuffer(Bytes(128, 9));
+    const BufferId out1 = c1.createBuffer();
+    Event e1 = c1.queue(dev).enqueueKernel(in1, out1);
+    c1.finish();
+    ASSERT_EQ(e1.status(), Status::Failed);
+    ASSERT_FALSE(plat.deviceHealthy(dev));
+    const Tick down_at = plat.now();
+    const auto timeouts_before = plat.faultStats(dev).timeouts;
+    const auto attempts_before = plat.faultStats(dev).attempts;
+
+    // A fresh command against the dead device must settle Failed
+    // immediately - at its own enqueue tick - instead of consuming a
+    // full watchdog timeout (the pre-fix behaviour) against hardware
+    // already known to be down.
+    Context c2 = plat.createContext();
+    const BufferId in2 = c2.createBuffer(Bytes(128, 5));
+    const BufferId out2 = c2.createBuffer();
+    Event e2 = c2.queue(dev).enqueueKernel(in2, out2);
+    c2.finish();
+
+    EXPECT_EQ(e2.status(), Status::Failed);
+    EXPECT_EQ(e2.completeTime(), down_at);
+    EXPECT_EQ(e2.retries(), 0u);
+    EXPECT_EQ(plat.faultStats(dev).fast_fails, 1u);
+    // No device attempt and no watchdog were spent on it.
+    EXPECT_EQ(plat.faultStats(dev).attempts, attempts_before);
+    EXPECT_EQ(plat.faultStats(dev).timeouts, timeouts_before);
+}
+
 TEST(FaultRuntime, ErrorCascadesDownInOrderQueue)
 {
     Platform plat;

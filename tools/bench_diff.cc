@@ -5,7 +5,7 @@
  *
  * Usage:
  *   bench_diff <baseline.json> <candidate.json> [--tolerance PCT]
- *              [--perturb PCT]
+ *              [--perturb PCT] [--figure NAME]
  *
  * Each metric present in the baseline is compared against the
  * candidate. Whether a change is a regression depends on the metric's
@@ -14,6 +14,11 @@
  * metrics regress when they shrink. A metric missing from the
  * candidate is always an error. Exit status is 0 when every metric is
  * within tolerance and 1 otherwise, so CI can gate on it directly.
+ *
+ * A file may hold several reports (one {"figure", "metrics"} object
+ * per line, the BENCH_seed.json layout); --figure NAME selects which
+ * one to compare, defaulting to the first. The figure names of the
+ * two selected reports must agree.
  *
  * --perturb PCT is a self-test hook: it scales every candidate metric
  * in the regressing direction by PCT percent before comparing, which
@@ -29,6 +34,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace
 {
@@ -42,10 +48,12 @@ struct Report
 /**
  * Minimal parser for the flat bench-report schema. Not a general JSON
  * parser: it accepts exactly what BenchReport::write() produces plus
- * insignificant whitespace.
+ * insignificant whitespace. A file may concatenate several reports
+ * (one object per line); @p want selects by figure name, "" takes the
+ * first report in the file.
  */
 bool
-parseReport(const std::string &path, Report &out)
+parseReport(const std::string &path, const std::string &want, Report &out)
 {
     std::ifstream in(path);
     if (!in) {
@@ -97,51 +105,66 @@ parseReport(const std::string &path, Report &out)
         return true;
     };
 
-    if (!expect('{'))
-        return false;
-    bool first = true;
     while (true) {
         skipWs();
-        if (pos < text.size() && text[pos] == '}') {
-            ++pos;
-            break;
+        if (pos >= text.size()) {
+            std::fprintf(stderr,
+                         "bench_diff: %s: no report%s%s found\n",
+                         path.c_str(), want.empty() ? "" : " for figure ",
+                         want.c_str());
+            return false;
         }
-        if (!first && !expect(','))
+        Report rep;
+        if (!expect('{'))
             return false;
-        first = false;
-        std::string key;
-        if (!parseString(key) || !expect(':'))
-            return false;
-        if (key == "figure") {
-            if (!parseString(out.figure))
-                return false;
-        } else if (key == "metrics") {
-            if (!expect('{'))
-                return false;
-            bool mfirst = true;
-            while (true) {
-                skipWs();
-                if (pos < text.size() && text[pos] == '}') {
-                    ++pos;
-                    break;
-                }
-                if (!mfirst && !expect(','))
-                    return false;
-                mfirst = false;
-                std::string name;
-                double value = 0;
-                if (!parseString(name) || !expect(':') ||
-                    !parseNumber(value))
-                    return false;
-                out.metrics[name] = value;
+        bool first = true;
+        while (true) {
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                break;
             }
-        } else {
-            std::fprintf(stderr, "bench_diff: %s: unknown key '%s'\n",
-                         path.c_str(), key.c_str());
-            return false;
+            if (!first && !expect(','))
+                return false;
+            first = false;
+            std::string key;
+            if (!parseString(key) || !expect(':'))
+                return false;
+            if (key == "figure") {
+                if (!parseString(rep.figure))
+                    return false;
+            } else if (key == "metrics") {
+                if (!expect('{'))
+                    return false;
+                bool mfirst = true;
+                while (true) {
+                    skipWs();
+                    if (pos < text.size() && text[pos] == '}') {
+                        ++pos;
+                        break;
+                    }
+                    if (!mfirst && !expect(','))
+                        return false;
+                    mfirst = false;
+                    std::string name;
+                    double value = 0;
+                    if (!parseString(name) || !expect(':') ||
+                        !parseNumber(value))
+                        return false;
+                    rep.metrics[name] = value;
+                }
+            } else {
+                std::fprintf(stderr,
+                             "bench_diff: %s: unknown key '%s'\n",
+                             path.c_str(), key.c_str());
+                return false;
+            }
+        }
+        if (want.empty() || rep.figure == want) {
+            out = std::move(rep);
+            return true;
         }
     }
-    return true;
 }
 
 /**
@@ -174,7 +197,7 @@ higherIsBetter(const std::string &name)
 int
 main(int argc, char **argv)
 {
-    std::string base_path, cand_path;
+    std::string base_path, cand_path, figure;
     double tolerance_pct = 5.0;
     double perturb_pct = 0.0;
     for (int i = 1; i < argc; ++i) {
@@ -183,6 +206,9 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--perturb") == 0 &&
                    i + 1 < argc) {
             perturb_pct = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--figure") == 0 &&
+                   i + 1 < argc) {
+            figure = argv[++i];
         } else if (base_path.empty()) {
             base_path = argv[i];
         } else if (cand_path.empty()) {
@@ -196,12 +222,14 @@ main(int argc, char **argv)
     if (base_path.empty() || cand_path.empty()) {
         std::fprintf(stderr,
                      "usage: bench_diff <baseline.json> <candidate.json>"
-                     " [--tolerance PCT] [--perturb PCT]\n");
+                     " [--tolerance PCT] [--perturb PCT]"
+                     " [--figure NAME]\n");
         return 2;
     }
 
     Report base, cand;
-    if (!parseReport(base_path, base) || !parseReport(cand_path, cand))
+    if (!parseReport(base_path, figure, base) ||
+        !parseReport(cand_path, figure, cand))
         return 2;
     if (!base.figure.empty() && !cand.figure.empty() &&
         base.figure != cand.figure) {

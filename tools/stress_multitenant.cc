@@ -15,6 +15,7 @@
  * is 2,4,8,12,16 tenants.
  */
 
+#include <algorithm>
 #include <cstring>
 
 #include "bench/bench_util.hh"
@@ -91,6 +92,13 @@ main(int argc, char **argv)
         double agg_tput = 0;
         for (const TenantStats &ts : mt.tenants)
             agg_tput += ts.throughput_rps;
+        double worst_p99 = 0;
+        std::uint64_t shed = 0, ddl = 0;
+        for (const TenantStats &ts : mt.tenants) {
+            worst_p99 = std::max(worst_p99, ts.p99_latency_ms);
+            shed += ts.shed;
+            ddl += ts.deadline_misses;
+        }
         t.row({std::to_string(k),
                Table::num(mt.aggregate.avg_latency_ms),
                Table::num(agg_tput), Table::num(mt.worstSlowdown()),
@@ -100,20 +108,29 @@ main(int argc, char **argv)
         report.metric("fairness_k" + std::to_string(k), mt.fairness);
         report.metric("worst_slowdown_k" + std::to_string(k),
                       mt.worstSlowdown());
+        report.metric("worst_p99_ms_k" + std::to_string(k), worst_p99);
+        report.metric("shed_k" + std::to_string(k),
+                      static_cast<double>(shed));
+        report.metric("deadline_misses_k" + std::to_string(k),
+                      static_cast<double>(ddl));
     }
     t.print(std::cout);
 
-    // Per-tenant detail for the largest point.
+    // Per-tenant detail for the largest point. Shed and deadline-miss
+    // counters read 0 unless overload protection (MultiTenantConfig::
+    // robust) is switched on; p99 is over completed requests.
     const MultiTenantStats &last = points.back();
     Table d("Per-tenant detail, " + std::to_string(sweep.back()) +
             " tenants");
-    d.header({"tenant", "app", "latency (ms)", "solo (ms)",
-              "slowdown (x)", "tput (rps)"});
+    d.header({"tenant", "app", "latency (ms)", "p99 (ms)", "solo (ms)",
+              "slowdown (x)", "tput (rps)", "shed", "ddl miss"});
     for (std::size_t i = 0; i < last.tenants.size(); ++i) {
         const TenantStats &ts = last.tenants[i];
         d.row({std::to_string(i), ts.app_name, Table::num(ts.latency_ms),
+               Table::num(ts.p99_latency_ms),
                Table::num(ts.solo_latency_ms), Table::num(ts.slowdown()),
-               Table::num(ts.throughput_rps)});
+               Table::num(ts.throughput_rps), std::to_string(ts.shed),
+               std::to_string(ts.deadline_misses)});
     }
     d.print(std::cout);
     return report.write();
