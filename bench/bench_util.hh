@@ -8,8 +8,10 @@
 #ifndef DMX_BENCH_BENCH_UTIL_HH
 #define DMX_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <iostream>
@@ -18,6 +20,7 @@
 
 #include "apps/benchmarks.hh"
 #include "common/table.hh"
+#include "drx/cache.hh"
 #include "exec/scenario.hh"
 #include "sys/system.hh"
 
@@ -35,13 +38,23 @@ namespace dmx::bench
  * hardware concurrency); jobs() feeds the harness's ScenarioRunner so
  * every sweep can fan across threads. Results are committed in
  * submission order, so output is byte-identical at every jobs level.
+ *
+ * `--repeat N` re-runs every runSweep() pass N times (results of the
+ * extra passes are discarded): simulated metrics and stdout stay
+ * byte-identical while repeat workloads exercise the DRX compiled-
+ * kernel cache. write() appends host wall-clock ("wall_" prefix) and
+ * cache hit-rate ("cache_" prefix) metrics to the JSON; both prefixes
+ * are informational to tools/bench_diff (reported, never gated -- wall
+ * time is nondeterministic and cache totals legitimately change with
+ * configuration).
  */
 class BenchReport
 {
   public:
     BenchReport(int argc, char **argv, std::string figure)
         : _figure(std::move(figure)),
-          _jobs(exec::resolveJobs(exec::parseJobsFlag(argc, argv)))
+          _jobs(exec::resolveJobs(exec::parseJobsFlag(argc, argv))),
+          _start(std::chrono::steady_clock::now())
     {
         for (int i = 1; i < argc; ++i) {
             if (std::strcmp(argv[i], "--json") == 0) {
@@ -51,6 +64,14 @@ class BenchReport
                     std::exit(2);
                 }
                 _path = argv[++i];
+            } else if (std::strcmp(argv[i], "--repeat") == 0) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "%s: --repeat needs a count\n",
+                                 argv[0]);
+                    std::exit(2);
+                }
+                const long n = std::strtol(argv[++i], nullptr, 10);
+                _repeat = n > 1 ? static_cast<unsigned>(n) : 1u;
             }
         }
     }
@@ -83,6 +104,26 @@ class BenchReport
             std::fprintf(f, "%s\"%s\":%.17g", i ? "," : "",
                          _names[i].c_str(), _values[i]);
         }
+        // Informational host-side metrics (JSON only; stdout must stay
+        // byte-identical across jobs levels and cache on/off).
+        const char *sep = _names.empty() ? "" : ",";
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - _start)
+                .count();
+        const drx::CacheCounters cc =
+            drx::ProgramCache::globalCounters();
+        std::fprintf(f, "%s\"wall_ms_total\":%.17g", sep, wall_ms);
+        std::fprintf(f, ",\"wall_repeat\":%u", _repeat);
+        std::fprintf(f, ",\"cache_drx_hits\":%llu",
+                     static_cast<unsigned long long>(cc.compile_hits));
+        std::fprintf(f, ",\"cache_drx_misses\":%llu",
+                     static_cast<unsigned long long>(cc.compile_misses));
+        std::fprintf(f, ",\"cache_drx_timing_hits\":%llu",
+                     static_cast<unsigned long long>(cc.timing_hits));
+        std::fprintf(f, ",\"cache_drx_evictions\":%llu",
+                     static_cast<unsigned long long>(cc.evictions));
+        std::fprintf(f, ",\"cache_drx_hit_rate\":%.17g", cc.hitRate());
         std::fprintf(f, "}}\n");
         std::fclose(f);
         return 0;
@@ -91,10 +132,15 @@ class BenchReport
     /** Worker count resolved from --jobs / DMX_JOBS / the hardware. */
     unsigned jobs() const { return _jobs; }
 
+    /** Sweep repetition count from --repeat (default 1). */
+    unsigned repeat() const { return _repeat; }
+
   private:
     std::string _figure;
     std::string _path;
     unsigned _jobs = 1;
+    unsigned _repeat = 1;
+    std::chrono::steady_clock::time_point _start;
     std::vector<std::string> _names;
     std::vector<double> _values;
 };
@@ -110,6 +156,16 @@ template <typename T>
 inline std::vector<T>
 runSweep(const BenchReport &report, std::vector<std::function<T()>> thunks)
 {
+    // --repeat N: passes 1..N-1 run copies of the thunks and discard
+    // their results. Thunks are self-contained and deterministic (the
+    // parallel-sweep contract), so the extra passes cannot change the
+    // reported pass; they exist to measure repeat-workload wall-clock
+    // (compiled-kernel cache warm vs cold).
+    for (unsigned r = 1; r < report.repeat(); ++r) {
+        exec::ScenarioRunner warm(report.jobs());
+        std::vector<std::function<T()>> copy = thunks;
+        warm.run<T>(std::move(copy));
+    }
     exec::ScenarioRunner runner(report.jobs());
     return runner.run<T>(std::move(thunks));
 }

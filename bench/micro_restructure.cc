@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "common/random.hh"
+#include "drx/cache.hh"
 #include "drx/compiler.hh"
 #include "restructure/catalog.hh"
 #include "restructure/cpu_exec.hh"
@@ -87,9 +88,42 @@ BM_DrxSimulator(benchmark::State &state)
     state.SetLabel(kernel.name);
 }
 
+/**
+ * The same timing-only workload through the compiled-kernel cache: one
+ * machine, the plan compiled once and the shape-deterministic kernels'
+ * timing replayed from the memo. The sim_cycles counter must match
+ * BM_DrxSimulator exactly.
+ */
+void
+BM_DrxSimulatorCached(benchmark::State &state)
+{
+    const auto kernel = kernelByIndex(static_cast<int>(state.range(0)));
+    const auto input = inputFor(kernel, 7);
+    drx::ProgramCache cache;
+    drx::DrxMachine machine;
+    drx::RunResult last{};
+    for (auto _ : state) {
+        machine.resetAlloc();
+        last = drx::runKernelOnDrxCached(kernel, input, machine,
+                                         nullptr, 0, &cache);
+        benchmark::DoNotOptimize(last.total_cycles);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(input.size()));
+    state.counters["sim_cycles"] =
+        static_cast<double>(last.total_cycles);
+    state.counters["cache_hits"] =
+        static_cast<double>(cache.counters().compile_hits);
+    state.SetLabel(kernel.name);
+}
+
 } // namespace
 
 BENCHMARK(BM_CpuExecutor)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DrxSimulator)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DrxSimulatorCached)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -32,9 +32,44 @@ pickTile(std::size_t n, std::size_t cap)
     return 1;
 }
 
-/** Upload a vector of u32 as an I32 constant buffer. */
+/**
+ * The plan-phase allocation sink: mirrors DrxMachine's 64-byte-aligned
+ * bump allocator exactly (so a plan installed at allocator position 0
+ * lands on the same addresses compileKernel used to produce), but
+ * records constants as serialized segments instead of writing device
+ * DRAM. Keeping the lowering functions on this sink is what makes
+ * planKernel a pure function of (kernel, config).
+ */
+struct PlanSink
+{
+    const DrxConfig &cfg;
+    CompiledKernel &out;
+    std::uint64_t brk = 0;
+
+    std::uint64_t
+    alloc(std::uint64_t bytes)
+    {
+        const std::uint64_t base = (brk + 63) & ~63ull;
+        if (base + bytes > cfg.dram_bytes)
+            dmx_fatal("DrxMachine::alloc: out of device DRAM "
+                      "(%llu requested at %llu of %zu)",
+                      static_cast<unsigned long long>(bytes),
+                      static_cast<unsigned long long>(base),
+                      static_cast<std::size_t>(cfg.dram_bytes));
+        brk = base + bytes;
+        return base;
+    }
+
+    void
+    place(std::uint64_t addr, std::vector<std::uint8_t> raw)
+    {
+        out.consts.push_back(ConstSegment{addr, std::move(raw)});
+    }
+};
+
+/** Plan a vector of u32 as an I32 constant buffer. */
 std::uint64_t
-placeIndices(DrxMachine &m, const std::vector<std::uint32_t> &idx)
+placeIndices(PlanSink &m, const std::vector<std::uint32_t> &idx)
 {
     const std::uint64_t addr = m.alloc(idx.size() * 4);
     std::vector<std::uint8_t> raw(idx.size() * 4);
@@ -42,17 +77,18 @@ placeIndices(DrxMachine &m, const std::vector<std::uint32_t> &idx)
         std::int32_t v = static_cast<std::int32_t>(idx[i]);
         std::memcpy(&raw[i * 4], &v, 4);
     }
-    m.write(addr, raw.data(), raw.size());
+    m.place(addr, std::move(raw));
     return addr;
 }
 
-/** Upload floats as an F32 constant buffer. */
+/** Plan floats as an F32 constant buffer. */
 std::uint64_t
-placeFloats(DrxMachine &m, const std::vector<float> &w)
+placeFloats(PlanSink &m, const std::vector<float> &w)
 {
     const std::uint64_t addr = m.alloc(w.size() * 4);
-    m.write(addr, reinterpret_cast<const std::uint8_t *>(w.data()),
-            w.size() * 4);
+    std::vector<std::uint8_t> raw(w.size() * 4);
+    std::memcpy(raw.data(), w.data(), raw.size());
+    m.place(addr, std::move(raw));
     return addr;
 }
 
@@ -279,7 +315,7 @@ lowerGather(const std::string &name, const BufferDesc &in,
 
 /** MatVec: banded when the weight rows are narrow, dense otherwise. */
 Program
-lowerMatVec(const Stage &st, const BufferDesc &in, DrxMachine &m,
+lowerMatVec(const Stage &st, const BufferDesc &in, PlanSink &m,
             std::uint64_t in_addr, std::uint64_t out_addr)
 {
     const std::size_t rows = in.rows();
@@ -335,7 +371,7 @@ lowerMatVec(const Stage &st, const BufferDesc &in, DrxMachine &m,
         const bool bank_fits =
             bank_floats <= max_tile_elems &&
             (3 * bank_floats + mat_rows) * sizeof(float) <=
-                m.config().scratch_bytes;
+                m.cfg.scratch_bytes;
         if (bank_fits) {
             // Row-batched lowering: the whole packed filter bank fits a
             // tile, so one iteration per input row computes every
@@ -534,12 +570,21 @@ isElementwise(const Stage &st)
 } // namespace
 
 CompiledKernel
-compileKernel(const Kernel &kernel, DrxMachine &machine)
+planKernel(const Kernel &kernel, const DrxConfig &cfg)
 {
     CompiledKernel out;
+    PlanSink machine{cfg, out};
     out.in_desc = kernel.input;
     out.out_desc = kernel.output();
     out.input_addr = machine.alloc(kernel.input.bytes());
+
+    const auto finalize = [&]() -> CompiledKernel & {
+        out.dram_bytes = machine.brk;
+        out.shape_deterministic = true;
+        for (const Program &p : out.programs)
+            out.shape_deterministic &= shapeDeterministic(p);
+        return out;
+    };
 
     // Fusion: the Transpose+Reduce collective idiom.
     if (kernel.stages.size() == 2 &&
@@ -549,7 +594,7 @@ compileKernel(const Kernel &kernel, DrxMachine &machine)
         out.output_addr = machine.alloc(out.out_desc.bytes());
         out.programs.push_back(
             lowerFusedSum(kernel.input, out.input_addr, out.output_addr));
-        return out;
+        return finalize();
     }
 
     std::uint64_t cur_addr = out.input_addr;
@@ -658,7 +703,98 @@ compileKernel(const Kernel &kernel, DrxMachine &machine)
         si = sj;
     }
     out.output_addr = cur_addr;
-    return out;
+    return finalize();
+}
+
+bool
+shapeDeterministic(const Program &program)
+{
+    for (const Instruction &ins : program.code) {
+        switch (ins.op) {
+          case Opcode::CfgLoop:
+          case Opcode::CfgStream:
+          case Opcode::Sync:
+          case Opcode::Halt:
+          // Load/Store addresses come from stream strides and loop
+          // indices; Compute lengths come from tile sizes. All shape.
+          case Opcode::Load:
+          case Opcode::Store:
+          case Opcode::Compute:
+            break;
+          // Gather reads index *values* out of DRAM: its addresses,
+          // run coalescing and therefore mem cycles depend on data
+          // bytes. Conservatively non-memoizable (as is anything the
+          // classifier does not recognize).
+          case Opcode::Gather:
+          default:
+            return false;
+        }
+    }
+    return true;
+}
+
+std::shared_ptr<const CompiledKernel>
+installPlan(std::shared_ptr<const CompiledKernel> plan, DrxMachine &machine)
+{
+    // One reservation covers the whole plan: the plan's internal
+    // allocations replay the same 64-byte-aligned bump arithmetic, so
+    // reserving the footprint in one step leaves the machine allocator
+    // exactly where the legacy interleaved compile left it.
+    const std::uint64_t base = machine.alloc(plan->dram_bytes);
+    if (base == 0) {
+        for (const ConstSegment &seg : plan->consts)
+            machine.write(seg.addr, seg.bytes.data(), seg.bytes.size());
+        return plan;
+    }
+    // Rebase: alignment is additive for 64-byte-aligned bases, so
+    // shifting every address by the reservation base reproduces what
+    // an interleaved compile at this allocator position would emit.
+    auto rb = std::make_shared<CompiledKernel>(*plan);
+    rb->input_addr += base;
+    rb->output_addr += base;
+    for (ConstSegment &seg : rb->consts)
+        seg.addr += base;
+    for (Program &prog : rb->programs) {
+        for (Instruction &ins : prog.code) {
+            if (ins.op == Opcode::CfgStream)
+                ins.base += base;
+        }
+    }
+    for (const ConstSegment &seg : rb->consts)
+        machine.write(seg.addr, seg.bytes.data(), seg.bytes.size());
+    return rb;
+}
+
+CompiledKernel
+compileKernel(const Kernel &kernel, DrxMachine &machine)
+{
+    auto plan = std::make_shared<const CompiledKernel>(
+        planKernel(kernel, machine.config()));
+    return *installPlan(std::move(plan), machine);
+}
+
+RunResult
+runPlanOnDrx(const std::string &name, const CompiledKernel &plan,
+             const restructure::Bytes &input, DrxMachine &machine,
+             restructure::Bytes *out, Tick trace_base)
+{
+    if (input.size() != plan.in_desc.bytes())
+        dmx_fatal("runKernelOnDrx('%s'): input is %zu bytes, expected %zu",
+                  name.c_str(), input.size(), plan.in_desc.bytes());
+    machine.write(plan.input_addr, input.data(), input.size());
+    RunResult res;
+    Tick stage_base = trace_base;
+    for (const Program &p : plan.programs) {
+        const RunResult stage = machine.run(p, stage_base);
+        stage_base += stage.time(machine.config().freq_hz);
+        res += stage;
+        if (res.faulted)
+            break; // the machine trapped; later stages never start
+    }
+    if (out && !res.faulted) {
+        *out = machine.read(plan.output_addr, plan.out_desc.bytes());
+    }
+    return res;
 }
 
 RunResult
@@ -670,21 +806,8 @@ runKernelOnDrx(const Kernel &kernel, const restructure::Bytes &input,
         dmx_fatal("runKernelOnDrx('%s'): input is %zu bytes, expected %zu",
                   kernel.name.c_str(), input.size(), kernel.input.bytes());
     const CompiledKernel compiled = compileKernel(kernel, machine);
-    machine.write(compiled.input_addr, input.data(), input.size());
-    RunResult res;
-    Tick stage_base = trace_base;
-    for (const Program &p : compiled.programs) {
-        const RunResult stage = machine.run(p, stage_base);
-        stage_base += stage.time(machine.config().freq_hz);
-        res += stage;
-        if (res.faulted)
-            break; // the machine trapped; later stages never start
-    }
-    if (out && !res.faulted) {
-        *out = machine.read(compiled.output_addr,
-                            compiled.out_desc.bytes());
-    }
-    return res;
+    return runPlanOnDrx(kernel.name, compiled, input, machine, out,
+                        trace_base);
 }
 
 } // namespace dmx::drx

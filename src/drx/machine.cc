@@ -134,28 +134,83 @@ DrxMachine::checkScratch(const std::vector<std::vector<float>> &regs) const
                   static_cast<unsigned long long>(budget));
 }
 
+bool
+DrxMachine::faultTrap(Tick trace_base, RunResult &res)
+{
+    if (!_fault_hook || _fault_hook() != fault::MachineAction::Fault)
+        return false;
+    // The machine trapped before committing any output. Charge a
+    // small fixed trap-and-report cost; recovery (retry, or CPU
+    // fallback once the device is marked unhealthy) is the
+    // runtime's responsibility.
+    ++_faults;
+    res = RunResult{};
+    res.faulted = true;
+    res.total_cycles = machine_fault_trap_cycles;
+    if (auto *tb = trace::active()) {
+        const ClockDomain clk{_cfg.freq_hz};
+        tb->span(trace::Category::Drx, "trap", "drx", trace_base,
+                 trace_base + clk.cyclesToTicks(res.total_cycles),
+                 res.total_cycles);
+        tb->count("drx.faults", trace_base);
+    }
+    return true;
+}
+
+void
+DrxMachine::emitRunTrace(const Program &program, const RunResult &res,
+                         Tick trace_base) const
+{
+    auto *tb = trace::active();
+    if (!tb)
+        return;
+    const ClockDomain clk{_cfg.freq_hz};
+    // Decoupled access/execute: fill, then the Restructuring Engines
+    // and the Off-chip engine run (overlapped when double-buffered,
+    // back to back otherwise).
+    constexpr Cycles startup = 64;
+    const Tick fill_end = trace_base + clk.cyclesToTicks(startup);
+    const Tick exec_end =
+        fill_end + clk.cyclesToTicks(res.compute_cycles);
+    const Tick mem_begin = _cfg.double_buffer ? fill_end : exec_end;
+    tb->span(trace::Category::Drx, program.name, "drx", trace_base,
+             trace_base + clk.cyclesToTicks(res.total_cycles),
+             res.dyn_instructions);
+    tb->span(trace::Category::Drx, "fill", "drx.pipe", trace_base,
+             fill_end, startup);
+    tb->span(trace::Category::Drx, "execute", "drx.pipe", fill_end,
+             exec_end, res.compute_cycles);
+    tb->span(trace::Category::Drx, "dma", "drx.mem", mem_begin,
+             mem_begin + clk.cyclesToTicks(res.mem_cycles),
+             res.mem_cycles);
+    tb->count("drx.instructions", trace_base,
+              static_cast<double>(res.dyn_instructions));
+    tb->count("drx.bytes_read", trace_base,
+              static_cast<double>(res.bytes_read));
+    tb->count("drx.bytes_written", trace_base,
+              static_cast<double>(res.bytes_written));
+}
+
+RunResult
+DrxMachine::replayRun(const Program &program, const RunResult &memo,
+                      Tick trace_base)
+{
+    RunResult res;
+    if (faultTrap(trace_base, res))
+        return res;
+    emitRunTrace(program, memo, trace_base);
+    return memo;
+}
+
 RunResult
 DrxMachine::run(const Program &program, Tick trace_base)
 {
     program.validate();
 
-    const ClockDomain clk{_cfg.freq_hz};
-    if (_fault_hook && _fault_hook() == fault::MachineAction::Fault) {
-        // The machine trapped before committing any output. Charge a
-        // small fixed trap-and-report cost; recovery (retry, or CPU
-        // fallback once the device is marked unhealthy) is the
-        // runtime's responsibility.
-        ++_faults;
-        RunResult res;
-        res.faulted = true;
-        res.total_cycles = machine_fault_trap_cycles;
-        if (auto *tb = trace::active()) {
-            tb->span(trace::Category::Drx, "trap", "drx", trace_base,
-                     trace_base + clk.cyclesToTicks(res.total_cycles),
-                     res.total_cycles);
-            tb->count("drx.faults", trace_base);
-        }
-        return res;
+    {
+        RunResult trap;
+        if (faultTrap(trace_base, trap))
+            return trap;
     }
 
     // Decode configuration section.
@@ -181,7 +236,14 @@ DrxMachine::run(const Program &program, Tick trace_base)
     if (program.bodySize() * 4 > _cfg.icache_bytes)
         dmx_fatal("DrxMachine: program body exceeds the instruction cache");
 
-    std::vector<std::vector<float>> regs(max_regs);
+    // Interpreter arena: reuse the register file across runs (registers
+    // start empty, matching a freshly constructed file).
+    if (_regs.size() != max_regs)
+        _regs.resize(max_regs);
+    for (auto &r : _regs)
+        r.clear();
+    auto &regs = _regs;
+
     RunResult res;
     // Configuration instructions issue once each.
     res.compute_cycles += body_begin + 1;
@@ -193,6 +255,45 @@ DrxMachine::run(const Program &program, Tick trace_base)
             dmx_fatal("DrxMachine: stream %u used but not configured", id);
         return s;
     };
+
+    // Decode the body once: resolve each instruction's placement gate
+    // and stream operand instead of re-deriving them on every iteration
+    // of the Instruction Repeater nest.
+    _uops.clear();
+    _uops.reserve(body_end - body_begin);
+    const bool body_runs = iters[0] && iters[1] && iters[2];
+    for (std::size_t pc = body_runs ? body_begin : body_end;
+         pc < body_end; ++pc) {
+        const Instruction &ins = program.code[pc];
+        MicroOp u;
+        u.ins = &ins;
+        for (unsigned d = ins.depth + 1; d < max_loop_dims; ++d) {
+            // A gate of iters[d]-1 (post) or 0 (pre); iters >= 1, so
+            // the gate value is always reachable and ~0u stays free as
+            // the "no gate" sentinel.
+            const std::uint32_t want = ins.post ? iters[d] - 1 : 0;
+            (d == 1 ? u.want1 : u.want2) = want;
+        }
+        switch (ins.op) {
+          case Opcode::Load:
+          case Opcode::Store:
+          case Opcode::Gather: {
+            StreamState &s = stream_ref(ins.stream);
+            u.stream = &s;
+            u.esz = static_cast<std::uint32_t>(dtypeSize(s.cfg.dtype));
+            if (ins.op != Opcode::Gather) {
+                u.run_len = s.cfg.run_len ? s.cfg.run_len : s.cfg.tile;
+                u.groups = s.cfg.tile / u.run_len;
+            }
+            break;
+          }
+          case Opcode::Compute:
+            break;
+          default:
+            dmx_panic("DrxMachine: unexpected opcode in body");
+        }
+        _uops.push_back(u);
+    }
 
     auto elem_offset = [&](const StreamState &s, const std::uint32_t idx[3])
         -> std::int64_t {
@@ -210,30 +311,21 @@ DrxMachine::run(const Program &program, Tick trace_base)
                     // Software loops: compare/branch/address updates.
                     res.compute_cycles += 8;
                 }
-                for (std::size_t pc = body_begin; pc < body_end; ++pc) {
-                    const Instruction &ins = program.code[pc];
-                    // Pre/post placement check.
-                    bool run_now = true;
-                    for (unsigned d = ins.depth + 1; d < max_loop_dims;
-                         ++d) {
-                        const std::uint32_t want =
-                            ins.post ? iters[d] - 1 : 0;
-                        if (idx[d] != want)
-                            run_now = false;
-                    }
-                    if (!run_now)
+                for (const MicroOp &u : _uops) {
+                    // Pre/post placement gate (decoded).
+                    if ((u.want1 != ~0u && idx[1] != u.want1) ||
+                        (u.want2 != ~0u && idx[2] != u.want2))
                         continue;
+                    const Instruction &ins = *u.ins;
                     ++res.dyn_instructions;
 
                     switch (ins.op) {
                       case Opcode::Load: {
-                        StreamState &s = stream_ref(ins.stream);
-                        const std::size_t esz = dtypeSize(s.cfg.dtype);
+                        StreamState &s = *u.stream;
+                        const std::size_t esz = u.esz;
                         const std::int64_t off = elem_offset(s, idx);
-                        const std::uint32_t run_len =
-                            s.cfg.run_len ? s.cfg.run_len : s.cfg.tile;
-                        const std::uint32_t groups =
-                            s.cfg.tile / run_len;
+                        const std::uint32_t run_len = u.run_len;
+                        const std::uint32_t groups = u.groups;
                         auto &reg = regs[ins.reg];
                         reg.resize(s.cfg.tile);
                         for (std::uint32_t g = 0; g < groups; ++g) {
@@ -251,10 +343,19 @@ DrxMachine::run(const Program &program, Tick trace_base)
                                 dmx_fatal("DrxMachine: load out of range "
                                           "(program '%s')",
                                           program.name.c_str());
-                            for (std::uint32_t e = 0; e < run_len; ++e)
-                                reg[g * run_len + e] = loadAsFloat(
-                                    _dram.data() + addr + e * esz,
-                                    s.cfg.dtype);
+                            if (s.cfg.dtype == DType::F32) {
+                                // loadAsFloat(F32) is a 4-byte memcpy;
+                                // the run is contiguous, so one bulk
+                                // copy is bit-identical.
+                                std::memcpy(reg.data() + g * run_len,
+                                            _dram.data() + addr, bytes);
+                            } else {
+                                for (std::uint32_t e = 0; e < run_len;
+                                     ++e)
+                                    reg[g * run_len + e] = loadAsFloat(
+                                        _dram.data() + addr + e * esz,
+                                        s.cfg.dtype);
+                            }
                             res.mem_cycles += memCost(s, addr, bytes);
                             res.bytes_read += bytes;
                         }
@@ -263,8 +364,8 @@ DrxMachine::run(const Program &program, Tick trace_base)
                         break;
                       }
                       case Opcode::Store: {
-                        StreamState &s = stream_ref(ins.stream);
-                        const std::size_t esz = dtypeSize(s.cfg.dtype);
+                        StreamState &s = *u.stream;
+                        const std::size_t esz = u.esz;
                         const std::int64_t off = elem_offset(s, idx);
                         const auto &reg = regs[ins.reg];
                         if (reg.size() != s.cfg.tile)
@@ -272,10 +373,8 @@ DrxMachine::run(const Program &program, Tick trace_base)
                                       "(reg %zu vs tile %u, program '%s')",
                                       reg.size(), s.cfg.tile,
                                       program.name.c_str());
-                        const std::uint32_t run_len =
-                            s.cfg.run_len ? s.cfg.run_len : s.cfg.tile;
-                        const std::uint32_t groups =
-                            s.cfg.tile / run_len;
+                        const std::uint32_t run_len = u.run_len;
+                        const std::uint32_t groups = u.groups;
                         for (std::uint32_t g = 0; g < groups; ++g) {
                             const std::int64_t goff =
                                 off + (s.cfg.run_len
@@ -291,10 +390,20 @@ DrxMachine::run(const Program &program, Tick trace_base)
                                 dmx_fatal("DrxMachine: store out of "
                                           "range (program '%s')",
                                           program.name.c_str());
-                            for (std::uint32_t e = 0; e < run_len; ++e)
-                                storeFromFloat(
-                                    _dram.data() + addr + e * esz,
-                                    s.cfg.dtype, reg[g * run_len + e]);
+                            if (s.cfg.dtype == DType::F32) {
+                                // storeFromFloat(F32) is a 4-byte
+                                // memcpy; bulk-copy the whole run.
+                                std::memcpy(_dram.data() + addr,
+                                            reg.data() + g * run_len,
+                                            bytes);
+                            } else {
+                                for (std::uint32_t e = 0; e < run_len;
+                                     ++e)
+                                    storeFromFloat(
+                                        _dram.data() + addr + e * esz,
+                                        s.cfg.dtype,
+                                        reg[g * run_len + e]);
+                            }
                             res.mem_cycles += memCost(s, addr, bytes);
                             res.bytes_written += bytes;
                         }
@@ -302,8 +411,8 @@ DrxMachine::run(const Program &program, Tick trace_base)
                         break;
                       }
                       case Opcode::Gather: {
-                        StreamState &s = stream_ref(ins.stream);
-                        const std::size_t esz = dtypeSize(s.cfg.dtype);
+                        StreamState &s = *u.stream;
+                        const std::size_t esz = u.esz;
                         const std::int64_t off = elem_offset(s, idx);
                         const auto &idx_reg = regs[ins.src_b];
                         auto &dst = regs[ins.dst];
@@ -441,17 +550,17 @@ DrxMachine::run(const Program &program, Tick trace_base)
                           case VFunc::Mul: case VFunc::Max:
                           case VFunc::Min: {
                             need_ab(true);
-                            std::vector<float> out(a.size());
+                            _tmp.resize(a.size());
                             for (std::size_t e = 0; e < a.size(); ++e) {
                                 const float x = a[e], y = b[e];
-                                out[e] = fn == VFunc::Add ? x + y
-                                       : fn == VFunc::Sub ? x - y
-                                       : fn == VFunc::Mul ? x * y
-                                       : fn == VFunc::Max
-                                             ? std::max(x, y)
-                                             : std::min(x, y);
+                                _tmp[e] = fn == VFunc::Add ? x + y
+                                        : fn == VFunc::Sub ? x - y
+                                        : fn == VFunc::Mul ? x * y
+                                        : fn == VFunc::Max
+                                              ? std::max(x, y)
+                                              : std::min(x, y);
                             }
-                            dst = std::move(out);
+                            std::swap(dst, _tmp);
                             break;
                           }
                           case VFunc::Mac: {
@@ -469,35 +578,37 @@ DrxMachine::run(const Program &program, Tick trace_base)
                           case VFunc::Abs: case VFunc::Sqrt:
                           case VFunc::Log1p: case VFunc::Exp:
                           case VFunc::Copy: {
-                            std::vector<float> out(a.size());
+                            _tmp.resize(a.size());
                             for (std::size_t e = 0; e < a.size(); ++e) {
                                 const float x = a[e];
                                 switch (fn) {
                                   case VFunc::AddS:
-                                    out[e] = x + ins.imm; break;
+                                    _tmp[e] = x + ins.imm; break;
                                   case VFunc::MulS:
-                                    out[e] = x * ins.imm; break;
+                                    _tmp[e] = x * ins.imm; break;
                                   case VFunc::MaxS:
-                                    out[e] = std::max(x, ins.imm); break;
+                                    _tmp[e] = std::max(x, ins.imm);
+                                    break;
                                   case VFunc::MinS:
-                                    out[e] = std::min(x, ins.imm); break;
+                                    _tmp[e] = std::min(x, ins.imm);
+                                    break;
                                   case VFunc::Abs:
-                                    out[e] = std::fabs(x); break;
+                                    _tmp[e] = std::fabs(x); break;
                                   case VFunc::Sqrt:
-                                    out[e] = std::sqrt(
+                                    _tmp[e] = std::sqrt(
                                         std::max(x, 0.0f));
                                     break;
                                   case VFunc::Log1p:
-                                    out[e] = std::log1p(
+                                    _tmp[e] = std::log1p(
                                         std::max(x, 0.0f));
                                     break;
                                   case VFunc::Exp:
-                                    out[e] = std::exp(x); break;
+                                    _tmp[e] = std::exp(x); break;
                                   default:
-                                    out[e] = x; break;
+                                    _tmp[e] = x; break;
                                 }
                             }
-                            dst = std::move(out);
+                            std::swap(dst, _tmp);
                             break;
                           }
                           case VFunc::RedSum: {
@@ -518,11 +629,11 @@ DrxMachine::run(const Program &program, Tick trace_base)
                                 dmx_fatal("DrxMachine: transb shape "
                                           "mismatch in '%s'",
                                           program.name.c_str());
-                            std::vector<float> out(a.size());
+                            _tmp.resize(a.size());
                             for (std::size_t y = 0; y < r; ++y)
                                 for (std::size_t x = 0; x < c; ++x)
-                                    out[x * r + y] = a[y * c + x];
-                            dst = std::move(out);
+                                    _tmp[x * r + y] = a[y * c + x];
+                            std::swap(dst, _tmp);
                             break;
                           }
                           case VFunc::DeintEven:
@@ -534,10 +645,10 @@ DrxMachine::run(const Program &program, Tick trace_base)
                             const std::size_t half = a.size() / 2;
                             const std::size_t base =
                                 fn == VFunc::DeintOdd ? 1 : 0;
-                            std::vector<float> out(half);
+                            _tmp.resize(half);
                             for (std::size_t e = 0; e < half; ++e)
-                                out[e] = a[2 * e + base];
-                            dst = std::move(out);
+                                _tmp[e] = a[2 * e + base];
+                            std::swap(dst, _tmp);
                             cost_len = half;
                             break;
                           }
@@ -548,15 +659,15 @@ DrxMachine::run(const Program &program, Tick trace_base)
                                           "does not divide %zu in '%s'",
                                           ins.count, a.size(),
                                           program.name.c_str());
-                            std::vector<float> out(a.size() / seg);
-                            for (std::size_t s2 = 0; s2 < out.size();
+                            _tmp.resize(a.size() / seg);
+                            for (std::size_t s2 = 0; s2 < _tmp.size();
                                  ++s2) {
                                 float acc = 0.0f;
                                 for (std::size_t e = 0; e < seg; ++e)
                                     acc += a[s2 * seg + e];
-                                out[s2] = acc;
+                                _tmp[s2] = acc;
                             }
-                            dst = std::move(out);
+                            std::swap(dst, _tmp);
                             break;
                           }
                           case VFunc::Reset:
@@ -586,31 +697,7 @@ DrxMachine::run(const Program &program, Tick trace_base)
              : res.compute_cycles + res.mem_cycles) +
         startup;
 
-    if (auto *tb = trace::active()) {
-        // Decoupled access/execute: fill, then the Restructuring Engines
-        // and the Off-chip engine run (overlapped when double-buffered,
-        // back to back otherwise).
-        const Tick fill_end = trace_base + clk.cyclesToTicks(startup);
-        const Tick exec_end =
-            fill_end + clk.cyclesToTicks(res.compute_cycles);
-        const Tick mem_begin = _cfg.double_buffer ? fill_end : exec_end;
-        tb->span(trace::Category::Drx, program.name, "drx", trace_base,
-                 trace_base + clk.cyclesToTicks(res.total_cycles),
-                 res.dyn_instructions);
-        tb->span(trace::Category::Drx, "fill", "drx.pipe", trace_base,
-                 fill_end, startup);
-        tb->span(trace::Category::Drx, "execute", "drx.pipe", fill_end,
-                 exec_end, res.compute_cycles);
-        tb->span(trace::Category::Drx, "dma", "drx.mem", mem_begin,
-                 mem_begin + clk.cyclesToTicks(res.mem_cycles),
-                 res.mem_cycles);
-        tb->count("drx.instructions", trace_base,
-                  static_cast<double>(res.dyn_instructions));
-        tb->count("drx.bytes_read", trace_base,
-                  static_cast<double>(res.bytes_read));
-        tb->count("drx.bytes_written", trace_base,
-                  static_cast<double>(res.bytes_written));
-    }
+    emitRunTrace(program, res, trace_base);
     return res;
 }
 

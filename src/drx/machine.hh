@@ -133,6 +133,22 @@ class DrxMachine
     RunResult run(const Program &program, Tick trace_base = 0);
 
     /**
+     * Timing-memoization fast path: charge a previously measured
+     * @p memo for @p program without re-interpreting it.
+     *
+     * Behaves exactly like run() for everything observable outside the
+     * machine's DRAM: the fault hook is consulted (and a Fault traps
+     * with the same cost and trace records), and on the happy path the
+     * same trace spans and counters are emitted before @p memo is
+     * returned. Only valid when @p memo was recorded by run() of the
+     * same program on a machine of the same configuration and the
+     * program is shape-deterministic (see drx::shapeDeterministic);
+     * drx::ProgramCache enforces both. Device DRAM is not touched.
+     */
+    RunResult replayRun(const Program &program, const RunResult &memo,
+                        Tick trace_base = 0);
+
+    /**
      * Install (or clear, with nullptr) the fault-injection hook
      * consulted at the start of every program run. A Fault decision
      * aborts the run after the trap cost, with result.faulted set.
@@ -150,6 +166,24 @@ class DrxMachine
         std::uint64_t next_seq_addr = ~0ull; ///< sequential detector
     };
 
+    /**
+     * One decoded body instruction: the pre/post placement gate and
+     * the stream operand are resolved once per run instead of on every
+     * iteration of the Instruction Repeater nest.
+     */
+    struct MicroOp
+    {
+        const Instruction *ins = nullptr;
+        /// Placement gates for loop dims 1/2: the op runs only when
+        /// idx[d] matches (any_index disables the gate for that dim).
+        std::uint32_t want1 = ~0u;
+        std::uint32_t want2 = ~0u;
+        StreamState *stream = nullptr; ///< Load/Store/Gather operand
+        std::uint32_t esz = 0;         ///< stream element size (bytes)
+        std::uint32_t run_len = 0;     ///< Load/Store run length
+        std::uint32_t groups = 0;      ///< Load/Store runs per tile
+    };
+
     /** Charge a DRAM access of @p bytes starting at @p addr. */
     Cycles memCost(StreamState &s, std::uint64_t addr,
                    std::uint64_t bytes) const;
@@ -160,11 +194,28 @@ class DrxMachine
     /** Check live scratchpad usage after a register grows. */
     void checkScratch(const std::vector<std::vector<float>> &regs) const;
 
+    /**
+     * Consult the fault hook; on a Fault decision fill @p res with the
+     * trap result (cost charged, trace recorded) and return true.
+     */
+    bool faultTrap(Tick trace_base, RunResult &res);
+
+    /** Emit the per-run trace spans and counters for @p res. */
+    void emitRunTrace(const Program &program, const RunResult &res,
+                      Tick trace_base) const;
+
     DrxConfig _cfg;
     fault::MachineHook _fault_hook;
     std::uint64_t _faults = 0;
     std::vector<std::uint8_t> _dram;
     std::uint64_t _brk = 0;
+
+    // Interpreter scratch arena: the register file, the vector-op
+    // temporary and the decoded micro-op buffer are reused across
+    // run() calls so steady-state interpretation never allocates.
+    std::vector<std::vector<float>> _regs;
+    std::vector<float> _tmp;
+    std::vector<MicroOp> _uops;
 };
 
 } // namespace dmx::drx

@@ -483,6 +483,8 @@ Platform::Platform()
         _host_params.max_job_cores);
     _irq = std::make_unique<driver::InterruptController>(
         _eq, "runtime.irq", driver::InterruptParams{}, _host.get());
+    _drx_cache =
+        std::make_unique<drx::ProgramCache>(_config.drx_cache);
 }
 
 Platform::~Platform() = default;
@@ -596,6 +598,13 @@ Platform::setCommandPolicy(const CommandPolicy &policy)
     _policy = policy;
     if (_plan && _policy.timeout == 0)
         _policy.timeout = default_fault_timeout;
+}
+
+void
+Platform::setPlatformConfig(const PlatformConfig &cfg)
+{
+    _config = cfg;
+    _drx_cache->setConfig(cfg.drx_cache);
 }
 
 void
@@ -767,14 +776,31 @@ CommandQueue::enqueueRestructure(const restructure::Kernel &kernel,
     // the command reaches the head of the queue.
     auto kcopy = std::make_shared<restructure::Kernel>(kernel);
 
-    auto work = [ctx, device, in, out, kcopy](
+    // Plan once, at enqueue time, through the platform's compiled-
+    // kernel cache. Every attempt of this command -- and every later
+    // command with the same kernel structure -- reuses the plan;
+    // previously each retry recompiled the kernel from scratch.
+    std::shared_ptr<const drx::CompiledKernel> plan;
+    if (plat.platformConfig().drx_cache.enabled) {
+        plan = plat.drxCache()
+                   .lookup(kernel, dev.machine->config(), plat.now())
+                   .compiled;
+    } else {
+        plan = std::make_shared<const drx::CompiledKernel>(
+            drx::planKernel(kernel, dev.machine->config()));
+    }
+
+    auto work = [ctx, device, in, out, kcopy, plan](
                     CommandEngine::AttemptResult done) {
         Platform &p = ctx->platform();
         Platform::Device &d = p._devices[device];
         d.machine->resetAlloc();
+        const std::shared_ptr<const drx::CompiledKernel> installed =
+            drx::installPlan(plan, *d.machine);
         auto result = std::make_shared<restructure::Bytes>();
-        const drx::RunResult res = drx::runKernelOnDrx(
-            *kcopy, ctx->read(in), *d.machine, result.get(), p.now());
+        const drx::RunResult res = drx::runPlanOnDrx(
+            kcopy->name, *installed, ctx->read(in), *d.machine,
+            result.get(), p.now());
         if (res.faulted) {
             // The machine trapped: charge the trap handling on the
             // unit, then report the device error at that time.

@@ -48,6 +48,7 @@
 #include "cpu/core_pool.hh"
 #include "cpu/host_model.hh"
 #include "driver/interrupts.hh"
+#include "drx/cache.hh"
 #include "drx/compiler.hh"
 #include "drx/machine.hh"
 #include "fault/fault.hh"
@@ -301,6 +302,17 @@ struct DeviceFaultStats
                                           ///< by the deadline budget
 };
 
+/**
+ * Platform-wide performance knobs (reliability policy lives in
+ * CommandPolicy / robust::RobustConfig instead).
+ */
+struct PlatformConfig
+{
+    /// Compiled-kernel cache configuration for the platform's DRX
+    /// queues. Defaults honour the DMX_NO_DRX_CACHE kill switch.
+    drx::DrxCacheConfig drx_cache = drx::defaultCacheConfig();
+};
+
 /** The platform: devices, fabric and the simulated clock. */
 class Platform
 {
@@ -385,6 +397,24 @@ class Platform
 
     const robust::RobustConfig &robustConfig() const { return _robust; }
 
+    // ------------------------------------------------- performance
+
+    /**
+     * Replace the platform performance configuration. Reconfigures the
+     * DRX compiled-kernel cache in place (cached plans stay valid: they
+     * are immutable and keyed by kernel structure).
+     */
+    void setPlatformConfig(const PlatformConfig &cfg);
+
+    const PlatformConfig &platformConfig() const { return _config; }
+
+    /**
+     * The platform's compiled-kernel cache. One instance is safe for
+     * every queue: commands execute on the single simulated event-loop
+     * thread.
+     */
+    drx::ProgramCache &drxCache() { return *_drx_cache; }
+
     /** @return the breaker of @p id (nullptr when breakers are off). */
     const robust::CircuitBreaker *deviceBreaker(DeviceId id) const;
 
@@ -445,6 +475,8 @@ class Platform
     fault::FaultPlan *_plan = nullptr;
     CommandPolicy _policy;
     robust::RobustConfig _robust;
+    PlatformConfig _config;
+    std::unique_ptr<drx::ProgramCache> _drx_cache;
     Rng _jitter; ///< backoff jitter stream (reseeded per plan)
     cpu::HostParams _host_params;
     std::unique_ptr<cpu::CorePool> _host;

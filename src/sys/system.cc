@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "drx/cache.hh"
 #include "robust/admission.hh"
 #include "robust/credit.hh"
 #include "sim/eventq.hh"
@@ -828,8 +829,16 @@ SystemSim::run()
 RunStats
 simulateSystem(const SystemConfig &cfg, const std::vector<AppModel> &apps)
 {
+    const drx::CacheCounters before =
+        drx::ProgramCache::process().counters();
     SystemSim sim(cfg, apps);
-    return sim.run();
+    RunStats stats = sim.run();
+    const drx::CacheCounters after =
+        drx::ProgramCache::process().counters();
+    stats.drx_cache_hits = after.compile_hits - before.compile_hits;
+    stats.drx_cache_misses =
+        after.compile_misses - before.compile_misses;
+    return stats;
 }
 
 } // namespace dmx::sys

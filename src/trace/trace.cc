@@ -89,6 +89,7 @@ toString(Category c)
       case Category::Flow:        return "flow";
       case Category::Drx:         return "drx";
       case Category::Robust:      return "robust";
+      case Category::DrxCache:    return "drxcache";
       case Category::NumCategories: break;
     }
     return "?";

@@ -70,6 +70,7 @@ enum class Category : std::uint8_t
     Flow,        ///< PCIe fabric flows and per-hop spans
     Drx,         ///< DRX machine phases (fetch / execute / DMA)
     Robust,      ///< overload protection: backpressure, shed, breakers
+    DrxCache,    ///< compiled-kernel cache hits/misses/evictions (opt-in)
     NumCategories,
 };
 

@@ -15,6 +15,13 @@
  * candidate is always an error. Exit status is 0 when every metric is
  * within tolerance and 1 otherwise, so CI can gate on it directly.
  *
+ * Metrics whose name starts with "wall_" or "cache_" are
+ * *informational*: host wall-clock and cache-counter values are
+ * printed with their deltas but never gate (wall time is inherently
+ * nondeterministic, and cache totals legitimately change with cache
+ * configuration), and their absence from either file is not an error.
+ * Simulated metrics keep zero-tolerance gating regardless.
+ *
  * A file may hold several reports (one {"figure", "metrics"} object
  * per line, the BENCH_seed.json layout); --figure NAME selects which
  * one to compare, defaulting to the first. The figure names of the
@@ -192,6 +199,16 @@ higherIsBetter(const std::string &name)
     return true;
 }
 
+/**
+ * @return true for host-side metrics (wall-clock, cache counters) that
+ *         are reported but never gate a comparison.
+ */
+bool
+informational(const std::string &name)
+{
+    return name.rfind("wall_", 0) == 0 || name.rfind("cache_", 0) == 0;
+}
+
 } // namespace
 
 int
@@ -240,9 +257,13 @@ main(int argc, char **argv)
     }
 
     int regressions = 0;
+    std::size_t gated = 0;
     for (const auto &[name, base_v] : base.metrics) {
+        const bool info = informational(name);
         const auto it = cand.metrics.find(name);
         if (it == cand.metrics.end()) {
+            if (info)
+                continue; // host-side extras may come and go freely
             std::printf("MISSING  %-40s (baseline %.6g)\n", name.c_str(),
                         base_v);
             ++regressions;
@@ -250,13 +271,21 @@ main(int argc, char **argv)
         }
         const bool up_good = higherIsBetter(name);
         double cand_v = it->second;
-        if (perturb_pct != 0.0) {
+        if (perturb_pct != 0.0 && !info) {
             const double f = 1.0 + perturb_pct / 100.0;
             cand_v = up_good ? cand_v / f : cand_v * f;
         }
         const double delta_pct =
             base_v == 0.0 ? (cand_v == 0.0 ? 0.0 : 100.0)
                           : 100.0 * (cand_v - base_v) / std::fabs(base_v);
+        if (info) {
+            // Reported for the human, excluded from gating: wall time
+            // is nondeterministic and cache totals depend on the arm.
+            std::printf("info     %-40s base %.6g cand %.6g (%+.2f%%)\n",
+                        name.c_str(), base_v, cand_v, delta_pct);
+            continue;
+        }
+        ++gated;
         const bool regressed = up_good ? delta_pct < -tolerance_pct
                                        : delta_pct > tolerance_pct;
         std::printf("%-8s %-40s base %.6g cand %.6g (%+.2f%%, %s)\n",
@@ -273,6 +302,6 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("bench_diff: all %zu metric(s) within %.1f%%\n",
-                base.metrics.size(), tolerance_pct);
+                gated, tolerance_pct);
     return 0;
 }
