@@ -418,7 +418,11 @@ runKernelOnDrxCached(const restructure::Kernel &kernel,
     // itself (base-0 install). Rebasing preserves timing too, but
     // restricting recording to the canonical install keeps the
     // argument that replay charges exactly what run() would trivial.
+    // ECC-scrubbed runs are excluded for the same reason: a memo must
+    // hold the base timing only, so replayRun can add each replay's
+    // own scrub penalty without double-charging the recorded one.
     if (cache->config().timing_memo && !res.faulted &&
+        res.ecc_corrected == 0 &&
         installed->shape_deterministic && !ref.timing &&
         installed.get() == ref.compiled.get()) {
         cache->storeTiming(

@@ -18,6 +18,11 @@ namespace
 /// (fault detection, pipeline drain and status report to the driver).
 constexpr Cycles machine_fault_trap_cycles = 512;
 
+/// Cycles to scrub-correct a single-bit scratchpad ECC upset: the
+/// corrected word is re-written and the pipeline restarts the affected
+/// access. Charged on top of the run's base timing.
+constexpr Cycles machine_ecc_scrub_cycles = 32;
+
 } // namespace
 
 DrxMachine::DrxMachine(DrxConfig cfg) : _cfg(cfg)
@@ -157,6 +162,49 @@ DrxMachine::faultTrap(Tick trace_base, RunResult &res)
     return true;
 }
 
+bool
+DrxMachine::eccConsult(Tick trace_base, RunResult &res, Cycles &penalty)
+{
+    if (!_ecc_hook)
+        return false;
+    const fault::EccAction action = _ecc_hook();
+    if (action == fault::EccAction::None)
+        return false;
+    const ClockDomain clk{_cfg.freq_hz};
+    if (action == fault::EccAction::CorrectSingle) {
+        // SEC: the flipped bit is corrected in place; only the scrub
+        // penalty is observable outside the scratchpad.
+        ++_ecc_corrected;
+        ++res.ecc_corrected;
+        penalty += machine_ecc_scrub_cycles;
+        if (auto *tb = trace::active()) {
+            tb->span(trace::Category::Integrity, "ecc_scrub", "drx",
+                     trace_base,
+                     trace_base +
+                         clk.cyclesToTicks(machine_ecc_scrub_cycles),
+                     machine_ecc_scrub_cycles);
+            tb->count("integrity.ecc_corrected", trace_base);
+        }
+        return false;
+    }
+    // DED: detected but uncorrectable. The machine must not commit
+    // poisoned data, so the run aborts exactly like a machine fault;
+    // recovery (retry, failover) is the caller's responsibility.
+    ++_ecc_uncorrectable;
+    res = RunResult{};
+    res.faulted = true;
+    res.ecc_uncorrectable = true;
+    res.total_cycles = machine_fault_trap_cycles;
+    if (auto *tb = trace::active()) {
+        tb->span(trace::Category::Integrity, "ecc_ded_trap", "drx",
+                 trace_base,
+                 trace_base + clk.cyclesToTicks(res.total_cycles),
+                 res.total_cycles);
+        tb->count("integrity.ecc_uncorrectable", trace_base);
+    }
+    return true;
+}
+
 void
 DrxMachine::emitRunTrace(const Program &program, const RunResult &res,
                          Tick trace_base) const
@@ -198,8 +246,18 @@ DrxMachine::replayRun(const Program &program, const RunResult &memo,
     RunResult res;
     if (faultTrap(trace_base, res))
         return res;
-    emitRunTrace(program, memo, trace_base);
-    return memo;
+    // Consult the ECC hook at the same point as run() so both paths
+    // consume hook decisions in identical order. The memo itself stays
+    // ECC-free (the cache only records scrub-free runs); a SEC event
+    // here adds its penalty on top, exactly as run() would.
+    Cycles ecc_penalty = 0;
+    if (eccConsult(trace_base, res, ecc_penalty))
+        return res;
+    RunResult out = memo;
+    out.ecc_corrected += res.ecc_corrected;
+    out.total_cycles += ecc_penalty;
+    emitRunTrace(program, out, trace_base);
+    return out;
 }
 
 RunResult
@@ -211,6 +269,14 @@ DrxMachine::run(const Program &program, Tick trace_base)
         RunResult trap;
         if (faultTrap(trace_base, trap))
             return trap;
+    }
+    Cycles ecc_penalty = 0;
+    std::uint32_t ecc_corrected = 0;
+    {
+        RunResult ecc;
+        if (eccConsult(trace_base, ecc, ecc_penalty))
+            return ecc;
+        ecc_corrected = ecc.ecc_corrected;
     }
 
     // Decode configuration section.
@@ -696,6 +762,8 @@ DrxMachine::run(const Program &program, Tick trace_base)
              ? std::max(res.compute_cycles, res.mem_cycles)
              : res.compute_cycles + res.mem_cycles) +
         startup;
+    res.ecc_corrected = ecc_corrected;
+    res.total_cycles += ecc_penalty;
 
     emitRunTrace(program, res, trace_base);
     return res;

@@ -69,6 +69,15 @@ struct RunResult
     /// cover only the work done before the fault and no output was
     /// produced.
     bool faulted = false;
+    /// Single-bit scratchpad ECC events corrected in place during the
+    /// run; each charged the scrub-cycle penalty on top of the base
+    /// timing (so timing memos stay ECC-free and replays add the
+    /// penalty dynamically).
+    std::uint32_t ecc_corrected = 0;
+    /// A double-bit scratchpad upset was detected but not correctable:
+    /// the run aborted like a machine fault (faulted is set too) so
+    /// poisoned data is never committed.
+    bool ecc_uncorrectable = false;
 
     RunResult &
     operator+=(const RunResult &o)
@@ -80,6 +89,8 @@ struct RunResult
         bytes_written += o.bytes_written;
         dyn_instructions += o.dyn_instructions;
         faulted = faulted || o.faulted;
+        ecc_corrected += o.ecc_corrected;
+        ecc_uncorrectable = ecc_uncorrectable || o.ecc_uncorrectable;
         return *this;
     }
 
@@ -158,6 +169,23 @@ class DrxMachine
     /** @return program runs aborted by an injected machine fault. */
     std::uint64_t faultCount() const { return _faults; }
 
+    /**
+     * Install (or clear, with nullptr) the scratchpad SEC-DED ECC hook
+     * consulted once per program run, in both run() and replayRun()
+     * and at the same decision point, so hook-consumption order - and
+     * with it the whole simulation - is identical between interpreted
+     * and timing-replayed execution. A CorrectSingle decision adds the
+     * scrub penalty to the run's cycle count; a DetectDouble decision
+     * aborts the run with ecc_uncorrectable (and faulted) set.
+     */
+    void setEccHook(fault::EccHook hook) { _ecc_hook = std::move(hook); }
+
+    /** @return single-bit ECC events corrected across all runs. */
+    std::uint64_t eccCorrected() const { return _ecc_corrected; }
+
+    /** @return double-bit (uncorrectable) ECC events across all runs. */
+    std::uint64_t eccUncorrectable() const { return _ecc_uncorrectable; }
+
   private:
     struct StreamState
     {
@@ -200,13 +228,24 @@ class DrxMachine
      */
     bool faultTrap(Tick trace_base, RunResult &res);
 
+    /**
+     * Consult the ECC hook once for this run. On DetectDouble fill
+     * @p res with the abort trap (cost charged, trace recorded) and
+     * return true; on CorrectSingle add the scrub penalty to
+     * @p penalty and bump @p res.ecc_corrected.
+     */
+    bool eccConsult(Tick trace_base, RunResult &res, Cycles &penalty);
+
     /** Emit the per-run trace spans and counters for @p res. */
     void emitRunTrace(const Program &program, const RunResult &res,
                       Tick trace_base) const;
 
     DrxConfig _cfg;
     fault::MachineHook _fault_hook;
+    fault::EccHook _ecc_hook;
     std::uint64_t _faults = 0;
+    std::uint64_t _ecc_corrected = 0;
+    std::uint64_t _ecc_uncorrectable = 0;
     std::vector<std::uint8_t> _dram;
     std::uint64_t _brk = 0;
 

@@ -53,6 +53,19 @@ enum class IrqAction
     Drop, ///< lost; the driver discovers completion by polling later
 };
 
+/**
+ * SEC-DED scratchpad ECC outcome for one DRX program run. Single-bit
+ * upsets are corrected in place at a small scrub-cycle penalty;
+ * double-bit upsets are detected but uncorrectable, so the run aborts
+ * (poisoned data must never be committed).
+ */
+enum class EccAction
+{
+    None,          ///< no upset this run
+    CorrectSingle, ///< single-bit flip, corrected (scrub penalty)
+    DetectDouble,  ///< double-bit flip, detected-uncorrectable (abort)
+};
+
 /** Fabric hook: consulted by every startFlow (src, dst, bytes). */
 using FlowHook = std::function<FlowAction(
     std::uint32_t src, std::uint32_t dst, std::uint64_t bytes)>;
@@ -65,6 +78,20 @@ using MachineHook = std::function<MachineAction()>;
 
 /** Interrupt-controller hook: consulted by every notification. */
 using IrqHook = std::function<IrqAction()>;
+
+/** DRX scratchpad ECC hook: consulted once per program run. */
+using EccHook = std::function<EccAction()>;
+
+/**
+ * PCIe link-CRC hook: consulted by every flow that actually starts
+ * (src, dst, bytes). @return the number of link-level replay events
+ * the flow suffers; each one deterministically delays the flow's
+ * streaming eligibility by the fabric's configured replay latency.
+ * Link CRC errors are detected *and* recovered at the link layer, so
+ * they cost time but never corrupt the payload.
+ */
+using LinkCrcHook = std::function<unsigned(
+    std::uint32_t src, std::uint32_t dst, std::uint64_t bytes)>;
 
 } // namespace dmx::fault
 

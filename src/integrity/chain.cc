@@ -1,0 +1,287 @@
+#include "integrity/chain.hh"
+
+#include <cstddef>
+#include <string>
+
+#include "common/logging.hh"
+#include "integrity/checksum.hh"
+#include "robust/breaker.hh"
+#include "trace/trace.hh"
+
+namespace dmx::integrity
+{
+
+namespace
+{
+
+constexpr runtime::DeviceId no_device =
+    static_cast<runtime::DeviceId>(-1);
+
+/**
+ * Advance simulated time by the modeled checksum cost and trace it.
+ * The caller drains the platform before every charge, so the no-op
+ * event lands on an empty queue and now() moves by exactly the cost.
+ */
+void
+chargeChecksum(runtime::Platform &plat, std::size_t bytes,
+               const char *what, double rate)
+{
+    if (bytes == 0 || rate <= 0)
+        return;
+    const Tick begin = plat.now();
+    const Tick cost = secondsToTicks(static_cast<double>(bytes) / rate);
+    plat.eventQueue().scheduleIn(cost, [] {});
+    plat.drain();
+    if (auto *tb = trace::active())
+        tb->span(trace::Category::Integrity, what, "chain", begin,
+                 plat.now(), bytes);
+}
+
+/** @return true when @p dev can accept fresh chain work right now. */
+bool
+usable(const runtime::Platform &plat, runtime::DeviceId dev)
+{
+    if (!plat.deviceHealthy(dev))
+        return false;
+    const robust::CircuitBreaker *b = plat.deviceBreaker(dev);
+    return !b || b->state() != robust::BreakerState::Open;
+}
+
+/** @return the first usable alternate of @p st, or no_device. */
+runtime::DeviceId
+pickAlternate(const runtime::Platform &plat, const ChainStage &st,
+              runtime::DeviceId failed)
+{
+    for (runtime::DeviceId alt : st.alternates)
+        if (alt != failed && usable(plat, alt))
+            return alt;
+    return no_device;
+}
+
+void
+markEvent(const char *name, Tick at, std::uint64_t arg = 0)
+{
+    if (auto *tb = trace::active()) {
+        tb->instant(trace::Category::Integrity, name, "chain", at, arg);
+        tb->count(std::string("integrity.") + name, at);
+    }
+}
+
+} // namespace
+
+const char *
+toString(ProtectionMode m)
+{
+    switch (m) {
+      case ProtectionMode::Off:         return "off";
+      case ProtectionMode::E2eChecksum: return "e2e-checksum";
+    }
+    return "?";
+}
+
+const char *
+toString(MismatchPolicy p)
+{
+    switch (p) {
+      case MismatchPolicy::HopRetransmit:  return "hop-retransmit";
+      case MismatchPolicy::RollbackReplay: return "rollback-replay";
+    }
+    return "?";
+}
+
+ChainReport
+runChain(runtime::Platform &plat, const std::vector<ChainStage> &stages,
+         const runtime::Bytes &input, const ChainConfig &cfg)
+{
+    ChainReport report;
+    if (stages.empty()) {
+        report.output = input;
+        report.ok = true;
+        report.status = runtime::Status::Ok;
+        return report;
+    }
+    for (const ChainStage &st : stages)
+        if (st.device >= plat.deviceCount())
+            dmx_fatal("runChain: bad stage device %zu", st.device);
+
+    const Tick t0 = plat.now();
+    const bool protect = cfg.protection == ProtectionMode::E2eChecksum;
+    auto ctx = plat.createContextPtr();
+
+    // The live placement: failover rewrites entries as devices die.
+    std::vector<runtime::DeviceId> devmap(stages.size());
+    for (std::size_t i = 0; i < stages.size(); ++i)
+        devmap[i] = stages[i].device;
+
+    // The chain input is always a valid recovery point; verified stage
+    // outputs supersede it while checkpointing is on. A checkpoint is
+    // trusted because (a) fail-stop losses never corrupt committed
+    // bytes and (b) under e2e protection its payload passed the
+    // checksum that was generated before any hop could touch it.
+    runtime::Bytes cur = input;
+    std::uint32_t cur_crc = 0;
+    if (protect) {
+        chargeChecksum(plat, cur.size(), "checksum",
+                       cfg.checksum_bytes_per_sec);
+        cur_crc = crc32(cur);
+    }
+    std::size_t ckpt_stage = 0;
+    runtime::Bytes ckpt_data = cur;
+    std::uint32_t ckpt_crc = cur_crc;
+
+    const auto budgetLeft = [&] {
+        return report.recoveries() < cfg.max_recoveries;
+    };
+    const auto finalize = [&](bool ok, runtime::Status status) {
+        report.ok = ok;
+        report.status = status;
+        if (!ok)
+            report.output.clear();
+        report.makespan = plat.now() - t0;
+    };
+    const auto rollback = [&](std::size_t &i) {
+        cur = ckpt_data;
+        cur_crc = ckpt_crc;
+        i = ckpt_stage;
+    };
+
+    std::size_t i = 0;
+    while (i < stages.size()) {
+        // Proactive failover: do not hop data onto a device the health
+        // tracker or its breaker already condemned - re-route first.
+        if (!usable(plat, devmap[i])) {
+            const runtime::DeviceId alt =
+                pickAlternate(plat, stages[i], devmap[i]);
+            if (alt == no_device || !budgetLeft()) {
+                finalize(false, runtime::Status::Failed);
+                return report;
+            }
+            const runtime::DeviceId failed = devmap[i];
+            for (std::size_t j = 0; j < devmap.size(); ++j)
+                if (devmap[j] == failed)
+                    devmap[j] = alt;
+            ++report.failovers;
+            markEvent("failover", plat.now(), alt);
+        }
+        const runtime::DeviceId dev = devmap[i];
+
+        // Hop: DMA the current payload from the producer device. The
+        // producer-side buffer stays intact, so a detected corruption
+        // can always be cured by retransmitting this hop.
+        runtime::Bytes stage_in;
+        if (i > 0 && devmap[i - 1] != dev) {
+            bool delivered = false;
+            bool restart = false;
+            while (!delivered) {
+                const runtime::BufferId srcb = ctx->createBuffer(cur);
+                const runtime::BufferId dstb = ctx->createBuffer();
+                runtime::Event e = ctx->queue(devmap[i - 1])
+                                       .enqueueCopy(srcb, dstb, dev);
+                ctx->finish();
+                ++report.hops_run;
+                bool good = e.ok();
+                if (good && protect) {
+                    chargeChecksum(plat, cur.size(), "verify",
+                                   cfg.checksum_bytes_per_sec);
+                    if (crc32(ctx->read(dstb)) != cur_crc) {
+                        ++report.mismatches_detected;
+                        markEvent("checksum_mismatch", plat.now());
+                        good = false;
+                    }
+                }
+                if (good) {
+                    stage_in = ctx->read(dstb);
+                    delivered = true;
+                    break;
+                }
+                if (!budgetLeft()) {
+                    finalize(false, e.ok() ? runtime::Status::Failed
+                                           : e.status());
+                    return report;
+                }
+                if (!e.ok()) {
+                    // A settled error poisons its in-order queue (every
+                    // later command cascades), so recovery starts from
+                    // a fresh context. Payloads live host-side in cur /
+                    // the checkpoint; no buffer state is lost.
+                    ctx = plat.createContextPtr();
+                }
+                if (!e.ok() ||
+                    cfg.policy == MismatchPolicy::HopRetransmit) {
+                    // Transport failures (fail-stop) and, under the
+                    // hop-retransmit policy, checksum mismatches both
+                    // re-DMA from the intact producer buffer.
+                    ++report.hop_retransmits;
+                    markEvent("hop_retransmit", plat.now());
+                    continue;
+                }
+                ++report.rollbacks;
+                markEvent("rollback", plat.now(), ckpt_stage);
+                rollback(i);
+                restart = true;
+                break;
+            }
+            if (restart)
+                continue;
+        } else {
+            stage_in = cur;
+        }
+
+        // Execute the stage on its (possibly re-routed) device.
+        const ChainStage &st = stages[i];
+        const runtime::BufferId inb = ctx->createBuffer(stage_in);
+        const runtime::BufferId outb = ctx->createBuffer();
+        runtime::Event e =
+            plat.deviceIsDrx(dev)
+                ? ctx->queue(dev).enqueueRestructure(st.kernel, inb, outb)
+                : ctx->queue(dev).enqueueKernel(inb, outb);
+        ctx->finish();
+        ++report.stages_run;
+        if (!e.ok()) {
+            // Mid-chain device failure (or an uncorrectable ECC error
+            // that exhausted the retry budget): re-route the remaining
+            // stages and resume from the checkpoint instead of
+            // replaying the whole chain.
+            if (!budgetLeft()) {
+                finalize(false, e.status());
+                return report;
+            }
+            const runtime::DeviceId alt = pickAlternate(plat, st, dev);
+            if (alt == no_device) {
+                finalize(false, e.status());
+                return report;
+            }
+            for (std::size_t j = 0; j < devmap.size(); ++j)
+                if (devmap[j] == dev)
+                    devmap[j] = alt;
+            ++report.failovers;
+            markEvent("failover", plat.now(), alt);
+            // The failed command poisoned its queue (error cascade);
+            // resume the replay from a fresh context.
+            ctx = plat.createContextPtr();
+            rollback(i);
+            continue;
+        }
+
+        cur = ctx->read(outb);
+        if (protect) {
+            chargeChecksum(plat, cur.size(), "checksum",
+                           cfg.checksum_bytes_per_sec);
+            cur_crc = crc32(cur);
+        }
+        if (cfg.checkpoints) {
+            ckpt_stage = i + 1;
+            ckpt_data = cur;
+            ckpt_crc = cur_crc;
+            ++report.checkpoints_taken;
+            markEvent("checkpoint", plat.now(), i);
+        }
+        ++i;
+    }
+
+    report.output = cur;
+    finalize(true, runtime::Status::Ok);
+    return report;
+}
+
+} // namespace dmx::integrity

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * End-to-end payload checksums.
+ *
+ * The chain protection layer (integrity::runChain) generates a CRC32
+ * over every verified stage boundary and re-verifies it after each
+ * hop, mirroring how real cross-domain pipelines layer an end-to-end
+ * check on top of per-link CRC: the link CRC catches wire errors, the
+ * end-to-end checksum catches everything the links cannot see (DMA
+ * engine bit flips, buffer corruption between hops).
+ *
+ * The implementation is the reflected CRC-32/ISO-HDLC (polynomial
+ * 0xEDB88320), table-driven; it is plain host-side code and consumes
+ * no simulated time by itself - callers charge the modeled cost
+ * explicitly (ChainConfig::checksum_bytes_per_sec).
+ */
+
+#ifndef DMX_INTEGRITY_CHECKSUM_HH
+#define DMX_INTEGRITY_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dmx::integrity
+{
+
+/** @return CRC32 (reflected, poly 0xEDB88320) of @p len bytes. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t len);
+
+/** Convenience overload over a byte vector. */
+inline std::uint32_t
+crc32(const std::vector<std::uint8_t> &data)
+{
+    return crc32(data.data(), data.size());
+}
+
+} // namespace dmx::integrity
+
+#endif // DMX_INTEGRITY_CHECKSUM_HH

@@ -1,0 +1,134 @@
+#include "integrity/integrity.hh"
+
+#include "common/logging.hh"
+
+namespace dmx::integrity
+{
+
+namespace
+{
+
+/// Site-stream derivation constants: arbitrary odd words xored into the
+/// master seed so the three streams are decorrelated (and decorrelated
+/// from the FaultPlan streams under an equal seed).
+constexpr std::uint64_t payload_stream = 0x3d61a9f7e5b0c2d3ull;
+constexpr std::uint64_t scratch_stream = 0xa1f4278bd6e9035bull;
+constexpr std::uint64_t link_stream = 0xc98e5b13f2a6d741ull;
+
+void
+checkProb(const char *what, double p)
+{
+    if (p < 0.0 || p > 1.0)
+        dmx_fatal("IntegrityPlan: %s probability %g outside [0, 1]",
+                  what, p);
+}
+
+} // namespace
+
+IntegrityPlan::IntegrityPlan(IntegritySpec spec)
+    : _spec(spec),
+      _payload_rng(spec.seed ^ payload_stream),
+      _scratch_rng(spec.seed ^ scratch_stream),
+      _link_rng(spec.seed ^ link_stream)
+{
+    checkProb("payload_flip", spec.payload_flip_prob);
+    checkProb("scratch_sec", spec.scratch_sec_prob);
+    checkProb("scratch_ded", spec.scratch_ded_prob);
+    checkProb("link_crc", spec.link_crc_prob);
+    if (spec.scratch_sec_prob + spec.scratch_ded_prob > 1.0)
+        dmx_fatal("IntegrityPlan: scratch SEC+DED probabilities "
+                  "exceed 1");
+}
+
+IntegrityPlan::PayloadAction
+IntegrityPlan::onPayload(std::uint64_t bytes)
+{
+    const std::uint64_t n = _payload_n++;
+    ++_stats.payloads_seen;
+    // Always draw the decision - and, on a hit, the bit position - in a
+    // fixed pattern so scripted entries do not shift later decisions:
+    // a script replaces the outcome without consuming extra draws.
+    const double u = _payload_rng.uniform();
+    PayloadAction action;
+    if (bytes > 0 && u < _spec.payload_flip_prob) {
+        action.flip = true;
+        action.bit = _payload_rng.below(bytes * 8);
+    }
+    if (const auto it = _payload_script.find(n);
+        it != _payload_script.end()) {
+        action.flip = bytes > 0;
+        action.bit = bytes > 0 ? it->second % (bytes * 8) : 0;
+    }
+    if (action.flip)
+        ++_stats.payload_flips;
+    return action;
+}
+
+fault::EccAction
+IntegrityPlan::onScratch()
+{
+    const std::uint64_t n = _scratch_n++;
+    ++_stats.scratch_seen;
+    const double u = _scratch_rng.uniform();
+    fault::EccAction action = fault::EccAction::None;
+    if (u < _spec.scratch_ded_prob)
+        action = fault::EccAction::DetectDouble;
+    else if (u < _spec.scratch_ded_prob + _spec.scratch_sec_prob)
+        action = fault::EccAction::CorrectSingle;
+    if (const auto it = _scratch_script.find(n);
+        it != _scratch_script.end())
+        action = it->second;
+    if (action == fault::EccAction::CorrectSingle)
+        ++_stats.scratch_corrected;
+    else if (action == fault::EccAction::DetectDouble)
+        ++_stats.scratch_uncorrectable;
+    return action;
+}
+
+unsigned
+IntegrityPlan::onLink(std::uint32_t src, std::uint32_t dst,
+                      std::uint64_t bytes)
+{
+    (void)src;
+    (void)dst;
+    (void)bytes;
+    const std::uint64_t n = _link_n++;
+    ++_stats.links_seen;
+    const double u = _link_rng.uniform();
+    unsigned replays = u < _spec.link_crc_prob ? 1 : 0;
+    if (const auto it = _link_script.find(n); it != _link_script.end())
+        replays = it->second;
+    _stats.link_crc_replays += replays;
+    return replays;
+}
+
+void
+IntegrityPlan::scriptPayload(std::uint64_t nth, std::uint64_t bit)
+{
+    _payload_script[nth] = bit;
+}
+
+void
+IntegrityPlan::scriptScratch(std::uint64_t nth, fault::EccAction action)
+{
+    _scratch_script[nth] = action;
+}
+
+void
+IntegrityPlan::scriptLink(std::uint64_t nth, unsigned replays)
+{
+    _link_script[nth] = replays;
+}
+
+std::string
+toString(fault::EccAction a)
+{
+    switch (a) {
+      case fault::EccAction::None:          return "none";
+      case fault::EccAction::CorrectSingle: return "correct-single";
+      case fault::EccAction::DetectDouble:  return "detect-double";
+    }
+    return "?";
+}
+
+} // namespace dmx::integrity

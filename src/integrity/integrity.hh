@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Deterministic, seeded data-corruption plans.
+ *
+ * An IntegrityPlan is the FaultPlan's sibling for *data* errors rather
+ * than fail-stop events. Where a FaultPlan decides whether an
+ * operation completes, an IntegrityPlan decides whether the *bytes*
+ * survive it:
+ *
+ *  - *payload* bit flips: a delivered DMA copy silently flips one bit
+ *    of the destination buffer - the silent-data-corruption vector the
+ *    end-to-end chain checksums exist to catch;
+ *  - *scratchpad* ECC events: a DRX program run suffers a SEC-DED
+ *    upset - single-bit corrected in place at a scrub-cycle penalty,
+ *    double-bit detected-uncorrectable (the run aborts);
+ *  - *link* CRC errors: a PCIe flow is hit by wire errors that the
+ *    link CRC detects; each costs a deterministic link-level replay
+ *    delay but never corrupts the payload.
+ *
+ * The decision machinery mirrors fault::FaultPlan exactly: each site
+ * draws from its own seeded Rng stream (so decision sequences are
+ * reproducible and independent across sites), and scripted "the nth
+ * query at this site" overrides build exact scenarios without
+ * perturbing later probabilistic draws.
+ *
+ * Determinism contract: with equal seeds and equal (deterministic)
+ * simulations, two runs see identical corruption decisions, identical
+ * recovery actions and identical final simulated times - at any
+ * exec::ScenarioRunner --jobs level.
+ */
+
+#ifndef DMX_INTEGRITY_INTEGRITY_HH
+#define DMX_INTEGRITY_INTEGRITY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/random.hh"
+#include "fault/hooks.hh"
+
+namespace dmx::integrity
+{
+
+/** Probabilities and knobs of one corruption plan. */
+struct IntegritySpec
+{
+    std::uint64_t seed = 1;       ///< master seed for all streams
+
+    /// P[a delivered DMA copy flips one uniformly chosen payload bit].
+    double payload_flip_prob = 0;
+    /// P[a DRX program run takes a single-bit (corrected) ECC event].
+    double scratch_sec_prob = 0;
+    /// P[a DRX program run takes a double-bit (uncorrectable) event].
+    double scratch_ded_prob = 0;
+    /// P[a fabric flow suffers one link-CRC replay].
+    double link_crc_prob = 0;
+};
+
+/** Cumulative counts of queries and injected events per site. */
+struct IntegrityStats
+{
+    std::uint64_t payloads_seen = 0;
+    std::uint64_t payload_flips = 0;         ///< silent until e2e-checked
+    std::uint64_t scratch_seen = 0;
+    std::uint64_t scratch_corrected = 0;     ///< SEC: detected + corrected
+    std::uint64_t scratch_uncorrectable = 0; ///< DED: detected, aborted
+    std::uint64_t links_seen = 0;
+    std::uint64_t link_crc_replays = 0;      ///< detected + replayed
+
+    /** @return events injected across every site. */
+    std::uint64_t
+    injected() const
+    {
+        return payload_flips + scratch_corrected +
+               scratch_uncorrectable + link_crc_replays;
+    }
+
+    /** @return events detected by a hardware checker (all but payload
+     *  flips, which only an end-to-end checksum can see). */
+    std::uint64_t
+    detected() const
+    {
+        return scratch_corrected + scratch_uncorrectable +
+               link_crc_replays;
+    }
+
+    /** @return detected events transparently corrected in place. */
+    std::uint64_t
+    corrected() const
+    {
+        return scratch_corrected + link_crc_replays;
+    }
+
+    /** @return detected events that could not be corrected. */
+    std::uint64_t
+    uncorrected() const
+    {
+        return scratch_uncorrectable;
+    }
+};
+
+/**
+ * The corruption decision engine. Install with
+ * runtime::Platform::setIntegrityPlan (or wire the on*() members into
+ * layer hooks directly). The plan is stateful: site counters advance
+ * on every query.
+ */
+class IntegrityPlan
+{
+  public:
+    explicit IntegrityPlan(IntegritySpec spec = {});
+
+    const IntegritySpec &spec() const { return _spec; }
+    const IntegrityStats &stats() const { return _stats; }
+
+    /** Decision for one delivered DMA payload. */
+    struct PayloadAction
+    {
+        bool flip = false;     ///< flip one bit of the delivered copy
+        std::uint64_t bit = 0; ///< bit index in [0, bytes * 8)
+    };
+
+    // ------------------------------------------------ hook entry points
+
+    /**
+     * Decide the fate of a delivered DMA payload of @p bytes bytes.
+     * A zero-length payload is counted but never flipped.
+     */
+    PayloadAction onPayload(std::uint64_t bytes);
+
+    /** Decide the SEC-DED outcome of one DRX program run. */
+    fault::EccAction onScratch();
+
+    /** @return link-CRC replay events for a starting fabric flow. */
+    unsigned onLink(std::uint32_t src, std::uint32_t dst,
+                    std::uint64_t bytes);
+
+    // -------------------------------------------------- scripted events
+    // The nth (0-based) query at a site takes the scripted action
+    // instead of a probabilistic draw. The Rng stream still advances on
+    // scripted queries so that adding a script does not perturb the
+    // probabilistic decisions of later queries.
+
+    /** Flip exactly bit @p bit of the nth delivered payload. */
+    void scriptPayload(std::uint64_t nth, std::uint64_t bit);
+
+    void scriptScratch(std::uint64_t nth, fault::EccAction action);
+
+    /** Charge @p replays link replays to the nth flow. */
+    void scriptLink(std::uint64_t nth, unsigned replays);
+
+  private:
+    IntegritySpec _spec;
+    IntegrityStats _stats;
+
+    // Independent streams per site: the decision sequence at one site
+    // does not depend on how queries interleave with other sites.
+    Rng _payload_rng;
+    Rng _scratch_rng;
+    Rng _link_rng;
+
+    std::uint64_t _payload_n = 0;
+    std::uint64_t _scratch_n = 0;
+    std::uint64_t _link_n = 0;
+
+    std::map<std::uint64_t, std::uint64_t> _payload_script;
+    std::map<std::uint64_t, fault::EccAction> _scratch_script;
+    std::map<std::uint64_t, unsigned> _link_script;
+};
+
+/** @return human name of an ECC action, e.g. "correct-single". */
+std::string toString(fault::EccAction a);
+
+} // namespace dmx::integrity
+
+#endif // DMX_INTEGRITY_INTEGRITY_HH

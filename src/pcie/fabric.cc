@@ -202,6 +202,24 @@ Fabric::startFlowChecked(NodeId src, NodeId dst, std::uint64_t bytes,
             latency += _params.root_latency;
         }
     }
+
+    // Link-CRC replay: wire errors detected by the link CRC are
+    // recovered by deterministic TLP retransmission before streaming
+    // becomes eligible - the payload stays intact, only time is lost.
+    if (_crc_hook) {
+        if (const unsigned replays = _crc_hook(src, dst, bytes)) {
+            const Tick extra = replays * _params.crc_replay_latency;
+            _crc_replays += replays;
+            if (auto *tb = trace::active()) {
+                tb->span(trace::Category::Integrity, "crc_replay",
+                         "fabric", now() + latency,
+                         now() + latency + extra, replays);
+                tb->count("fabric.crc_replays", now(),
+                          static_cast<double>(replays));
+            }
+            latency += extra;
+        }
+    }
     flow.eligible_at = now() + latency;
     _total_bytes += bytes;
 

@@ -68,6 +68,9 @@ struct FabricParams
     Tick root_latency = 150 * tick_per_ns;
     /// Fixed software/DMA-engine setup cost charged to each flow.
     Tick dma_setup = 500 * tick_per_ns;
+    /// Delay charged per link-CRC replay event (replay-timer expiry
+    /// plus TLP retransmission) before the flow may start streaming.
+    Tick crc_replay_latency = 600 * tick_per_ns;
 };
 
 /**
@@ -131,11 +134,26 @@ class Fabric : public sim::SimObject
      */
     void setFaultHook(fault::FlowHook hook) { _fault_hook = std::move(hook); }
 
+    /**
+     * Install (or clear, with nullptr) the link-CRC hook consulted by
+     * every flow that actually starts. Each reported replay event
+     * deterministically delays the flow's streaming eligibility by
+     * params().crc_replay_latency: the error is detected and recovered
+     * at the link layer, so it costs time but never data.
+     */
+    void setLinkCrcHook(fault::LinkCrcHook hook)
+    {
+        _crc_hook = std::move(hook);
+    }
+
     /** @return flows that stalled (wedged, never completing). */
     std::uint64_t stalledFlows() const { return _stalled_flows; }
 
     /** @return flows delivered with an injected corruption. */
     std::uint64_t corruptedFlows() const { return _corrupted_flows; }
+
+    /** @return link-CRC replay events charged to flows. */
+    std::uint64_t crcReplays() const { return _crc_replays; }
 
     /** @return number of in-flight flows. */
     std::size_t activeFlows() const { return _flows.size(); }
@@ -227,8 +245,10 @@ class Fabric : public sim::SimObject
 
     Params _params;
     fault::FlowHook _fault_hook;
+    fault::LinkCrcHook _crc_hook;
     std::uint64_t _stalled_flows = 0;
     std::uint64_t _corrupted_flows = 0;
+    std::uint64_t _crc_replays = 0;
     std::size_t _peak_active_flows = 0;
     std::vector<Node> _nodes;
     std::vector<Link> _links;

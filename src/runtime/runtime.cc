@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "integrity/integrity.hh"
 #include "restructure/cpu_exec.hh"
 #include "trace/trace.hh"
 
@@ -272,10 +273,15 @@ struct CommandEngine
             sim::EventHandle watchdog;
             // The watchdog never outlives the deadline budget: clip it
             // to the remaining budget so the final TimedOut settles at
-            // the deadline, not a full timeout later.
+            // the deadline, not a full timeout later. The subtraction
+            // saturates: a zero-remaining budget was already settled
+            // TimedOut by the guard above, but a saturating clip keeps
+            // Tick (unsigned) arithmetic underflow-proof even if the
+            // two sites ever disagree about "spent".
             Tick timeout = p._policy.timeout;
             if (deadline_at) {
-                const Tick remaining = deadline_at - p.now();
+                const Tick remaining =
+                    deadline_at > p.now() ? deadline_at - p.now() : 0;
                 if (timeout == 0 || remaining < timeout)
                     timeout = remaining;
             }
@@ -504,6 +510,8 @@ Platform::addAccelerator(const std::string &name, accel::Domain domain,
     _devices.push_back(std::move(dev));
     if (_plan)
         wireDevice(_devices.back());
+    if (_integrity)
+        wireIntegrity(_devices.back());
     wireRobust(_devices.back());
     return _devices.size() - 1;
 }
@@ -522,6 +530,8 @@ Platform::addDrx(const std::string &name, const drx::DrxConfig &cfg)
     _devices.push_back(std::move(dev));
     if (_plan)
         wireDevice(_devices.back());
+    if (_integrity)
+        wireIntegrity(_devices.back());
     wireRobust(_devices.back());
     return _devices.size() - 1;
 }
@@ -544,6 +554,14 @@ Platform::deviceName(DeviceId id) const
     if (id >= _devices.size())
         dmx_fatal("Platform::deviceName: bad device id %zu", id);
     return _devices[id].name;
+}
+
+bool
+Platform::deviceIsDrx(DeviceId id) const
+{
+    if (id >= _devices.size())
+        dmx_fatal("Platform::deviceIsDrx: bad device id %zu", id);
+    return _devices[id].is_drx;
 }
 
 void
@@ -589,6 +607,35 @@ Platform::wireDevice(Device &dev)
         dev.unit->setFaultHook(nullptr);
     } else {
         dev.unit->setFaultHook([plan] { return plan->onKernel(); });
+    }
+}
+
+void
+Platform::setIntegrityPlan(integrity::IntegrityPlan *plan)
+{
+    _integrity = plan;
+    if (plan) {
+        _fabric->setLinkCrcHook(
+            [plan](std::uint32_t src, std::uint32_t dst,
+                   std::uint64_t bytes) {
+                return plan->onLink(src, dst, bytes);
+            });
+    } else {
+        _fabric->setLinkCrcHook(nullptr);
+    }
+    for (auto &dev : _devices)
+        wireIntegrity(dev);
+}
+
+void
+Platform::wireIntegrity(Device &dev)
+{
+    if (!dev.machine)
+        return;
+    if (integrity::IntegrityPlan *plan = _integrity) {
+        dev.machine->setEccHook([plan] { return plan->onScratch(); });
+    } else {
+        dev.machine->setEccHook(nullptr);
     }
 }
 
@@ -856,8 +903,33 @@ CommandQueue::enqueueCopy(BufferId src, BufferId dst,
         const pcie::NodeId sn = p._devices[from].node;
         const pcie::NodeId dn = p._devices[dst_device].node;
         auto deliver = [ctx, src, dst, done](bool ok) {
-            if (ok)
+            if (ok) {
                 ctx->write(dst, ctx->read(src));
+                Platform &plat = ctx->platform();
+                if (plat._integrity) {
+                    // Silent payload corruption: the DMA completed and
+                    // reports success, but the delivered copy differs
+                    // from the source by one flipped bit. Only an
+                    // end-to-end check can catch this - the flip is
+                    // deliberately invisible to the command status.
+                    const Bytes &got = ctx->read(dst);
+                    const auto act = plat._integrity->onPayload(
+                        static_cast<std::uint64_t>(got.size()));
+                    if (act.flip) {
+                        Bytes data = got;
+                        data[act.bit / 8] ^= static_cast<std::uint8_t>(
+                            1u << (act.bit % 8));
+                        ctx->write(dst, std::move(data));
+                        if (auto *tb = trace::active()) {
+                            tb->instant(trace::Category::Integrity,
+                                        "payload_flip", "dma",
+                                        plat.now(), act.bit);
+                            tb->count("integrity.payload_flips",
+                                      plat.now());
+                        }
+                    }
+                }
+            }
             done(ok);
         };
         if (p._plan && p._plan->p2pFaulted()) {

@@ -60,6 +60,11 @@
 #include "robust/robust.hh"
 #include "sim/eventq.hh"
 
+namespace dmx::integrity
+{
+class IntegrityPlan;
+}
+
 namespace dmx::runtime
 {
 
@@ -354,6 +359,9 @@ class Platform
     /** @return device name. */
     const std::string &deviceName(DeviceId id) const;
 
+    /** @return true when @p id is a DRX (restructuring) device. */
+    bool deviceIsDrx(DeviceId id) const;
+
     /** Drive the simulation until the event queue drains. */
     void drain() { _eq.run(); }
 
@@ -384,6 +392,20 @@ class Platform
     void setCommandPolicy(const CommandPolicy &policy);
 
     const CommandPolicy &commandPolicy() const { return _policy; }
+
+    /**
+     * Install (or clear, with nullptr) a corruption plan. The plan is
+     * not owned and must outlive the platform's use of it. Installing
+     * a plan wires its decision hooks into the fabric (link-CRC
+     * replays), every DRX machine (scratchpad SEC-DED ECC) and the
+     * copy delivery path (silent payload bit flips). With no plan
+     * installed none of this machinery is reachable and behaviour is
+     * byte-identical to a platform that never heard of integrity.
+     */
+    void setIntegrityPlan(integrity::IntegrityPlan *plan);
+
+    /** @return the installed plan (nullptr when corruption-free). */
+    integrity::IntegrityPlan *integrityPlan() const { return _integrity; }
 
     // ---------------------------------------- overload protection
 
@@ -463,6 +485,9 @@ class Platform
     /** Wire the installed plan's hooks into one device. */
     void wireDevice(Device &dev);
 
+    /** Wire the installed integrity plan's hooks into one device. */
+    void wireIntegrity(Device &dev);
+
     /** (Re)build one device's breaker/admission from _robust. */
     void wireRobust(Device &dev);
 
@@ -473,6 +498,7 @@ class Platform
     std::vector<Device> _devices;
 
     fault::FaultPlan *_plan = nullptr;
+    integrity::IntegrityPlan *_integrity = nullptr;
     CommandPolicy _policy;
     robust::RobustConfig _robust;
     PlatformConfig _config;

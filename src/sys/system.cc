@@ -196,6 +196,14 @@ SystemSim::SystemSim(const SystemConfig &cfg,
             [plan = cfg.fault_plan] { return plan->onIrq(); });
     }
 
+    if (cfg.integrity_plan && _fabric) {
+        _fabric->setLinkCrcHook(
+            [plan = cfg.integrity_plan](std::uint32_t s, std::uint32_t d,
+                                        std::uint64_t b) {
+                return plan->onLink(s, d, b);
+            });
+    }
+
     // Shared DRX units. The on-CPU DRX serves the whole socket, so it
     // integrates several RE-array contexts (each equivalent to one
     // bump-in-the-wire unit); jobs from different applications land on
@@ -831,6 +839,9 @@ simulateSystem(const SystemConfig &cfg, const std::vector<AppModel> &apps)
 {
     const drx::CacheCounters before =
         drx::ProgramCache::process().counters();
+    const integrity::IntegrityStats ibefore =
+        cfg.integrity_plan ? cfg.integrity_plan->stats()
+                           : integrity::IntegrityStats{};
     SystemSim sim(cfg, apps);
     RunStats stats = sim.run();
     const drx::CacheCounters after =
@@ -838,6 +849,22 @@ simulateSystem(const SystemConfig &cfg, const std::vector<AppModel> &apps)
     stats.drx_cache_hits = after.compile_hits - before.compile_hits;
     stats.drx_cache_misses =
         after.compile_misses - before.compile_misses;
+    if (cfg.integrity_plan) {
+        const integrity::IntegrityStats &iafter =
+            cfg.integrity_plan->stats();
+        stats.integrity_injected =
+            iafter.injected() - ibefore.injected();
+        stats.integrity_detected =
+            iafter.detected() - ibefore.detected();
+        stats.integrity_corrected =
+            iafter.corrected() - ibefore.corrected();
+        stats.integrity_uncorrected =
+            iafter.uncorrected() - ibefore.uncorrected();
+        stats.integrity_sdc_escapes =
+            iafter.payload_flips - ibefore.payload_flips;
+        stats.link_crc_replays =
+            iafter.link_crc_replays - ibefore.link_crc_replays;
+    }
     return stats;
 }
 

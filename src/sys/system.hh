@@ -36,6 +36,7 @@
 #include "driver/queues.hh"
 #include "drx/machine.hh"
 #include "fault/fault.hh"
+#include "integrity/integrity.hh"
 #include "pcie/fabric.hh"
 #include "robust/robust.hh"
 #include "sys/app_model.hh"
@@ -78,6 +79,14 @@ struct SystemConfig
     /// and replayed like a corrupted one - and dropped completion
     /// interrupts cost the driver's recovery-poll latency.
     fault::FaultPlan *fault_plan = nullptr;
+    /// Optional corruption plan (not owned; must outlive the run). The
+    /// closed loop is statistical - it moves no real payload bytes and
+    /// replays pre-timed DRX cycles - so only the *link CRC* site is
+    /// exercised here (each hit delays the flow by a deterministic
+    /// replay). Payload flips and scratchpad ECC live in the functional
+    /// runtime (runtime::Platform::setIntegrityPlan) and the chain
+    /// runner (integrity::runChain).
+    integrity::IntegrityPlan *integrity_plan = nullptr;
     /// Overload protection (backpressure / admission / deadline); all
     /// default-off, preserving byte-identical legacy behaviour.
     robust::RobustConfig robust;
@@ -164,6 +173,21 @@ struct RunStats
     /// interprets DRX programs inside the loop reports here.
     std::uint64_t drx_cache_hits = 0;
     std::uint64_t drx_cache_misses = 0;
+
+    /// Data-integrity taxonomy (deltas of the installed integrity
+    /// plan's counters across this run; all 0 without a plan):
+    /// injected = every corruption event the plan fired; detected =
+    /// events a hardware checker saw (scratch ECC, link CRC); corrected
+    /// = detected events transparently fixed in place (SEC scrubs, link
+    /// replays); uncorrected = detected but fatal to their operation;
+    /// sdc_escapes = silent payload flips no layer in this run could
+    /// see (only an end-to-end checksum catches those).
+    std::uint64_t integrity_injected = 0;
+    std::uint64_t integrity_detected = 0;
+    std::uint64_t integrity_corrected = 0;
+    std::uint64_t integrity_uncorrected = 0;
+    std::uint64_t integrity_sdc_escapes = 0;
+    std::uint64_t link_crc_replays = 0; ///< fabric CRC replay events
 
     /// @return hits / (hits + misses), 0 when idle.
     double

@@ -90,6 +90,7 @@ toString(Category c)
       case Category::Drx:         return "drx";
       case Category::Robust:      return "robust";
       case Category::DrxCache:    return "drxcache";
+      case Category::Integrity:   return "integrity";
       case Category::NumCategories: break;
     }
     return "?";

@@ -71,6 +71,7 @@ enum class Category : std::uint8_t
     Drx,         ///< DRX machine phases (fetch / execute / DMA)
     Robust,      ///< overload protection: backpressure, shed, breakers
     DrxCache,    ///< compiled-kernel cache hits/misses/evictions (opt-in)
+    Integrity,   ///< data-integrity events: ECC, CRC replay, checksums
     NumCategories,
 };
 

@@ -410,6 +410,134 @@ TEST(RobustRuntime, DeadlineBudgetBoundsRetriesAndWatchdogs)
     EXPECT_LT(ev.retries(), plat.commandPolicy().max_retries);
 }
 
+TEST(RobustRuntime, ZeroDeadlineDisablesTheBudget)
+{
+    // CommandPolicy::deadline == 0 means "no deadline", never "instant
+    // timeout": the launch path must not arm a deadline, and the
+    // watchdog clip must not underflow.
+    runtime::Platform plat;
+    const runtime::DeviceId dev =
+        plat.addAccelerator("a0", accel::Domain::FFT, bump);
+    fault::FaultPlan plan; // benign: probabilities all zero
+    plat.setFaultPlan(&plan);
+    runtime::CommandPolicy pol = plat.commandPolicy();
+    pol.deadline = 0;
+    plat.setCommandPolicy(pol);
+
+    runtime::Context ctx = plat.createContext();
+    const auto in = ctx.createBuffer(runtime::Bytes(128, 5));
+    const auto out = ctx.createBuffer();
+    runtime::Event ev = ctx.queue(dev).enqueueKernel(in, out);
+    plat.drain();
+
+    EXPECT_EQ(ev.status(), runtime::Status::Ok);
+    EXPECT_EQ(plat.faultStats(dev).deadline_exhausted, 0u);
+}
+
+TEST(RobustRuntime, ZeroRemainingDeadlineSettlesTimedOutAtDispatch)
+{
+    // A command whose entire deadline budget is already spent when it
+    // dispatches (here: eaten by its queue predecessor) settles
+    // TimedOut at the dispatch tick - the guard fires before any
+    // watchdog arithmetic could underflow a zero remaining budget.
+    const auto settleTime = [](Tick deadline) {
+        runtime::Platform plat;
+        const runtime::DeviceId dev =
+            plat.addAccelerator("a0", accel::Domain::FFT, bump);
+        fault::FaultPlan plan;
+        plat.setFaultPlan(&plan);
+        runtime::CommandPolicy pol = plat.commandPolicy();
+        pol.deadline = deadline;
+        plat.setCommandPolicy(pol);
+
+        runtime::Context ctx = plat.createContext();
+        const auto in = ctx.createBuffer(runtime::Bytes(128, 5));
+        const auto mid = ctx.createBuffer();
+        const auto out = ctx.createBuffer();
+        runtime::Event first = ctx.queue(dev).enqueueKernel(in, mid);
+        runtime::Event second = ctx.queue(dev).enqueueKernel(mid, out);
+        plat.drain();
+        EXPECT_TRUE(first.ok());
+        struct R
+        {
+            Tick first_done;
+            runtime::Status second_status;
+            Tick second_done;
+            std::uint64_t exhausted;
+        };
+        return R{first.completeTime(), second.status(),
+                 second.completeTime(),
+                 plat.faultStats(dev).deadline_exhausted};
+    };
+
+    // Measure when the predecessor settles, then re-run with exactly
+    // that as the deadline: the second command dispatches with zero
+    // budget remaining.
+    const auto probe = settleTime(0);
+    ASSERT_EQ(probe.second_status, runtime::Status::Ok);
+
+    const auto r = settleTime(probe.first_done);
+    EXPECT_EQ(r.first_done, probe.first_done);
+    EXPECT_EQ(r.second_status, runtime::Status::TimedOut);
+    EXPECT_EQ(r.second_done, probe.first_done); // settles at dispatch
+    EXPECT_EQ(r.exhausted, 1u);
+}
+
+TEST(RobustRuntime, HalfOpenProbeFailureConsumesOneProbeAndReopens)
+{
+    runtime::Platform plat;
+    const runtime::DeviceId dev =
+        plat.addAccelerator("a0", accel::Domain::FFT, bump);
+    fault::FaultPlan plan;
+    for (std::uint64_t n = 0; n < 8; ++n)
+        plan.scriptKernel(n, fault::KernelAction::Fail);
+    plat.setFaultPlan(&plan);
+
+    RobustConfig rc;
+    rc.breaker.enabled = true;
+    rc.breaker.failure_threshold = 2;
+    rc.breaker.cooldown = tick_per_ms;
+    rc.breaker.half_open_probes = 1;
+    plat.setRobustConfig(rc);
+
+    // Fresh context per command: a settled error poisons its in-order
+    // queue, and cascaded successors would muddy the probe accounting.
+    const auto runCommand = [&] {
+        auto c = plat.createContextPtr();
+        const auto in = c->createBuffer(runtime::Bytes(64, 9));
+        const auto out = c->createBuffer();
+        runtime::Event e = c->queue(dev).enqueueKernel(in, out);
+        plat.drain();
+        return e.status();
+    };
+
+    // Command 1 fails its first attempts against scripted failures;
+    // the breaker trips Open mid-retry (threshold 2), so the remaining
+    // retry sheds at the breaker.
+    EXPECT_EQ(runCommand(), runtime::Status::Shed);
+    const robust::CircuitBreaker *br = plat.deviceBreaker(dev);
+    ASSERT_NE(br, nullptr);
+    EXPECT_EQ(br->state(), BreakerState::Open);
+    EXPECT_EQ(br->opens(), 1u);
+    const std::uint64_t kernels_before = plan.stats().kernels_seen;
+
+    // Past the cool-down, the next command becomes the single HalfOpen
+    // probe; its scripted failure re-opens the breaker, and the retry
+    // finds the breaker Open again (probe budget spent), so it sheds
+    // without touching the device.
+    plat.eventQueue().scheduleIn(2 * rc.breaker.cooldown, [] {});
+    plat.drain();
+    EXPECT_EQ(runCommand(), runtime::Status::Shed);
+    EXPECT_EQ(br->state(), BreakerState::Open);
+    EXPECT_EQ(br->opens(), 2u); // Closed->Open, HalfOpen->Open
+    // Exactly one probe reached the device.
+    EXPECT_EQ(plan.stats().kernels_seen, kernels_before + 1);
+
+    // While re-opened, fresh commands fast-fail without a device query.
+    EXPECT_EQ(runCommand(), runtime::Status::Shed);
+    EXPECT_EQ(plan.stats().kernels_seen, kernels_before + 1);
+}
+
 TEST(RobustRuntime, ShedIsObservableLikeOtherTerminalStates)
 {
     EXPECT_EQ(runtime::toString(runtime::Status::Shed), "shed");
@@ -540,6 +668,90 @@ TEST(RobustDeterminism, BreakerTransitionTracesAreJobsInvariant)
         if (s.find("breaker_open") != std::string::npos)
             any_robust = true;
     EXPECT_TRUE(any_robust);
+}
+
+namespace
+{
+
+/**
+ * The scripted HalfOpen-probe sequence of
+ * RobustRuntime.HalfOpenProbeFailureConsumesOneProbeAndReopens, as a
+ * scenario: trip the breaker, wait out the cool-down, fail the single
+ * probe. @return serialized Robust spans plus the breaker accounting.
+ */
+std::string
+halfOpenScenario(exec::ScenarioContext &ctx)
+{
+    const std::uint64_t seed = ctx.rng().next();
+
+    runtime::Platform plat;
+    const runtime::DeviceId dev =
+        plat.addAccelerator("a0", accel::Domain::FFT, bump);
+    fault::FaultSpec spec;
+    spec.seed = seed; // varies backoff jitter across scenarios
+    fault::FaultPlan plan(spec);
+    for (std::uint64_t n = 0; n < 8; ++n)
+        plan.scriptKernel(n, fault::KernelAction::Fail);
+    plat.setFaultPlan(&plan);
+
+    RobustConfig rc;
+    rc.breaker.enabled = true;
+    rc.breaker.failure_threshold = 2;
+    rc.breaker.cooldown = tick_per_ms;
+    plat.setRobustConfig(rc);
+
+    // Fresh context per command (a settled error poisons its queue).
+    const auto runCommand = [&] {
+        auto c = plat.createContextPtr();
+        const auto in = c->createBuffer(runtime::Bytes(64, 9));
+        const auto out = c->createBuffer();
+        c->queue(dev).enqueueKernel(in, out);
+        plat.drain();
+    };
+    runCommand();
+    plat.eventQueue().scheduleIn(2 * rc.breaker.cooldown, [] {});
+    plat.drain();
+    runCommand();
+
+    const trace::TraceBuffer &tb = ctx.trace();
+    std::string out;
+    for (const trace::Span &s : tb.spans()) {
+        if (s.cat != trace::Category::Robust)
+            continue;
+        out += tb.stringAt(s.name) + "|" + tb.stringAt(s.track) + "|" +
+               std::to_string(s.begin) + "|" + std::to_string(s.end) +
+               "\n";
+    }
+    const robust::CircuitBreaker *br = plat.deviceBreaker(dev);
+    out += "opens=" + std::to_string(br->opens());
+    out += " ff=" + std::to_string(br->fastFails());
+    out += " kernels=" + std::to_string(plan.stats().kernels_seen);
+    return out;
+}
+
+} // namespace
+
+TEST(RobustDeterminism, HalfOpenProbeTracesAreJobsInvariant)
+{
+    constexpr std::size_t kScenarios = 6;
+    const auto fn = std::function<std::string(exec::ScenarioContext &,
+                                              std::size_t)>(
+        [](exec::ScenarioContext &ctx, std::size_t) {
+            return halfOpenScenario(ctx);
+        });
+
+    exec::ScenarioRunner serial(1), pooled(8);
+    const std::vector<std::string> a = serial.map<std::string>(kScenarios, fn);
+    const std::vector<std::string> b = pooled.map<std::string>(kScenarios, fn);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << "scenario " << i;
+        // Every scenario walks the same scripted state machine:
+        // Closed->Open, cool-down, HalfOpen, probe fails, Open again.
+        EXPECT_NE(a[i].find("breaker_half-open"), std::string::npos);
+        EXPECT_NE(a[i].find("opens=2"), std::string::npos);
+    }
 }
 
 // --------------------------------------------- sys closed-loop wiring

@@ -257,6 +257,7 @@ main(int argc, char **argv)
     }
 
     int regressions = 0;
+    int missing = 0;
     std::size_t gated = 0;
     for (const auto &[name, base_v] : base.metrics) {
         const bool info = informational(name);
@@ -264,9 +265,13 @@ main(int argc, char **argv)
         if (it == cand.metrics.end()) {
             if (info)
                 continue; // host-side extras may come and go freely
-            std::printf("MISSING  %-40s (baseline %.6g)\n", name.c_str(),
-                        base_v);
-            ++regressions;
+            // A gated metric that vanished is a harness bug or a
+            // renamed key, not a perf delta - fail loudly per key so
+            // the break is attributable without rerunning anything.
+            std::printf("MISSING  %-40s baseline %.6g, no such key in "
+                        "'%s'\n",
+                        name.c_str(), base_v, cand_path.c_str());
+            ++missing;
             continue;
         }
         const bool up_good = higherIsBetter(name);
@@ -296,9 +301,10 @@ main(int argc, char **argv)
             ++regressions;
     }
 
-    if (regressions) {
-        std::printf("bench_diff: %d metric(s) regressed beyond %.1f%%\n",
-                    regressions, tolerance_pct);
+    if (regressions || missing) {
+        std::printf("bench_diff: %d metric(s) regressed beyond %.1f%%, "
+                    "%d baseline metric(s) missing from candidate\n",
+                    regressions, tolerance_pct, missing);
         return 1;
     }
     std::printf("bench_diff: all %zu metric(s) within %.1f%%\n",
