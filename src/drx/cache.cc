@@ -134,6 +134,21 @@ kernelStructuralHash(const restructure::Kernel &kernel,
     return f.h;
 }
 
+std::uint64_t
+fusedChainHash(const std::vector<restructure::Kernel> &parts,
+               const DrxConfig &cfg)
+{
+    // Tagged fold of the per-part structural hashes: the leading tag
+    // plus the length keep fused entries in a hash family disjoint
+    // from plain kernelStructuralHash values of the same content.
+    Fnv f;
+    f.u64(0xFC5EDC4A11ull); // "fused chain" domain tag
+    f.u64(parts.size());
+    for (const restructure::Kernel &k : parts)
+        f.u64(kernelStructuralHash(k, cfg));
+    return f.h;
+}
+
 namespace
 {
 
@@ -268,7 +283,8 @@ ProgramCache::lookup(const restructure::Kernel &kernel,
     ++_clock;
 
     auto it = _entries.find(out.key);
-    if (it != _entries.end() && drxConfigEqual(it->second.cfg, cfg) &&
+    if (it != _entries.end() && it->second.parts.empty() &&
+        drxConfigEqual(it->second.cfg, cfg) &&
         kernelStructurallyEqual(it->second.kernel, kernel)) {
         it->second.last_used = _clock;
         out.compiled = it->second.compiled;
@@ -298,6 +314,64 @@ ProgramCache::lookup(const restructure::Kernel &kernel,
     e.cfg = cfg;
     e.compiled =
         std::make_shared<const CompiledKernel>(planKernel(kernel, cfg));
+    e.last_used = _clock;
+    out.compiled = e.compiled;
+    _entries[out.key] = std::move(e);
+    ++_counters.compile_misses;
+    ++_stat_misses;
+    bump(g_compile_misses);
+    traceEvent("miss", tick);
+    evictIfNeeded(tick);
+    return out;
+}
+
+ProgramCache::LookupResult
+ProgramCache::lookupFused(const std::vector<restructure::Kernel> &parts,
+                          const DrxConfig &cfg, Tick tick,
+                          const std::function<CompiledKernel()> &plan)
+{
+    LookupResult out;
+    out.key = fusedChainHash(parts, cfg);
+    ++_clock;
+
+    auto partsEqual = [&parts](const Entry &e) {
+        if (e.parts.size() != parts.size())
+            return false;
+        for (std::size_t i = 0; i < parts.size(); ++i)
+            if (!kernelStructurallyEqual(e.parts[i], parts[i]))
+                return false;
+        return true;
+    };
+
+    auto it = _entries.find(out.key);
+    if (it != _entries.end() && !it->second.parts.empty() &&
+        drxConfigEqual(it->second.cfg, cfg) && partsEqual(it->second)) {
+        it->second.last_used = _clock;
+        out.compiled = it->second.compiled;
+        out.timing = _cfg.timing_memo ? it->second.timing : nullptr;
+        out.hit = true;
+        ++_counters.compile_hits;
+        ++_stat_hits;
+        bump(g_compile_hits);
+        if (out.timing) {
+            ++_counters.timing_hits;
+            ++_stat_timing_hits;
+            bump(g_timing_hits);
+        } else {
+            ++_counters.timing_misses;
+            ++_stat_timing_misses;
+            bump(g_timing_misses);
+        }
+        traceEvent("hit", tick);
+        return out;
+    }
+
+    // Miss (or a collision with a plain or mismatched entry, which the
+    // partwise verification downgrades to a replacement miss).
+    Entry e;
+    e.parts = parts;
+    e.cfg = cfg;
+    e.compiled = std::make_shared<const CompiledKernel>(plan());
     e.last_used = _clock;
     out.compiled = e.compiled;
     _entries[out.key] = std::move(e);

@@ -38,6 +38,7 @@
 #define DMX_DRX_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +102,14 @@ std::uint64_t kernelStructuralHash(const restructure::Kernel &kernel,
 bool kernelStructurallyEqual(const restructure::Kernel &a,
                              const restructure::Kernel &b);
 
+/**
+ * Structural hash of a fused kernel chain: a tagged fold of each
+ * part's kernelStructuralHash, so a chain entry can never collide
+ * "by type" with a plain single-kernel entry of the same content.
+ */
+std::uint64_t fusedChainHash(const std::vector<restructure::Kernel> &parts,
+                             const DrxConfig &cfg);
+
 /** Field-by-field equality of two hardware configurations. */
 bool drxConfigEqual(const DrxConfig &a, const DrxConfig &b);
 
@@ -136,6 +145,19 @@ class ProgramCache
      */
     LookupResult lookup(const restructure::Kernel &kernel,
                         const DrxConfig &cfg, Tick tick = 0);
+
+    /**
+     * Look up (and on a miss, build via @p plan and insert) the fused
+     * plan for the kernel chain @p parts on hardware @p cfg. The entry
+     * is keyed by fusedChainHash and verified part-by-part, and shares
+     * the LRU/counter machinery with plain entries. @p plan is only
+     * invoked on a miss; it must return the fused base-0 plan (the
+     * caller has already proven the chain legal -- see
+     * drx::planFusedChain, the only intended caller).
+     */
+    LookupResult lookupFused(const std::vector<restructure::Kernel> &parts,
+                             const DrxConfig &cfg, Tick tick,
+                             const std::function<CompiledKernel()> &plan);
 
     /**
      * Attach a timing memo to the entry for @p key. Ignored when the
@@ -179,6 +201,9 @@ class ProgramCache
         std::shared_ptr<const CompiledKernel> compiled;
         std::shared_ptr<const std::vector<RunResult>> timing;
         std::uint64_t last_used = 0; ///< LRU clock value
+        /// Fused-chain entries store every part kernel for collision
+        /// verification instead of `kernel`; empty marks a plain entry.
+        std::vector<restructure::Kernel> parts;
     };
 
     void evictIfNeeded(Tick tick);

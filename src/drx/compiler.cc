@@ -237,6 +237,11 @@ detectAffine(const std::vector<std::uint32_t> &idx)
                 return p;
         }
     }
+    // Descending patterns (e.g. a reversing permutation) would need
+    // negative stream offsets, which the machine's address generator
+    // does not produce; such gathers take the index-table path.
+    if (A < 0 || B < 0)
+        return p;
     p.ok = true;
     p.inner = m;
     p.inner_stride = A;

@@ -1,11 +1,13 @@
 #include "integrity/chain.hh"
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 
 #include "common/logging.hh"
 #include "integrity/checksum.hh"
 #include "robust/breaker.hh"
+#include "runtime/chain.hh"
 #include "trace/trace.hh"
 
 namespace dmx::integrity
@@ -89,6 +91,222 @@ toString(MismatchPolicy p)
     return "?";
 }
 
+const char *
+toString(ChainMode m)
+{
+    switch (m) {
+      case ChainMode::PerHop:     return "per-hop";
+      case ChainMode::Descriptor: return "descriptor";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * Descriptor-mode chain execution: the chain is cut into segments
+ * (cfg.segment_stages stages each; 0 = one segment), and every segment
+ * is submitted as one runtime::enqueueChain descriptor list - hops
+ * verify in-engine under protection, the host pays one round trip per
+ * segment, and checkpoints fall on segment (descriptor-chain)
+ * boundaries. Recovery reuses the PerHop vocabulary: a failed stage
+ * descriptor triggers failover to an alternate placement, a failed hop
+ * descriptor (in-engine retransmits exhausted) triggers a rollback,
+ * and both replay the segment from the last checkpoint.
+ */
+ChainReport
+runChainDescriptor(runtime::Platform &plat,
+                   const std::vector<ChainStage> &stages,
+                   const runtime::Bytes &input, const ChainConfig &cfg)
+{
+    ChainReport report;
+    const Tick t0 = plat.now();
+    const bool protect = cfg.protection == ProtectionMode::E2eChecksum;
+
+    std::vector<runtime::DeviceId> devmap(stages.size());
+    for (std::size_t i = 0; i < stages.size(); ++i)
+        devmap[i] = stages[i].device;
+
+    runtime::Bytes cur = input;
+    if (protect) {
+        chargeChecksum(plat, cur.size(), "checksum",
+                       cfg.checksum_bytes_per_sec);
+    }
+    std::size_t ckpt_stage = 0;
+    runtime::Bytes ckpt_data = cur;
+
+    const auto budgetLeft = [&] {
+        return report.recoveries() < cfg.max_recoveries;
+    };
+    const auto finalize = [&](bool ok, runtime::Status status) {
+        report.ok = ok;
+        report.status = status;
+        if (!ok)
+            report.output.clear();
+        report.makespan = plat.now() - t0;
+    };
+
+    std::size_t i = 0;
+    while (i < stages.size()) {
+        // Proactive failover, exactly as in PerHop mode.
+        if (!usable(plat, devmap[i])) {
+            const runtime::DeviceId alt =
+                pickAlternate(plat, stages[i], devmap[i]);
+            if (alt == no_device || !budgetLeft()) {
+                finalize(false, runtime::Status::Failed);
+                return report;
+            }
+            const runtime::DeviceId failed = devmap[i];
+            for (std::size_t j = 0; j < devmap.size(); ++j)
+                if (devmap[j] == failed)
+                    devmap[j] = alt;
+            ++report.failovers;
+            markEvent("failover", plat.now(), alt);
+        }
+
+        const std::size_t seg_end =
+            cfg.segment_stages
+                ? std::min(stages.size(),
+                           i + static_cast<std::size_t>(
+                                   cfg.segment_stages))
+                : stages.size();
+
+        // Lower [i, seg_end) to a descriptor list: a Copy descriptor
+        // per device change, a stage descriptor per stage - with
+        // adjacent stages on the same DRX grouped into one Restructure
+        // descriptor when fusion is requested.
+        auto ctx = plat.createContextPtr();
+        std::vector<runtime::ChainOp> ops;
+        struct OpSpan
+        {
+            std::size_t first_stage;
+            unsigned span; ///< stages covered; 0 marks a hop
+        };
+        std::vector<OpSpan> spans;
+        runtime::BufferId b_cur = ctx->createBuffer(cur);
+
+        std::size_t j = i;
+        while (j < seg_end) {
+            const runtime::DeviceId dev = devmap[j];
+            if (j > 0 && devmap[j - 1] != dev) {
+                runtime::ChainOp hop;
+                hop.kind = runtime::ChainOp::Kind::Copy;
+                hop.device = devmap[j - 1];
+                hop.dst_device = dev;
+                hop.in = b_cur;
+                hop.out = ctx->createBuffer();
+                b_cur = hop.out;
+                ops.push_back(std::move(hop));
+                spans.push_back({j, 0});
+            }
+            runtime::ChainOp st;
+            st.device = dev;
+            st.in = b_cur;
+            st.out = ctx->createBuffer();
+            b_cur = st.out;
+            std::size_t next = j + 1;
+            if (plat.deviceIsDrx(dev)) {
+                st.kind = runtime::ChainOp::Kind::Restructure;
+                st.kernels.push_back(stages[j].kernel);
+                while (cfg.fuse && next < seg_end &&
+                       devmap[next] == dev) {
+                    st.kernels.push_back(stages[next].kernel);
+                    ++next;
+                }
+            } else {
+                st.kind = runtime::ChainOp::Kind::Kernel;
+            }
+            spans.push_back({j, static_cast<unsigned>(next - j)});
+            ops.push_back(std::move(st));
+            j = next;
+        }
+
+        runtime::ChainOptions copts;
+        copts.fuse = cfg.fuse;
+        copts.hop_crc = protect;
+        copts.crc_bytes_per_sec = cfg.checksum_bytes_per_sec;
+        runtime::ChainEvent ev =
+            runtime::enqueueChain(*ctx, ops, copts);
+        ctx->finish();
+        ++report.descriptor_chains;
+        ++report.round_trips;
+
+        // Fold the per-descriptor completion records into the report's
+        // PerHop vocabulary.
+        const auto &recs = ev.records();
+        for (std::size_t k = 0; k < recs.size(); ++k) {
+            const runtime::DescriptorRecord &r = recs[k];
+            if (spans[k].span == 0) {
+                report.hops_run += r.attempts;
+                report.mismatches_detected += r.crc_mismatches;
+                if (r.attempts > 1)
+                    report.hop_retransmits += r.attempts - 1;
+            } else {
+                report.stages_run += r.attempts * spans[k].span;
+                if (r.fused && r.attempts > 0)
+                    report.fused_stages += spans[k].span - 1;
+            }
+        }
+
+        if (ev.ok()) {
+            cur = ctx->read(b_cur);
+            if (protect) {
+                chargeChecksum(plat, cur.size(), "checksum",
+                               cfg.checksum_bytes_per_sec);
+            }
+            if (cfg.checkpoints) {
+                ckpt_stage = seg_end;
+                ckpt_data = cur;
+                ++report.checkpoints_taken;
+                markEvent("checkpoint", plat.now(), seg_end - 1);
+            }
+            i = seg_end;
+            continue;
+        }
+
+        // The segment failed at descriptor ev.failedIndex().
+        if (!budgetLeft()) {
+            finalize(false, ev.status());
+            return report;
+        }
+        const int fi = ev.failedIndex();
+        const std::size_t failed_stage =
+            fi >= 0 ? spans[static_cast<std::size_t>(fi)].first_stage
+                    : i;
+        const bool stage_failed =
+            fi >= 0 && spans[static_cast<std::size_t>(fi)].span > 0;
+        if (stage_failed) {
+            const runtime::DeviceId dev = devmap[failed_stage];
+            const runtime::DeviceId alt =
+                pickAlternate(plat, stages[failed_stage], dev);
+            if (alt == no_device) {
+                finalize(false, ev.status());
+                return report;
+            }
+            for (std::size_t j2 = 0; j2 < devmap.size(); ++j2)
+                if (devmap[j2] == dev)
+                    devmap[j2] = alt;
+            ++report.failovers;
+            markEvent("failover", plat.now(), alt);
+        } else {
+            // A hop descriptor exhausted its in-engine retransmits
+            // (fail-stop transport loss or persistent corruption):
+            // replay the segment from the last checkpoint.
+            ++report.rollbacks;
+            markEvent("rollback", plat.now(), ckpt_stage);
+        }
+        cur = ckpt_data;
+        i = ckpt_stage;
+    }
+
+    report.output = cur;
+    finalize(true, runtime::Status::Ok);
+    return report;
+}
+
+} // namespace
+
 ChainReport
 runChain(runtime::Platform &plat, const std::vector<ChainStage> &stages,
          const runtime::Bytes &input, const ChainConfig &cfg)
@@ -103,6 +321,9 @@ runChain(runtime::Platform &plat, const std::vector<ChainStage> &stages,
     for (const ChainStage &st : stages)
         if (st.device >= plat.deviceCount())
             dmx_fatal("runChain: bad stage device %zu", st.device);
+
+    if (cfg.mode == ChainMode::Descriptor)
+        return runChainDescriptor(plat, stages, input, cfg);
 
     const Tick t0 = plat.now();
     const bool protect = cfg.protection == ProtectionMode::E2eChecksum;
@@ -179,6 +400,7 @@ runChain(runtime::Platform &plat, const std::vector<ChainStage> &stages,
                                        .enqueueCopy(srcb, dstb, dev);
                 ctx->finish();
                 ++report.hops_run;
+                ++report.round_trips;
                 bool good = e.ok();
                 if (good && protect) {
                     chargeChecksum(plat, cur.size(), "verify",
@@ -237,6 +459,7 @@ runChain(runtime::Platform &plat, const std::vector<ChainStage> &stages,
                 : ctx->queue(dev).enqueueKernel(inb, outb);
         ctx->finish();
         ++report.stages_run;
+        ++report.round_trips;
         if (!e.ok()) {
             // Mid-chain device failure (or an uncorrectable ECC error
             // that exhausted the retry budget): re-route the remaining

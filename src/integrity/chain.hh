@@ -55,9 +55,24 @@ enum class MismatchPolicy : std::uint8_t
     RollbackReplay, ///< restore the last verified checkpoint and replay
 };
 
+/** How the chain's commands reach the devices. */
+enum class ChainMode : std::uint8_t
+{
+    /// Legacy: one enqueue + finish per hop and per stage; every
+    /// command pays its own DMA setup and driver round trip.
+    PerHop,
+    /// Linked-descriptor submission (runtime::enqueueChain): one
+    /// submission drives a whole segment autonomously; hop CRC
+    /// verification moves into the engine, checkpoints fall on
+    /// descriptor-chain (segment) boundaries, and the host pays one
+    /// round trip per segment.
+    Descriptor,
+};
+
 /** @return human name, e.g. "e2e-checksum". */
 const char *toString(ProtectionMode m);
 const char *toString(MismatchPolicy p);
+const char *toString(ChainMode m);
 
 /**
  * One chain stage: a device plus (for DRX devices) the restructuring
@@ -91,6 +106,20 @@ struct ChainConfig
     /// Modeled host-side checksum throughput: generation and
     /// verification each charge bytes / rate of simulated time.
     double checksum_bytes_per_sec = 20e9;
+
+    /// Submission mode. Default PerHop is the legacy path, byte- and
+    /// tick-identical to before ChainMode existed.
+    ChainMode mode = ChainMode::PerHop;
+
+    /// Descriptor mode only: fuse adjacent same-device DRX stages into
+    /// one compiled plan (drx::planFusedChain; stages whose plans are
+    /// not legally fusable silently run back-to-back instead).
+    bool fuse = false;
+
+    /// Descriptor mode only: stages per descriptor-chain segment
+    /// (checkpoint/recovery boundary). 0 = the whole chain is one
+    /// segment.
+    unsigned segment_stages = 0;
 };
 
 /** Outcome and recovery accounting of one chain execution. */
@@ -108,6 +137,13 @@ struct ChainReport
     unsigned rollbacks = 0;
     unsigned failovers = 0;
     unsigned checkpoints_taken = 0;
+    /// Host/driver round trips paid: one per command in PerHop mode,
+    /// one per descriptor-chain segment in Descriptor mode.
+    unsigned round_trips = 0;
+    unsigned descriptor_chains = 0; ///< enqueueChain submissions made
+    /// Stage executions saved by fusion: each fused group of k stages
+    /// contributes k-1 (0 in PerHop mode or with fusion off).
+    unsigned fused_stages = 0;
 
     /** @return recovery actions consumed (vs max_recoveries). */
     unsigned

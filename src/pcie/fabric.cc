@@ -152,6 +152,64 @@ FlowId
 Fabric::startFlowChecked(NodeId src, NodeId dst, std::uint64_t bytes,
                          FlowStatusCallback callback)
 {
+    return startFlowInternal(src, dst, bytes, _params.dma_setup,
+                             std::move(callback));
+}
+
+FlowId
+Fabric::startDescriptorFlow(const DmaDescriptor &desc,
+                            bool first_descriptor,
+                            FlowStatusCallback callback)
+{
+    if (!first_descriptor) {
+        ++_descriptor_fetches;
+        if (auto *tb = trace::active())
+            tb->count("fabric.descriptor_fetches", now());
+    }
+    return startFlowInternal(desc.src, desc.dst, desc.bytes,
+                             first_descriptor
+                                 ? _params.dma_setup
+                                 : _params.desc_fetch_latency,
+                             std::move(callback));
+}
+
+void
+Fabric::startDescriptorChain(std::vector<DmaDescriptor> chain,
+                             FlowStatusCallback done)
+{
+    if (chain.empty()) {
+        if (done)
+            done(true);
+        return;
+    }
+    ++_descriptor_chains;
+    if (auto *tb = trace::active())
+        tb->count("fabric.descriptor_chains", now());
+    // Shared walk state: each completion launches the next descriptor
+    // from inside the previous one's status callback, so the engine
+    // never consults the host between hops.
+    auto descs = std::make_shared<std::vector<DmaDescriptor>>(
+        std::move(chain));
+    auto step = std::make_shared<std::function<void(std::size_t)>>();
+    *step = [this, descs, step, done = std::move(done)](std::size_t i) {
+        startDescriptorFlow(
+            (*descs)[i], /*first_descriptor=*/i == 0,
+            [this, descs, step, done, i](bool ok) {
+                if (!ok || i + 1 == descs->size()) {
+                    if (done)
+                        done(ok);
+                    return;
+                }
+                (*step)(i + 1);
+            });
+    };
+    (*step)(0);
+}
+
+FlowId
+Fabric::startFlowInternal(NodeId src, NodeId dst, std::uint64_t bytes,
+                          Tick setup, FlowStatusCallback callback)
+{
     if (src >= _nodes.size() || dst >= _nodes.size())
         dmx_fatal("startFlow: node id out of range");
     if (src == dst)
@@ -189,8 +247,9 @@ Fabric::startFlowChecked(NodeId src, NodeId dst, std::uint64_t bytes,
             tb->count("fabric.corrupted", now());
     }
 
-    // Start latency: DMA setup plus one traversal fee per interior node.
-    Tick latency = _params.dma_setup;
+    // Start latency: the setup fee (full DMA-engine setup, or a linked
+    // descriptor fetch) plus one traversal fee per interior node.
+    Tick latency = setup;
     NodeId cur = src;
     for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {
         const Link &link = _links[flow.path[i].link];

@@ -71,6 +71,26 @@ struct FabricParams
     /// Delay charged per link-CRC replay event (replay-timer expiry
     /// plus TLP retransmission) before the flow may start streaming.
     Tick crc_replay_latency = 600 * tick_per_ns;
+    /// Cost of the DMA engine fetching the *next* linked-list
+    /// descriptor out of host memory: one small read across the
+    /// fabric, far cheaper than a full software doorbell + engine
+    /// setup (dma_setup). Charged instead of dma_setup for every
+    /// descriptor of a chain after the first.
+    Tick desc_fetch_latency = 100 * tick_per_ns;
+};
+
+/**
+ * One linked-list DMA descriptor: a (src, dst, bytes) transfer the
+ * engine executes autonomously. A chain of descriptors is walked
+ * without host involvement: the first pays the full dma_setup
+ * (doorbell + engine programming), each successor only the
+ * desc_fetch_latency of pulling the next descriptor from memory.
+ */
+struct DmaDescriptor
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::uint64_t bytes = 0;
 };
 
 /**
@@ -127,6 +147,36 @@ class Fabric : public sim::SimObject
      */
     FlowId startFlowChecked(NodeId src, NodeId dst, std::uint64_t bytes,
                             FlowStatusCallback callback);
+
+    /**
+     * Start one descriptor of a linked-list DMA chain. Identical to
+     * startFlowChecked - same fault-hook consultation, same link-CRC
+     * replays, same contention model - except for the setup cost:
+     * @p first_descriptor charges the full dma_setup (the host rang
+     * the doorbell), a follow-on descriptor charges only
+     * desc_fetch_latency (the engine pulled the next descriptor out
+     * of memory itself).
+     */
+    FlowId startDescriptorFlow(const DmaDescriptor &desc,
+                               bool first_descriptor,
+                               FlowStatusCallback callback);
+
+    /**
+     * Walk @p chain autonomously: descriptor i+1 starts when i
+     * delivers intact. The walk aborts on the first corrupted delivery
+     * (callback fires with ok == false) and wedges on an injected
+     * stall (callback never fires - the caller's watchdog owns
+     * detection, exactly as for single flows). @p done receives the
+     * overall outcome and runs at the last delivery.
+     */
+    void startDescriptorChain(std::vector<DmaDescriptor> chain,
+                              FlowStatusCallback done);
+
+    /** @return descriptor-chain walks started. */
+    std::uint64_t descriptorChains() const { return _descriptor_chains; }
+
+    /** @return non-first descriptors fetched by the engine itself. */
+    std::uint64_t descriptorFetches() const { return _descriptor_fetches; }
 
     /**
      * Install (or clear, with nullptr) the fault-injection hook
@@ -231,6 +281,10 @@ class Fabric : public sim::SimObject
     /** Find the unique tree path between two nodes (directed links). */
     std::vector<DirectedLink> findPath(NodeId src, NodeId dst) const;
 
+    /** Shared flow-start body; @p setup is the charged setup latency. */
+    FlowId startFlowInternal(NodeId src, NodeId dst, std::uint64_t bytes,
+                             Tick setup, FlowStatusCallback callback);
+
     /** Charge progress to all flows for time elapsed since last update. */
     void advanceProgress();
 
@@ -259,6 +313,8 @@ class Fabric : public sim::SimObject
     sim::EventHandle _pending_check;
     std::uint64_t _total_bytes = 0;
     std::uint64_t _switch_traversals = 0;
+    std::uint64_t _descriptor_chains = 0;
+    std::uint64_t _descriptor_fetches = 0;
 };
 
 } // namespace dmx::pcie

@@ -125,6 +125,7 @@ struct CommandPolicy
 namespace detail
 {
 struct CommandEngine;
+struct ChainEngine;
 }
 
 /** Completion state shared with the host program. */
@@ -465,6 +466,7 @@ class Platform
     friend class Context;
     friend class CommandQueue;
     friend struct detail::CommandEngine;
+    friend struct detail::ChainEngine;
 
     struct Device
     {

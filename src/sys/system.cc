@@ -28,6 +28,16 @@ toString(Placement p)
     return "?";
 }
 
+std::string
+toString(ChainSubmission c)
+{
+    switch (c) {
+      case ChainSubmission::PerHop:     return "per-hop";
+      case ChainSubmission::Descriptor: return "descriptor";
+    }
+    return "?";
+}
+
 double
 percentileNearestRank(std::vector<double> values, double p)
 {
@@ -111,6 +121,13 @@ class SystemSim
     void notifyThen(std::size_t a, std::function<void()> next);
 
     /**
+     * Continue a mid-chain pipeline step: a full notify/doorbell round
+     * trip in PerHop mode, a linked-descriptor fetch by the engine in
+     * Descriptor mode (the host is never involved).
+     */
+    void chainThen(std::size_t a, std::function<void()> next);
+
+    /**
      * A flow that survives injected faults: corrupted (or stalled,
      * mapped to corrupted by the installed hook) transfers are
      * retransmitted until delivered, each replay re-paying the full
@@ -137,6 +154,8 @@ class SystemSim
     pcie::NodeId _hostmem = 0; ///< DRAM staging behind the root complex
     std::uint64_t _flow_retries = 0;
     std::uint64_t _dropped_irqs = 0;
+    std::uint64_t _driver_round_trips = 0;
+    std::uint64_t _desc_fetches = 0;
     /// System-level admission: depth is the system-wide in-flight
     /// request count; sojourn feedback is end-to-end request latency.
     std::unique_ptr<robust::AdmissionController> _admission;
@@ -435,6 +454,7 @@ void
 SystemSim::notifyThen(std::size_t a, std::function<void()> next)
 {
     (void)a;
+    ++_driver_round_trips;
     const driver::InterruptController::Notification n =
         _irq->notifyChecked();
     if (!n.delivered) {
@@ -446,6 +466,26 @@ SystemSim::notifyThen(std::size_t a, std::function<void()> next)
         tb->instant(trace::Category::Driver,
                     n.delivered ? "irq" : "poll", "host.irq", _eq.now());
     _eq.scheduleIn(n.latency, std::move(next));
+}
+
+void
+SystemSim::chainThen(std::size_t a, std::function<void()> next)
+{
+    if (_cfg.chain != ChainSubmission::Descriptor || !_fabric) {
+        notifyThen(a, std::move(next));
+        return;
+    }
+    (void)a;
+    // The engine pulls the next linked descriptor out of host memory
+    // itself; no interrupt reaches the host and no doorbell returns.
+    ++_desc_fetches;
+    if (auto *tb = trace::active()) {
+        tb->instant(trace::Category::Driver, "desc_fetch", "host.irq",
+                    _eq.now());
+        tb->count("sys.descriptor_fetches", _eq.now());
+    }
+    _eq.scheduleIn(_fabric->params().desc_fetch_latency,
+                   std::move(next));
 }
 
 void
@@ -547,8 +587,10 @@ SystemSim::kernelDone(std::size_t a, std::size_t k)
         startMotion(a, k);
         return;
     }
-    // Completion interrupt; the driver then programs the DMA.
-    notifyThen(a, [this, a, k] { startMotion(a, k); });
+    // Completion interrupt; the driver then programs the DMA. Under
+    // descriptor chaining the engine already holds the next transfer's
+    // descriptor, so chainThen replaces the round trip with a fetch.
+    chainThen(a, [this, a, k] { startMotion(a, k); });
 }
 
 void
@@ -658,11 +700,12 @@ SystemSim::restructureDone(std::size_t a, std::size_t k)
     }
     if (_cfg.placement == Placement::PcieIntegrated) {
         // Data already arrived with the flow; only the doorbell remains.
-        notifyThen(a, [this, a, k] { deliverToNext(a, k); });
+        chainThen(a, [this, a, k] { deliverToNext(a, k); });
         return;
     }
-    // Restructure-complete interrupt, then p2p DMA to the next device.
-    notifyThen(a, [this, a, k] {
+    // Restructure-complete interrupt, then p2p DMA to the next device
+    // (a descriptor fetch instead under descriptor chaining).
+    chainThen(a, [this, a, k] {
         AppInstance &ap = _apps[a];
         const MotionTiming &mt = ap.model->motions[k];
         pcie::NodeId src;
@@ -800,6 +843,8 @@ SystemSim::run()
     stats.dropped_irqs = _dropped_irqs;
     stats.queue_overflows = _queue_overflows;
     stats.peak_active_flows = _fabric ? _fabric->peakActiveFlows() : 0;
+    stats.driver_round_trips = _driver_round_trips;
+    stats.descriptor_fetches = _desc_fetches;
 
     // Energy.
     EnergyInputs ein;

@@ -59,6 +59,23 @@ enum class Placement
 /** @return human name, e.g. "bump-in-the-wire". */
 std::string toString(Placement p);
 
+/** How the closed loop drives a request's multi-hop chain. */
+enum class ChainSubmission : std::uint8_t
+{
+    /// Legacy: a driver notify/doorbell round trip between every
+    /// pipeline step (kernel -> motion, restructure -> next hop).
+    PerHop,
+    /// Linked-descriptor chaining: the host programs the whole chain
+    /// up front; between steps the engine fetches the next descriptor
+    /// (pcie::FabricParams::desc_fetch_latency) instead of
+    /// interrupting the host. Only the final completion still
+    /// notifies.
+    Descriptor,
+};
+
+/** @return human name, e.g. "descriptor". */
+std::string toString(ChainSubmission c);
+
 /** Full system configuration. */
 struct SystemConfig
 {
@@ -93,6 +110,9 @@ struct SystemConfig
     /// Optional per-app admission priorities (0 = highest); apps past
     /// the end of the vector default to priority 0.
     std::vector<unsigned> priorities;
+    /// Chain submission mode. Default PerHop is byte- and tick-
+    /// identical to the pre-chaining closed loop.
+    ChainSubmission chain = ChainSubmission::PerHop;
 };
 
 /** Per-request time split (averaged), in milliseconds. */
@@ -188,6 +208,12 @@ struct RunStats
     std::uint64_t integrity_uncorrected = 0;
     std::uint64_t integrity_sdc_escapes = 0;
     std::uint64_t link_crc_replays = 0; ///< fabric CRC replay events
+
+    /// Driver round trips paid between pipeline steps (notify +
+    /// doorbell pairs). Under ChainSubmission::Descriptor the
+    /// mid-chain trips become engine descriptor fetches instead.
+    std::uint64_t driver_round_trips = 0;
+    std::uint64_t descriptor_fetches = 0;
 
     /// @return hits / (hits + misses), 0 when idle.
     double

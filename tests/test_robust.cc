@@ -20,6 +20,7 @@
 #include "robust/admission.hh"
 #include "robust/breaker.hh"
 #include "robust/credit.hh"
+#include "runtime/chain.hh"
 #include "runtime/runtime.hh"
 #include "sys/overload.hh"
 #include "sys/system.hh"
@@ -481,6 +482,121 @@ TEST(RobustRuntime, ZeroRemainingDeadlineSettlesTimedOutAtDispatch)
     EXPECT_EQ(r.second_status, runtime::Status::TimedOut);
     EXPECT_EQ(r.second_done, probe.first_done); // settles at dispatch
     EXPECT_EQ(r.exhausted, 1u);
+}
+
+namespace
+{
+
+/** A platform with one accelerator whose every kernel launch hangs. */
+struct HangingChainFixture
+{
+    runtime::Platform plat;
+    runtime::DeviceId dev = 0;
+    fault::FaultPlan plan;
+
+    HangingChainFixture()
+    {
+        dev = plat.addAccelerator("a0", accel::Domain::FFT, bump);
+        for (std::uint64_t n = 0; n < 32; ++n)
+            plan.scriptKernel(n, fault::KernelAction::Hang);
+        plat.setFaultPlan(&plan);
+    }
+
+    /** @p n_ops hanging Kernel descriptors as one chain submission. */
+    runtime::ChainEvent
+    submit(std::size_t n_ops)
+    {
+        ctx = plat.createContextPtr();
+        std::vector<runtime::BufferId> bufs;
+        bufs.push_back(ctx->createBuffer(runtime::Bytes(256, 7)));
+        for (std::size_t i = 0; i < n_ops; ++i)
+            bufs.push_back(ctx->createBuffer());
+        std::vector<runtime::ChainOp> ops(n_ops);
+        for (std::size_t i = 0; i < n_ops; ++i) {
+            ops[i].kind = runtime::ChainOp::Kind::Kernel;
+            ops[i].device = dev;
+            ops[i].in = bufs[i];
+            ops[i].out = bufs[i + 1];
+        }
+        return runtime::enqueueChain(*ctx, ops);
+    }
+
+    std::unique_ptr<runtime::Context> ctx;
+};
+
+} // namespace
+
+TEST(RobustChain, DeadlineClipsOnceForTheWholeChain)
+{
+    // Counterpart of the per-command saturating-clip tests above: a
+    // descriptor chain owns ONE watchdog budget (ops x timeout) and
+    // CommandPolicy::deadline clips it once for the whole chain. A
+    // per-hop clip would multiply the deadline by the descriptor
+    // count; the hung chain must settle at submit + deadline exactly.
+    HangingChainFixture f;
+    runtime::CommandPolicy pol = f.plat.commandPolicy();
+    pol.deadline = 3 * tick_per_ms;
+    f.plat.setCommandPolicy(pol);
+    ASSERT_GT(f.plat.commandPolicy().timeout, pol.deadline);
+
+    const Tick submit_at = f.plat.now();
+    runtime::ChainEvent ev = f.submit(3);
+    f.plat.drain();
+
+    EXPECT_EQ(ev.status(), runtime::Status::TimedOut);
+    EXPECT_TRUE(ev.deadlineClipped());
+    EXPECT_EQ(ev.completeTime(), submit_at + pol.deadline);
+    EXPECT_EQ(ev.failedIndex(), 0); // descriptor 0 never completed
+    EXPECT_EQ(ev.records()[0].status, runtime::Status::TimedOut);
+    // Later descriptors were never attempted.
+    EXPECT_EQ(ev.records()[1].status, runtime::Status::Pending);
+    EXPECT_EQ(ev.records()[1].attempts, 0u);
+}
+
+TEST(RobustChain, WatchdogBudgetScalesWithDescriptorCount)
+{
+    // Without a deadline the chain watchdog is the per-command timeout
+    // times the descriptor count - not a fresh watchdog per hop, and
+    // not a single-command timeout for the whole chain.
+    HangingChainFixture f;
+    const runtime::CommandPolicy pol = f.plat.commandPolicy();
+    ASSERT_EQ(pol.deadline, Tick{0});
+    ASSERT_GT(pol.timeout, Tick{0});
+
+    const Tick submit_at = f.plat.now();
+    runtime::ChainEvent ev = f.submit(2);
+    f.plat.drain();
+
+    EXPECT_EQ(ev.status(), runtime::Status::TimedOut);
+    EXPECT_FALSE(ev.deadlineClipped());
+    EXPECT_EQ(ev.completeTime(), submit_at + 2 * pol.timeout);
+}
+
+TEST(RobustChain, ZeroDeadlineDisablesTheChainBudget)
+{
+    // deadline == 0 means "no deadline" for chains exactly as for
+    // single commands: nothing clips, nothing underflows.
+    runtime::Platform plat;
+    const runtime::DeviceId dev =
+        plat.addAccelerator("a0", accel::Domain::FFT, bump);
+    fault::FaultPlan plan; // benign: probabilities all zero
+    plat.setFaultPlan(&plan);
+    ASSERT_EQ(plat.commandPolicy().deadline, Tick{0});
+
+    runtime::Context ctx = plat.createContext();
+    const auto b0 = ctx.createBuffer(runtime::Bytes(128, 5));
+    const auto b1 = ctx.createBuffer();
+    const auto b2 = ctx.createBuffer();
+    std::vector<runtime::ChainOp> ops(2);
+    ops[0] = {runtime::ChainOp::Kind::Kernel, dev, 0, b0, b1, {}};
+    ops[1] = {runtime::ChainOp::Kind::Kernel, dev, 0, b1, b2, {}};
+    runtime::ChainEvent ev = runtime::enqueueChain(ctx, ops);
+    plat.drain();
+
+    EXPECT_EQ(ev.status(), runtime::Status::Ok);
+    EXPECT_FALSE(ev.deadlineClipped());
+    EXPECT_EQ(plat.faultStats(dev).deadline_exhausted, 0u);
+    EXPECT_EQ(ev.records()[1].status, runtime::Status::Ok);
 }
 
 TEST(RobustRuntime, HalfOpenProbeFailureConsumesOneProbeAndReopens)

@@ -19,7 +19,11 @@
  *
  * Usage:
  *   stress_integrity [--trials N] [--stages K] [--seed S]
- *                    [--jobs N] [--json PATH]
+ *                    [--descriptor] [--jobs N] [--json PATH]
+ *
+ * --descriptor runs every chain under ChainMode::Descriptor (linked-
+ * descriptor submission, 2-stage segments) instead of the legacy
+ * per-hop loop; the integrity contract must hold identically there.
  */
 
 #include <cstdio>
@@ -113,7 +117,7 @@ chainInput()
 /** Run one chain under @p point with the trial's own seeded plan. */
 Trial
 runTrial(const Point &point, unsigned stages, std::uint64_t seed,
-         const runtime::Bytes &golden)
+         const runtime::Bytes &golden, bool descriptor)
 {
     runtime::Platform plat;
     std::vector<ChainStage> chain;
@@ -140,6 +144,10 @@ runTrial(const Point &point, unsigned stages, std::uint64_t seed,
                      : MismatchPolicy::HopRetransmit;
     cfg.checkpoints = point.mode == Mode::E2eRollback;
     cfg.max_recoveries = 512;
+    if (descriptor) {
+        cfg.mode = ChainMode::Descriptor;
+        cfg.segment_stages = 2;
+    }
 
     const ChainReport rep = runChain(plat, chain, chainInput(), cfg);
 
@@ -162,6 +170,7 @@ main(int argc, char **argv)
     unsigned trials = 32;
     unsigned stages = 5;
     std::uint64_t seed = 7;
+    bool descriptor = false;
     for (int i = 1; i < argc; ++i) {
         auto value = [&](const char *flag) {
             if (i + 1 >= argc)
@@ -176,12 +185,17 @@ main(int argc, char **argv)
                 std::strtoul(value("--stages"), nullptr, 10));
         else if (std::strcmp(argv[i], "--seed") == 0)
             seed = std::strtoull(value("--seed"), nullptr, 10);
+        else if (std::strcmp(argv[i], "--descriptor") == 0)
+            descriptor = true;
     }
     if (stages < 2)
         dmx_fatal("--stages must be >= 2 (a chain needs a hop)");
 
     bench::banner("Integrity stress - corruption rate x protection sweep",
                   "end-to-end data integrity & checkpointed recovery");
+    if (descriptor)
+        std::printf("chain submission: descriptor-chained "
+                    "(2-stage segments)\n\n");
 
     const std::vector<double> rates{0.0, 1e-3, 1e-2, 5e-2};
     std::vector<Point> points;
@@ -213,8 +227,10 @@ main(int argc, char **argv)
         for (unsigned t = 0; t < trials; ++t) {
             const std::uint64_t trial_seed =
                 seed * 1000003ull + t * 7919ull + 13;
-            thunks.push_back([p, stages, trial_seed, &golden] {
-                return runTrial(p, stages, trial_seed, golden);
+            thunks.push_back([p, stages, trial_seed, &golden,
+                              descriptor] {
+                return runTrial(p, stages, trial_seed, golden,
+                                descriptor);
             });
         }
     }
