@@ -60,9 +60,45 @@ BM_FabricConcurrentFlows(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * flows);
 }
 
+/**
+ * Many independent flows completing at staggered times: the workload
+ * that exposed the quadratic completion re-scan (every completion used
+ * to walk every remaining flow). The optimized engine visits only the
+ * epsilon-crossing reap candidates; tests/test_core_equiv.cc pins the
+ * linear scaling via Fabric::settleVisits(), this pins the wall-clock.
+ */
+void
+BM_FabricStaggeredSettle(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        pcie::Fabric fab(eq, "settle");
+        std::vector<std::pair<pcie::NodeId, pcie::NodeId>> pairs;
+        for (unsigned i = 0; i < n; ++i) {
+            const auto a = fab.addNode(pcie::NodeKind::EndPoint,
+                                       "a" + std::to_string(i));
+            const auto b = fab.addNode(pcie::NodeKind::EndPoint,
+                                       "b" + std::to_string(i));
+            fab.connectCustom(a, b, 1e9);
+            pairs.emplace_back(a, b);
+        }
+        unsigned done = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            fab.startFlow(pairs[i].first, pairs[i].second,
+                          (i + 1) * 64 * kib, [&done] { ++done; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n);
+}
+
 } // namespace
 
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_FabricConcurrentFlows)->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK(BM_FabricStaggeredSettle)->Arg(64)->Arg(256);
 
 BENCHMARK_MAIN();

@@ -118,11 +118,44 @@ BM_DrxSimulatorCached(benchmark::State &state)
     state.SetLabel(kernel.name);
 }
 
+/**
+ * The DRX micro-op interpreter hot loop in isolation: one machine
+ * reused across iterations (resetAlloc instead of re-constructing the
+ * modelled DRAM every time, which dominates BM_DrxSimulator), no
+ * compiled-kernel cache. This is the arm the CI perf-smoke gates: the
+ * same binary runs with DMX_NO_SIMD_DRX=1 for the scalar reference
+ * loops and unset for the vectorized ones - outputs and simulated
+ * cycles are byte-identical across the two, wall-clock is not.
+ */
+void
+BM_DrxInterpreterHot(benchmark::State &state)
+{
+    const auto kernel = kernelByIndex(static_cast<int>(state.range(0)));
+    const auto input = inputFor(kernel, 7);
+    drx::DrxMachine machine;
+    drx::RunResult last{};
+    for (auto _ : state) {
+        machine.resetAlloc();
+        last = drx::runKernelOnDrx(kernel, input, machine);
+        benchmark::DoNotOptimize(last.total_cycles);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(input.size()));
+    state.counters["sim_cycles"] =
+        static_cast<double>(last.total_cycles);
+    state.counters["simd"] = drx::simdEnabled() ? 1.0 : 0.0;
+    state.SetLabel(kernel.name);
+}
+
 } // namespace
 
 BENCHMARK(BM_CpuExecutor)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DrxSimulator)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DrxSimulatorCached)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DrxInterpreterHot)
     ->DenseRange(0, 4)
     ->Unit(benchmark::kMillisecond);
 

@@ -103,6 +103,23 @@ struct RunResult
 };
 
 /**
+ * @return whether the vectorized interpreter inner loops are active.
+ *
+ * The vectorized loops hoist the VFunc/dtype dispatch out of the
+ * element loop so each case is a dense, branch-free loop the compiler
+ * autovectorizes across the 128 RE lanes. No expression is
+ * reassociated (reductions stay sequential), so outputs are
+ * byte-identical and cycle counts tick-identical to the scalar
+ * reference - the differential sweep in tests/test_core_equiv.cc
+ * asserts exactly that. First call consults the DMX_NO_SIMD_DRX
+ * environment variable (set and non-empty disables SIMD).
+ */
+bool simdEnabled();
+
+/** Override the SIMD flag (differential tests). */
+void setSimdEnabled(bool on);
+
+/**
  * One DRX device: private DRAM plus the execution pipeline.
  *
  * Typical use: alloc() buffers, write() inputs and constants, run()

@@ -20,7 +20,8 @@ constexpr double completion_epsilon = 1.0;
 } // namespace
 
 Fabric::Fabric(sim::EventQueue &eq, std::string name, Params params)
-    : sim::SimObject(eq, std::move(name)), _params(params)
+    : sim::SimObject(eq, std::move(name)), _params(params),
+      _opt(sim::coreMode() == sim::CoreMode::Optimized)
 {
 }
 
@@ -56,6 +57,10 @@ Fabric::connectCustom(NodeId a, NodeId b, BytesPerSec bandwidth)
     _link_stats.emplace_back();
     _nodes[a].links.push_back(link_id);
     _nodes[b].links.push_back(link_id);
+    // Topology changed: cached paths are stale. In-flight flows keep
+    // their shared PathEntry (tree growth never reroutes an existing
+    // path, and removal does not exist).
+    _path_cache.clear();
 }
 
 std::vector<Fabric::DirectedLink>
@@ -97,6 +102,33 @@ Fabric::findPath(NodeId src, NodeId dst) const
     }
     std::reverse(path.begin(), path.end());
     return path;
+}
+
+const std::shared_ptr<const Fabric::PathEntry> &
+Fabric::cachedPath(NodeId src, NodeId dst)
+{
+    const auto key = std::make_pair(src, dst);
+    auto it = _path_cache.find(key);
+    if (it != _path_cache.end())
+        return it->second;
+
+    auto entry = std::make_shared<PathEntry>();
+    entry->path = findPath(src, dst);
+    // Pre-sum the interior traversal fees exactly as the legacy latency
+    // loop charges them: one fee per interior node of the path. Integer
+    // tick addition, so the pre-summed total is the identical value.
+    NodeId cur = src;
+    for (std::size_t i = 0; i + 1 < entry->path.size(); ++i) {
+        const Link &link = _links[entry->path[i].link];
+        cur = entry->path[i].forward ? link.b : link.a;
+        if (_nodes[cur].kind == NodeKind::Switch) {
+            entry->interior_latency += _params.switch_latency;
+            ++entry->n_switches;
+        } else if (_nodes[cur].kind == NodeKind::RootComplex) {
+            entry->interior_latency += _params.root_latency;
+        }
+    }
+    return _path_cache.emplace(key, std::move(entry)).first->second;
 }
 
 unsigned
@@ -229,6 +261,11 @@ Fabric::startFlowInternal(NodeId src, NodeId dst, std::uint64_t bytes,
         return _next_flow++;
     }
 
+    if (_opt) {
+        return startFlowOpt(src, dst, bytes, setup, std::move(callback),
+                            action == fault::FlowAction::Corrupt);
+    }
+
     Flow flow;
     flow.src = src;
     flow.dst = dst;
@@ -292,9 +329,96 @@ Fabric::startFlowInternal(NodeId src, NodeId dst, std::uint64_t bytes,
     return id;
 }
 
+FlowId
+Fabric::startFlowOpt(NodeId src, NodeId dst, std::uint64_t bytes,
+                     Tick setup, FlowStatusCallback callback, bool corrupt)
+{
+    const auto &path = cachedPath(src, dst);
+    if (path->path.empty())
+        dmx_fatal("startFlow: no path between %s and %s",
+                  _nodes[src].name.c_str(), _nodes[dst].name.c_str());
+    if (corrupt) {
+        ++_corrupted_flows;
+        if (auto *tb = trace::active())
+            tb->count("fabric.corrupted", now());
+    }
+
+    // Same latency as the legacy interior-node walk: the PathEntry
+    // pre-summed the traversal fees (integer tick arithmetic).
+    Tick latency = setup + path->interior_latency;
+    _switch_traversals += path->n_switches;
+
+    if (_crc_hook) {
+        if (const unsigned replays = _crc_hook(src, dst, bytes)) {
+            const Tick extra = replays * _params.crc_replay_latency;
+            _crc_replays += replays;
+            if (auto *tb = trace::active()) {
+                tb->span(trace::Category::Integrity, "crc_replay",
+                         "fabric", now() + latency,
+                         now() + latency + extra, replays);
+                tb->count("fabric.crc_replays", now(),
+                          static_cast<double>(replays));
+            }
+            latency += extra;
+        }
+    }
+    _total_bytes += bytes;
+
+    advanceProgressOpt();
+    const FlowId id = _next_flow++;
+
+    std::uint32_t slot;
+    if (!_free_slots.empty()) {
+        slot = _free_slots.back();
+        _free_slots.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(_f_remaining.size());
+        _f_remaining.emplace_back();
+        _f_rate.emplace_back();
+        _f_eligible.emplace_back();
+        _f_cold.emplace_back();
+        _f_frozen.emplace_back();
+    }
+    _f_remaining[slot] = static_cast<double>(bytes);
+    _f_rate[slot] = 0;
+    _f_eligible[slot] = now() + latency;
+    FlowCold &cold = _f_cold[slot];
+    cold.id = id;
+    cold.src = src;
+    cold.dst = dst;
+    cold.trace_begin = now();
+    cold.bytes = bytes;
+    cold.corrupt = corrupt;
+    cold.in_reap = false;
+    cold.path = path;
+    cold.callback = std::move(callback);
+
+    // New ids are strictly increasing, so appending keeps _active in
+    // FlowId-ascending order - the iteration order every float
+    // accumulation below is pinned to.
+    _active.push_back(slot);
+    if (_active.size() > _peak_active_flows)
+        _peak_active_flows = _active.size();
+
+    // Flows born at or below the completion epsilon never cross it in
+    // advanceProgress, so they become reap candidates immediately.
+    if (_f_remaining[slot] <= completion_epsilon) {
+        cold.in_reap = true;
+        _reap_cand.push_back(slot);
+    }
+
+    solveRatesOpt();
+    scheduleNextCompletionOpt();
+    return id;
+}
+
 void
 Fabric::advanceProgress()
 {
+    if (_opt) {
+        advanceProgressOpt();
+        return;
+    }
     const Tick t = now();
     if (t <= _last_update) {
         _last_update = t;
@@ -318,8 +442,47 @@ Fabric::advanceProgress()
 }
 
 void
+Fabric::advanceProgressOpt()
+{
+    const Tick t = now();
+    if (t <= _last_update) {
+        _last_update = t;
+        return;
+    }
+    const double dt_sec = ticksToSeconds(t - _last_update);
+    // FlowId-ascending, matching the legacy map walk: link busy
+    // integrals accumulate in the identical order.
+    for (const std::uint32_t slot : _active) {
+        const double rate = _f_rate[slot];
+        if (rate <= 0)
+            continue;
+        double &remaining = _f_remaining[slot];
+        const double moved = std::min(remaining, rate * dt_sec);
+        remaining -= moved;
+        for (const DirectedLink &dl : _f_cold[slot].path->path) {
+            LinkStats &ls = _link_stats[dl.link];
+            ls.bytes += static_cast<std::uint64_t>(moved);
+            ls.busy_byte_seconds +=
+                (rate / _links[dl.link].capacity) * dt_sec;
+        }
+        // Epsilon crossing: this flow is done streaming - queue it for
+        // the reaper so completion checks never rescan the whole flow
+        // table (the legacy O(n^2) settle behavior).
+        if (remaining <= completion_epsilon && !_f_cold[slot].in_reap) {
+            _f_cold[slot].in_reap = true;
+            _reap_cand.push_back(slot);
+        }
+    }
+    _last_update = t;
+}
+
+void
 Fabric::solveRates()
 {
+    if (_opt) {
+        solveRatesOpt();
+        return;
+    }
     // Progressive filling (max-min fairness). Each *direction* of a link
     // has the full link capacity (PCIe is full duplex).
     struct DirCap
@@ -394,8 +557,101 @@ Fabric::solveRates()
 }
 
 void
+Fabric::solveRatesOpt()
+{
+    // Bit-identical progressive filling over dense arrays. Safe because
+    // the values the legacy solver produces are independent of its map
+    // iteration orders: the per-round minimum is a min over finite
+    // doubles (any order), each cap's residual sequence and each flow's
+    // rate sequence are the per-object round sequence (same sequence
+    // here), and the freeze set per round is determined by values
+    // alone. Live counts are maintained incrementally instead of
+    // recounted, which is the same integer.
+    const std::size_t ncaps = _links.size() * 2;
+    if (_cap_residual.size() < ncaps) {
+        _cap_residual.resize(ncaps);
+        _cap_live.resize(ncaps);
+        _cap_epoch.resize(ncaps, 0);
+    }
+    const std::uint64_t epoch = ++_solve_epoch;
+    _caps_used.clear();
+    _unfrozen.clear();
+
+    const Tick t = now();
+    for (const std::uint32_t slot : _active) {
+        _f_rate[slot] = 0;
+        if (_f_eligible[slot] > t || _f_remaining[slot] <= 0)
+            continue;
+        _unfrozen.push_back(slot);
+        _f_frozen[slot] = 0;
+        for (const DirectedLink &dl : _f_cold[slot].path->path) {
+            const std::uint32_t idx = dl.link * 2 + (dl.forward ? 1 : 0);
+            if (_cap_epoch[idx] != epoch) {
+                _cap_epoch[idx] = epoch;
+                _cap_residual[idx] = _links[dl.link].capacity;
+                _cap_live[idx] = 0;
+                _caps_used.push_back(idx);
+            }
+            ++_cap_live[idx];
+        }
+    }
+
+    std::size_t remaining_flows = _unfrozen.size();
+    while (remaining_flows > 0) {
+        double min_share = std::numeric_limits<double>::infinity();
+        for (const std::uint32_t idx : _caps_used) {
+            if (_cap_live[idx] == 0)
+                continue;
+            min_share = std::min(
+                min_share,
+                _cap_residual[idx] / static_cast<double>(_cap_live[idx]));
+        }
+        if (!std::isfinite(min_share))
+            break; // no constrained flows left (should not happen)
+
+        for (const std::uint32_t idx : _caps_used) {
+            _cap_residual[idx] -=
+                min_share * static_cast<double>(_cap_live[idx]);
+        }
+        for (const std::uint32_t slot : _unfrozen) {
+            if (!_f_frozen[slot])
+                _f_rate[slot] += min_share;
+        }
+        // Freeze flows that touch a saturated direction; drop their
+        // contribution from every cap they cross.
+        for (const std::uint32_t slot : _unfrozen) {
+            if (_f_frozen[slot])
+                continue;
+            const auto &path = _f_cold[slot].path->path;
+            bool saturated = false;
+            for (const DirectedLink &dl : path) {
+                const std::uint32_t idx =
+                    dl.link * 2 + (dl.forward ? 1 : 0);
+                if (_cap_residual[idx] <= 1e-3) {
+                    saturated = true;
+                    break;
+                }
+            }
+            if (!saturated)
+                continue;
+            _f_frozen[slot] = 1;
+            --remaining_flows;
+            for (const DirectedLink &dl : path) {
+                const std::uint32_t idx =
+                    dl.link * 2 + (dl.forward ? 1 : 0);
+                --_cap_live[idx];
+            }
+        }
+    }
+}
+
+void
 Fabric::scheduleNextCompletion()
 {
+    if (_opt) {
+        scheduleNextCompletionOpt();
+        return;
+    }
     _pending_check.cancel();
     if (_flows.empty())
         return;
@@ -424,14 +680,49 @@ Fabric::scheduleNextCompletion()
 }
 
 void
+Fabric::scheduleNextCompletionOpt()
+{
+    _pending_check.cancel();
+    if (_active.empty())
+        return;
+
+    const Tick t = now();
+    Tick earliest = max_tick;
+    for (const std::uint32_t slot : _active) {
+        Tick candidate;
+        if (_f_eligible[slot] > t) {
+            candidate = _f_eligible[slot];
+        } else if (_f_remaining[slot] <= completion_epsilon) {
+            candidate = t;
+        } else if (_f_rate[slot] > 0) {
+            const double sec = _f_remaining[slot] / _f_rate[slot];
+            candidate = t + secondsToTicks(sec) + 1;
+        } else {
+            continue; // stalled; will be re-solved on the next change
+        }
+        earliest = std::min(earliest, candidate);
+    }
+    if (earliest == max_tick)
+        return;
+    earliest = std::max(earliest, t + 1);
+    _pending_check = eventq().schedule(
+        earliest, [this] { onCompletionCheck(); });
+}
+
+void
 Fabric::onCompletionCheck()
 {
+    if (_opt) {
+        onCompletionCheckOpt();
+        return;
+    }
     advanceProgress();
 
     // Collect finished flows first, then fire callbacks after the fabric
     // state is consistent (callbacks often start follow-on flows).
     std::vector<std::pair<FlowStatusCallback, bool>> done;
     const Tick t = now();
+    _settle_visits += _flows.size();
     for (auto it = _flows.begin(); it != _flows.end();) {
         Flow &flow = it->second;
         if (flow.eligible_at <= t &&
@@ -462,6 +753,81 @@ Fabric::onCompletionCheck()
 
     solveRates();
     scheduleNextCompletion();
+
+    for (auto &[cb, ok] : done) {
+        if (cb)
+            cb(ok);
+    }
+}
+
+void
+Fabric::onCompletionCheckOpt()
+{
+    advanceProgressOpt();
+
+    // Only reap candidates - flows whose residual crossed the epsilon -
+    // are visited, in FlowId order (the legacy map-walk order for trace
+    // emission and callback firing). Candidates that are not yet
+    // streaming-eligible stay queued; remaining never increases, so a
+    // candidate can never leave the list except by completing.
+    std::vector<std::pair<FlowStatusCallback, bool>> done;
+    const Tick t = now();
+    std::vector<std::uint32_t> dead;
+    if (!_reap_cand.empty()) {
+        std::sort(_reap_cand.begin(), _reap_cand.end(),
+                  [this](std::uint32_t a, std::uint32_t b) {
+                      return _f_cold[a].id < _f_cold[b].id;
+                  });
+        std::size_t keep = 0;
+        for (const std::uint32_t slot : _reap_cand) {
+            ++_settle_visits;
+            FlowCold &cold = _f_cold[slot];
+            if (_f_eligible[slot] <= t &&
+                _f_remaining[slot] <= completion_epsilon) {
+                if (auto *tb = trace::active()) {
+                    const std::string label = _nodes[cold.src].name +
+                                              "->" + _nodes[cold.dst].name;
+                    tb->span(trace::Category::Flow, label, name(),
+                             cold.trace_begin, t, cold.bytes);
+                    for (const DirectedLink &dl : cold.path->path) {
+                        const Link &link = _links[dl.link];
+                        const NodeId from = dl.forward ? link.a : link.b;
+                        const NodeId to = dl.forward ? link.b : link.a;
+                        tb->span(trace::Category::Flow, label,
+                                 name() + "." + _nodes[from].name + "->" +
+                                     _nodes[to].name,
+                                 cold.trace_begin, t, cold.bytes);
+                    }
+                }
+                done.emplace_back(std::move(cold.callback), !cold.corrupt);
+                dead.push_back(slot);
+            } else {
+                _reap_cand[keep++] = slot;
+            }
+        }
+        _reap_cand.resize(keep);
+    }
+
+    if (!dead.empty()) {
+        // Both lists are FlowId-sorted: remove with one merge pass.
+        std::size_t di = 0, w = 0;
+        for (std::size_t r = 0; r < _active.size(); ++r) {
+            if (di < dead.size() && _active[r] == dead[di]) {
+                ++di;
+                continue;
+            }
+            _active[w++] = _active[r];
+        }
+        _active.resize(w);
+        for (const std::uint32_t slot : dead) {
+            _f_cold[slot].path.reset();
+            _f_cold[slot].in_reap = false;
+            _free_slots.push_back(slot);
+        }
+    }
+
+    solveRatesOpt();
+    scheduleNextCompletionOpt();
 
     for (auto &[cb, ok] : done) {
         if (cb)

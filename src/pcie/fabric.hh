@@ -22,11 +22,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fault/hooks.hh"
 #include "pcie/generation.hh"
+#include "sim/core.hh"
 #include "sim/sim_object.hh"
 
 namespace dmx::pcie
@@ -206,7 +209,11 @@ class Fabric : public sim::SimObject
     std::uint64_t crcReplays() const { return _crc_replays; }
 
     /** @return number of in-flight flows. */
-    std::size_t activeFlows() const { return _flows.size(); }
+    std::size_t
+    activeFlows() const
+    {
+        return _opt ? _active.size() : _flows.size();
+    }
 
     /**
      * @return peak number of concurrently in-flight flows observed.
@@ -232,6 +239,16 @@ class Fabric : public sim::SimObject
 
     /** @return total switch traversals (for energy accounting). */
     std::uint64_t switchTraversals() const { return _switch_traversals; }
+
+    /**
+     * @return flow-record visits performed by completion reaping. Pure
+     * observability: the legacy engine re-scans every active flow on
+     * each completion check (quadratic in flow count when n flows
+     * drain), the optimized engine only visits flows whose residual
+     * crossed the completion epsilon. The core-equivalence suite pins
+     * the linear scaling with this counter.
+     */
+    std::uint64_t settleVisits() const { return _settle_visits; }
 
     /** @return capacity of link @p link in bytes/second. */
     BytesPerSec linkCapacity(std::size_t link) const;
@@ -278,8 +295,38 @@ class Fabric : public sim::SimObject
         FlowStatusCallback callback;
     };
 
+    /**
+     * Optimized engine: cached path between a (src, dst) pair with the
+     * interior-node latency pre-summed. Flows hold a shared_ptr so a
+     * topology mutation can drop the cache without invalidating
+     * in-flight flows.
+     */
+    struct PathEntry
+    {
+        std::vector<DirectedLink> path;
+        Tick interior_latency = 0;  ///< sum of switch/root traversal fees
+        unsigned n_switches = 0;    ///< switches on the path
+    };
+
+    /** Optimized engine: cold per-flow state (off the settle loop). */
+    struct FlowCold
+    {
+        FlowId id = 0;
+        NodeId src = 0, dst = 0;
+        Tick trace_begin = 0;
+        std::uint64_t bytes = 0;
+        bool corrupt = false;
+        bool in_reap = false;       ///< queued on the reap-candidate list
+        std::shared_ptr<const PathEntry> path;
+        FlowStatusCallback callback;
+    };
+
     /** Find the unique tree path between two nodes (directed links). */
     std::vector<DirectedLink> findPath(NodeId src, NodeId dst) const;
+
+    /** Look up (or build) the cached PathEntry for (src, dst). */
+    const std::shared_ptr<const PathEntry> &cachedPath(NodeId src,
+                                                       NodeId dst);
 
     /** Shared flow-start body; @p setup is the charged setup latency. */
     FlowId startFlowInternal(NodeId src, NodeId dst, std::uint64_t bytes,
@@ -296,6 +343,15 @@ class Fabric : public sim::SimObject
 
     /** Handle the completion-check event. */
     void onCompletionCheck();
+
+    // Optimized-engine bodies (bit-identical semantics, SoA state).
+    FlowId startFlowOpt(NodeId src, NodeId dst, std::uint64_t bytes,
+                        Tick latency, FlowStatusCallback callback,
+                        bool corrupt);
+    void advanceProgressOpt();
+    void solveRatesOpt();
+    void scheduleNextCompletionOpt();
+    void onCompletionCheckOpt();
 
     Params _params;
     fault::FlowHook _fault_hook;
@@ -315,6 +371,34 @@ class Fabric : public sim::SimObject
     std::uint64_t _switch_traversals = 0;
     std::uint64_t _descriptor_chains = 0;
     std::uint64_t _descriptor_fetches = 0;
+    std::uint64_t _settle_visits = 0;
+
+    // ---- Optimized engine (sim::CoreMode::Optimized) ----
+    // Flow state is structure-of-arrays over slot indices with a free
+    // list; _active keeps live slots in FlowId-ascending order, which
+    // pins every order-sensitive accumulation (link busy integrals,
+    // solver round increments, reap/callback order) to the legacy
+    // std::map iteration order.
+    const bool _opt;
+    std::vector<double> _f_remaining;       ///< [slot] bytes left
+    std::vector<double> _f_rate;            ///< [slot] bytes/second
+    std::vector<Tick> _f_eligible;          ///< [slot] streaming-eligible at
+    std::vector<FlowCold> _f_cold;          ///< [slot] everything else
+    std::vector<std::uint32_t> _free_slots; ///< vacant slot indices
+    std::vector<std::uint32_t> _active;     ///< live slots, FlowId asc
+    std::vector<std::uint32_t> _reap_cand;  ///< slots at/below epsilon
+    std::map<std::pair<NodeId, NodeId>, std::shared_ptr<const PathEntry>>
+        _path_cache;
+
+    // Solver scratch, persistent across solves (epoch-stamped so no
+    // per-solve clearing): one entry per directed link (link*2+forward).
+    std::vector<double> _cap_residual;
+    std::vector<std::uint32_t> _cap_live;
+    std::vector<std::uint64_t> _cap_epoch;
+    std::vector<std::uint32_t> _caps_used;
+    std::vector<std::uint32_t> _unfrozen;   ///< eligible slots, id asc
+    std::vector<std::uint8_t> _f_frozen;    ///< [slot] solver freeze flag
+    std::uint64_t _solve_epoch = 0;
 };
 
 } // namespace dmx::pcie

@@ -1,0 +1,46 @@
+#include "sim/core.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace dmx::sim
+{
+
+namespace
+{
+
+// -1 = not yet resolved; otherwise a CoreMode value.
+std::atomic<int> g_mode{-1};
+
+int
+resolveFromEnv()
+{
+    const char *env = std::getenv("DMX_LEGACY_CORE");
+    const bool legacy = env && env[0] != '\0' && env[0] != '0';
+    return static_cast<int>(legacy ? CoreMode::Legacy : CoreMode::Optimized);
+}
+
+} // namespace
+
+CoreMode
+coreMode()
+{
+    int mode = g_mode.load(std::memory_order_relaxed);
+    if (mode < 0) {
+        mode = resolveFromEnv();
+        int expected = -1;
+        if (!g_mode.compare_exchange_strong(expected, mode,
+                                            std::memory_order_relaxed)) {
+            mode = expected;
+        }
+    }
+    return static_cast<CoreMode>(mode);
+}
+
+void
+setCoreMode(CoreMode mode)
+{
+    g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+} // namespace dmx::sim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Global simulator-core mode selector.
+ *
+ * The fast core (indexed event queue, SoA flow engine, SIMD DRX inner
+ * loops) is bit-for-bit equivalent to the legacy core - the differential
+ * suite in tests/test_core_equiv.cc proves it - but the legacy arm stays
+ * compiled in as the reference and as a kill switch:
+ *
+ *   DMX_LEGACY_CORE=1   select the legacy core at process start
+ *   sim::setCoreMode()  override programmatically (differential tests)
+ *
+ * Engines sample the mode at construction, so a test can run the same
+ * scenario through both arms in one process by flipping the mode between
+ * engine instantiations.
+ */
+
+#ifndef DMX_SIM_CORE_HH
+#define DMX_SIM_CORE_HH
+
+namespace dmx::sim
+{
+
+enum class CoreMode
+{
+    Legacy,     ///< original pointer-chasing engines (reference arm)
+    Optimized,  ///< slot-arena event queue + SoA flow engine
+};
+
+/**
+ * @return the current core mode. First call consults the
+ * DMX_LEGACY_CORE environment variable; later calls return the cached
+ * (or overridden) value.
+ */
+CoreMode coreMode();
+
+/** Override the core mode for engines constructed afterwards. */
+void setCoreMode(CoreMode mode);
+
+} // namespace dmx::sim
+
+#endif // DMX_SIM_CORE_HH

@@ -7,6 +7,36 @@
 namespace dmx::sim
 {
 
+EventQueue::EventQueue(CoreMode mode)
+    : _optimized(mode == CoreMode::Optimized)
+{
+    if (_optimized)
+        _slots = std::make_shared<detail::EventSlotTable>();
+}
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (_free_head != no_slot) {
+        const std::uint32_t slot = _free_head;
+        _free_head = _slots->slots[slot].next_free;
+        return slot;
+    }
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(_slots->slots.size());
+    _slots->slots.emplace_back();
+    return slot;
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    auto &s = _slots->slots[slot];
+    s.fn = nullptr;
+    s.next_free = _free_head;
+    _free_head = slot;
+}
+
 EventHandle
 EventQueue::schedule(Tick when, std::function<void()> fn, Priority prio)
 {
@@ -15,6 +45,28 @@ EventQueue::schedule(Tick when, std::function<void()> fn, Priority prio)
                   static_cast<unsigned long long>(when),
                   static_cast<unsigned long long>(_now));
     }
+
+    if (_optimized) {
+        const std::uint64_t seq = _next_seq++;
+        const std::uint32_t slot = allocSlot();
+        auto &s = _slots->slots[slot];
+        s.fn = std::move(fn);
+        s.seq = seq;
+        s.cancelled = false;
+        s.fired = false;
+        ++_slots->live;
+
+        _kheap.push_back(Key{when, seq, static_cast<std::int32_t>(prio),
+                             slot});
+        std::push_heap(_kheap.begin(), _kheap.end(), KeyLater{});
+
+        EventHandle handle;
+        handle._table = _slots;
+        handle._slot = slot;
+        handle._seq = seq;
+        return handle;
+    }
+
     Record rec;
     rec.when = when;
     rec.prio = static_cast<int>(prio);
@@ -41,8 +93,17 @@ EventQueue::popTop()
     return rec;
 }
 
+EventQueue::Key
+EventQueue::popKeyTop()
+{
+    std::pop_heap(_kheap.begin(), _kheap.end(), KeyLater{});
+    const Key key = _kheap.back();
+    _kheap.pop_back();
+    return key;
+}
+
 bool
-EventQueue::runOne()
+EventQueue::runOneLegacy()
 {
     while (!_heap.empty()) {
         Record rec = popTop();
@@ -57,6 +118,42 @@ EventQueue::runOne()
     return false;
 }
 
+bool
+EventQueue::runOneOptimized()
+{
+    while (!_kheap.empty()) {
+        const Key key = popKeyTop();
+        auto &s = _slots->slots[key.slot];
+        if (s.seq != key.seq) {
+            // Slot was cancelled, freed, and recycled; the stale key
+            // carries no event any more.
+            continue;
+        }
+        if (s.cancelled) {
+            freeSlot(key.slot);
+            continue;
+        }
+        _now = key.when;
+        s.fired = true;
+        --_slots->live;
+        auto fn = std::move(s.fn);
+        // Free before firing: the closure may schedule new events and
+        // immediately reuse this slot (a fresh seq keeps old handles
+        // from ever seeing the new occupant as their event).
+        freeSlot(key.slot);
+        ++_executed;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::runOne()
+{
+    return _optimized ? runOneOptimized() : runOneLegacy();
+}
+
 Tick
 EventQueue::run()
 {
@@ -68,6 +165,24 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
+    if (_optimized) {
+        while (!_kheap.empty()) {
+            // Peek: drop dead keys without advancing time.
+            const Key &top = _kheap.front();
+            const auto &s = _slots->slots[top.slot];
+            if (s.seq != top.seq || s.cancelled) {
+                const Key key = popKeyTop();
+                if (_slots->slots[key.slot].seq == key.seq)
+                    freeSlot(key.slot);
+                continue;
+            }
+            if (top.when > limit)
+                break;
+            runOne();
+        }
+        return _now;
+    }
+
     while (!_heap.empty()) {
         // Peek: skip cancelled records without advancing time.
         if (*_heap.front().cancelled) {
@@ -84,6 +199,9 @@ EventQueue::runUntil(Tick limit)
 std::size_t
 EventQueue::pendingCount() const
 {
+    if (_optimized)
+        return _slots->live;
+
     std::size_t live = 0;
     for (const Record &rec : _heap) {
         if (!*rec.cancelled)
@@ -95,7 +213,15 @@ EventQueue::pendingCount() const
 void
 EventQueue::reset()
 {
-    _heap.clear();
+    if (_optimized) {
+        _kheap.clear();
+        // A fresh table, so handles into the old epoch go stale rather
+        // than aliasing recycled slots.
+        _slots = std::make_shared<detail::EventSlotTable>();
+        _free_head = no_slot;
+    } else {
+        _heap.clear();
+    }
     _now = 0;
     _next_seq = 0;
     _executed = 0;

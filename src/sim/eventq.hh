@@ -5,6 +5,22 @@
  * Events are closures scheduled at an absolute Tick. Ties are broken
  * first by an explicit priority, then by insertion order, so simulation
  * runs are fully deterministic.
+ *
+ * Two interchangeable engines live behind the same API (selected by
+ * sim::coreMode() at construction; see DESIGN.md section 7h):
+ *
+ *  - Legacy: fat heap records owning the closure plus two shared
+ *    control blocks per event. Kept verbatim as the reference arm.
+ *  - Optimized: a binary heap of 24-byte POD keys over a slot arena
+ *    with a free list. Scheduling allocates nothing once the arena is
+ *    warm, cancellation is O(1), and pendingCount() is a counter read
+ *    instead of a heap walk. Handles reference slots through one
+ *    shared slot table and a per-occupancy sequence number, so a
+ *    recycled slot can never be cancelled by a stale handle.
+ *
+ * Both engines fire events in identical (when, prio, seq) order - the
+ * tie-break order is observable through traces and is pinned by the
+ * property tests in tests/test_core_equiv.cc.
  */
 
 #ifndef DMX_SIM_EVENTQ_HH
@@ -17,6 +33,7 @@
 #include <vector>
 
 #include "common/units.hh"
+#include "sim/core.hh"
 
 namespace dmx::sim
 {
@@ -28,6 +45,28 @@ enum class Priority : int
     Default = 0,
     Stat = 10,         ///< sampling after the tick's real work
 };
+
+namespace detail
+{
+
+/** One arena slot: the closure plus liveness bookkeeping. */
+struct EventSlot
+{
+    std::function<void()> fn;
+    std::uint64_t seq = 0;       ///< sequence of the current occupant
+    std::uint32_t next_free = 0; ///< free-list link while vacant
+    bool cancelled = false;
+    bool fired = false;
+};
+
+/** Slot arena shared between a queue and its outstanding handles. */
+struct EventSlotTable
+{
+    std::vector<EventSlot> slots;
+    std::size_t live = 0;        ///< pending, uncancelled events
+};
+
+} // namespace detail
 
 /**
  * Handle to a scheduled event, allowing cancellation.
@@ -43,6 +82,15 @@ class EventHandle
     void
     cancel()
     {
+        if (_table) {
+            auto &s = _table->slots[_slot];
+            if (s.seq == _seq && !s.cancelled && !s.fired) {
+                s.cancelled = true;
+                s.fn = nullptr;
+                --_table->live;
+            }
+            return;
+        }
         if (_cancelled)
             *_cancelled = true;
     }
@@ -51,25 +99,42 @@ class EventHandle
     bool
     pending() const
     {
+        if (_table) {
+            if (_slot >= _table->slots.size())
+                return false;
+            const auto &s = _table->slots[_slot];
+            return s.seq == _seq && !s.cancelled && !s.fired;
+        }
         return _cancelled && !*_cancelled && !*_fired;
     }
 
   private:
     friend class EventQueue;
+    // Legacy engine: two shared control blocks.
     std::shared_ptr<bool> _cancelled;
     std::shared_ptr<bool> _fired;
+    // Optimized engine: shared slot table + (slot, seq) reference.
+    std::shared_ptr<detail::EventSlotTable> _table;
+    std::uint32_t _slot = 0;
+    std::uint64_t _seq = 0;
 };
 
 /**
  * A deterministic discrete-event queue.
  *
- * The queue is not thread-safe; the whole simulator is single-threaded
+ * The queue is not thread-safe; each engine instance is single-threaded
  * by design (reproducibility beats parallel host speed at this scale).
+ * Intra-scenario parallelism comes from running independent engine
+ * instances on separate threads (see sys::simulateSystemSharded).
  */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** Engine selected by the global core mode at construction. */
+    EventQueue() : EventQueue(coreMode()) {}
+
+    /** Engine selected explicitly (differential tests). */
+    explicit EventQueue(CoreMode mode);
 
     /** @return current simulated time. */
     Tick now() const { return _now; }
@@ -143,12 +208,54 @@ class EventQueue
         }
     };
 
-    /** Pop the heap top into a local and return it. */
+    /** Optimized engine: 24-byte POD heap key referencing a slot. */
+    struct Key
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::int32_t prio;
+        std::uint32_t slot;
+    };
+
+    /** Same ordering contract as Later, over POD keys. */
+    struct KeyLater
+    {
+        bool
+        operator()(const Key &a, const Key &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    static constexpr std::uint32_t no_slot = 0xffffffffu;
+
+    /** Pop the heap top into a local and return it (legacy engine). */
     Record popTop();
 
-    // A make-heap-managed vector rather than std::priority_queue so that
-    // pendingCount() can walk live records.
+    /** Pop the key-heap top (optimized engine). */
+    Key popKeyTop();
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+
+    bool runOneLegacy();
+    bool runOneOptimized();
+
+    const bool _optimized;
+
+    // Legacy engine: a make-heap-managed vector rather than
+    // std::priority_queue so that pendingCount() can walk live records.
     std::vector<Record> _heap;
+
+    // Optimized engine: POD key heap + slot arena with free list.
+    std::vector<Key> _kheap;
+    std::shared_ptr<detail::EventSlotTable> _slots;
+    std::uint32_t _free_head = no_slot;
+
     Tick _now = 0;
     std::uint64_t _next_seq = 0;
     std::uint64_t _executed = 0;

@@ -242,6 +242,45 @@ double percentileNearestRank(std::vector<double> values, double p);
 RunStats simulateSystem(const SystemConfig &cfg,
                         const std::vector<AppModel> &apps);
 
+/**
+ * Build and run one system partitioned into independent fabric
+ * domains, SimBricks-style: the PCIe topology decomposes into
+ * connected components that share no link (each component is a run of
+ * consecutive applications, their switches and any standalone DRX
+ * cards serving them), each component simulates as its own closed
+ * loop, and the per-domain results commit in domain order across the
+ * exec::ScenarioRunner worker pool.
+ *
+ * Decomposability gate - sharding engages only when every domain is
+ * provably independent:
+ *  - placement is StandaloneDrx, BumpInTheWire or PcieIntegrated
+ *    (AllCpu / MultiAxl / IntegratedDrx contend on the shared host
+ *    pool, host-DRAM staging link or on-CPU DRX contexts);
+ *  - no fault plan and no integrity plan (plans are stateful and
+ *    consumption order is global);
+ *  - admission control is Unbounded (admission depth is system-wide).
+ * Any other configuration falls back to the monolithic engine and is
+ * bit-identical to simulateSystem by construction.
+ *
+ * Determinism contract (asserted by tests/test_core_equiv.cc):
+ *  - jobs-invariance: for a fixed cfg, every jobs value (1, N, auto)
+ *    produces byte-identical RunStats and traces;
+ *  - a single-domain partition is bit-identical to simulateSystem;
+ *  - a multi-domain partition is deterministic, and its request
+ *    counts, pcie_bytes, kernel_ticks, interrupts + polls and
+ *    flow_retries match the monolithic run exactly; float aggregates
+ *    may differ in rounding only, because each domain hosts its own
+ *    InterruptController and rate-solver (their cross-app state no
+ *    longer interleaves), and peak_active_flows becomes the max over
+ *    domains rather than a global peak.
+ *
+ * @param jobs worker threads: 1 = serial, N = pool of N, 0 = resolve
+ *             via DMX_JOBS / hardware concurrency
+ */
+RunStats simulateSystemSharded(const SystemConfig &cfg,
+                               const std::vector<AppModel> &apps,
+                               unsigned jobs = 1);
+
 } // namespace dmx::sys
 
 #endif // DMX_SYS_SYSTEM_HH

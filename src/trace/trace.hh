@@ -153,6 +153,17 @@ class TraceBuffer
      */
     void count(std::string_view name, Tick at, double delta = 1.0);
 
+    /**
+     * Append every record of @p other to this buffer, in @p other's
+     * record order, after everything already recorded here. Strings
+     * are re-interned; counter samples - whose values are cumulative
+     * *within their own buffer* - are replayed as deltas, so a counter
+     * both buffers recorded continues accumulating instead of
+     * resetting. The sharded system engine uses this to stitch
+     * per-domain traces back into the caller's buffer in domain order.
+     */
+    void append(const TraceBuffer &other);
+
     // ------------------------------------------------------ inspection
 
     const std::vector<Span> &spans() const { return _spans; }

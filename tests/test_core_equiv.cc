@@ -1,0 +1,713 @@
+/**
+ * @file
+ * The fast-core differential suite (ctest label: core).
+ *
+ * The optimized simulator core - slot-arena event queue, SoA fabric
+ * flow engine, SIMD DRX interpreter loops, sharded system execution -
+ * promises *bit-for-bit* equivalence with the legacy core. This suite
+ * is that promise, enforced four ways:
+ *
+ *  1. Event-queue property tests: the (when, prio, seq) FIFO tie-break
+ *     order is pinned against a naive sorted-list reference under
+ *     randomized schedule/cancel/run interleavings, in both engines.
+ *  2. A 200+-scenario randomized differential: every scenario (random
+ *     placement, app mix, request count; a quarter under a FaultPlan,
+ *     a quarter under an IntegrityPlan) runs through the legacy and
+ *     optimized cores and must produce byte-identical RunStats and
+ *     byte-identical traces.
+ *  3. A SIMD-vs-scalar sweep over every catalog restructuring kernel
+ *     at random shapes: byte-identical outputs, identical cycle
+ *     counts.
+ *  4. Settle-visit regression: the optimized flow engine's completion
+ *     reaping scales linearly with flow count (the legacy engine
+ *     re-scans quadratically), pinned via Fabric::settleVisits().
+ *  5. Sharded system contract: a single-domain partition is
+ *     bit-identical to the monolithic engine, sharded runs are
+ *     jobs-invariant (1 vs 8 workers), and multi-domain runs preserve
+ *     the structural invariants (bytes, kernel ticks, notification
+ *     counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/units.hh"
+#include "drx/compiler.hh"
+#include "drx/machine.hh"
+#include "fault/fault.hh"
+#include "integrity/integrity.hh"
+#include "pcie/fabric.hh"
+#include "restructure/catalog.hh"
+#include "restructure/ir.hh"
+#include "sim/core.hh"
+#include "sim/eventq.hh"
+#include "sys/system.hh"
+#include "trace/trace.hh"
+#include "util_random_chain.hh"
+
+using namespace dmx;
+
+namespace
+{
+
+/** Restore the global core mode / SIMD flag on scope exit. */
+struct CoreModeGuard
+{
+    ~CoreModeGuard()
+    {
+        sim::setCoreMode(sim::CoreMode::Optimized);
+        drx::setSimdEnabled(true);
+    }
+};
+
+// ------------------------------------------------------------------
+// RunStats / trace equality helpers
+
+void
+expectStatsIdentical(const sys::RunStats &a, const sys::RunStats &b,
+                     const std::string &ctx)
+{
+    SCOPED_TRACE(ctx);
+    EXPECT_EQ(a.avg_latency_ms, b.avg_latency_ms);
+    EXPECT_EQ(a.breakdown.kernel_ms, b.breakdown.kernel_ms);
+    EXPECT_EQ(a.breakdown.restructure_ms, b.breakdown.restructure_ms);
+    EXPECT_EQ(a.breakdown.movement_ms, b.breakdown.movement_ms);
+    EXPECT_EQ(a.avg_throughput_rps, b.avg_throughput_rps);
+    EXPECT_EQ(a.bottleneck_stage_ms, b.bottleneck_stage_ms);
+    EXPECT_EQ(a.makespan_ms, b.makespan_ms);
+    EXPECT_EQ(a.makespan_ticks, b.makespan_ticks);
+    EXPECT_EQ(a.kernel_ticks, b.kernel_ticks);
+    EXPECT_EQ(a.restructure_ticks, b.restructure_ticks);
+    EXPECT_EQ(a.movement_ticks, b.movement_ticks);
+    EXPECT_EQ(a.energy.host_joules, b.energy.host_joules);
+    EXPECT_EQ(a.energy.accel_joules, b.energy.accel_joules);
+    EXPECT_EQ(a.energy.drx_joules, b.energy.drx_joules);
+    EXPECT_EQ(a.energy.pcie_joules, b.energy.pcie_joules);
+    EXPECT_EQ(a.interrupts, b.interrupts);
+    EXPECT_EQ(a.polls, b.polls);
+    EXPECT_EQ(a.pcie_bytes, b.pcie_bytes);
+    EXPECT_EQ(a.flow_retries, b.flow_retries);
+    EXPECT_EQ(a.dropped_irqs, b.dropped_irqs);
+    EXPECT_EQ(a.per_app_latency_ms, b.per_app_latency_ms);
+    EXPECT_EQ(a.per_app_p99_latency_ms, b.per_app_p99_latency_ms);
+    EXPECT_EQ(a.per_app_shed, b.per_app_shed);
+    EXPECT_EQ(a.shed_requests, b.shed_requests);
+    EXPECT_EQ(a.per_app_deadline_misses, b.per_app_deadline_misses);
+    EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+    EXPECT_EQ(a.queue_overflows, b.queue_overflows);
+    EXPECT_EQ(a.backpressure_stalls, b.backpressure_stalls);
+    EXPECT_EQ(a.backpressure_stall_ticks, b.backpressure_stall_ticks);
+    EXPECT_EQ(a.peak_active_flows, b.peak_active_flows);
+    EXPECT_EQ(a.drx_cache_hits, b.drx_cache_hits);
+    EXPECT_EQ(a.drx_cache_misses, b.drx_cache_misses);
+    EXPECT_EQ(a.integrity_injected, b.integrity_injected);
+    EXPECT_EQ(a.integrity_detected, b.integrity_detected);
+    EXPECT_EQ(a.integrity_corrected, b.integrity_corrected);
+    EXPECT_EQ(a.integrity_uncorrected, b.integrity_uncorrected);
+    EXPECT_EQ(a.integrity_sdc_escapes, b.integrity_sdc_escapes);
+    EXPECT_EQ(a.link_crc_replays, b.link_crc_replays);
+    EXPECT_EQ(a.driver_round_trips, b.driver_round_trips);
+    EXPECT_EQ(a.descriptor_fetches, b.descriptor_fetches);
+}
+
+void
+expectTracesIdentical(const trace::TraceBuffer &a,
+                      const trace::TraceBuffer &b, const std::string &ctx)
+{
+    SCOPED_TRACE(ctx);
+    ASSERT_EQ(a.spans().size(), b.spans().size());
+    for (std::size_t i = 0; i < a.spans().size(); ++i) {
+        const trace::Span &sa = a.spans()[i];
+        const trace::Span &sb = b.spans()[i];
+        ASSERT_EQ(sa.begin, sb.begin) << "span " << i;
+        ASSERT_EQ(sa.end, sb.end) << "span " << i;
+        ASSERT_EQ(sa.cat, sb.cat) << "span " << i;
+        ASSERT_EQ(sa.arg, sb.arg) << "span " << i;
+        ASSERT_EQ(a.stringAt(sa.name), b.stringAt(sb.name)) << "span " << i;
+        ASSERT_EQ(a.stringAt(sa.track), b.stringAt(sb.track))
+            << "span " << i;
+    }
+    ASSERT_EQ(a.counters().size(), b.counters().size());
+    for (std::size_t i = 0; i < a.counters().size(); ++i) {
+        const trace::CounterSample &ca = a.counters()[i];
+        const trace::CounterSample &cb = b.counters()[i];
+        ASSERT_EQ(ca.at, cb.at) << "counter " << i;
+        ASSERT_EQ(ca.value, cb.value) << "counter " << i;
+        ASSERT_EQ(a.stringAt(ca.name), b.stringAt(cb.name))
+            << "counter " << i;
+    }
+}
+
+// ------------------------------------------------------------------
+// 1. Event-queue ordering properties
+
+TEST(EventQueueOrder, FifoTieBreakAtEqualTickAndPriority)
+{
+    for (const sim::CoreMode mode :
+         {sim::CoreMode::Legacy, sim::CoreMode::Optimized}) {
+        sim::EventQueue eq(mode);
+        std::vector<int> fired;
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(1000, [&fired, i] { fired.push_back(i); });
+        eq.run();
+        ASSERT_EQ(fired.size(), 64u);
+        for (int i = 0; i < 64; ++i)
+            EXPECT_EQ(fired[i], i) << "insertion order must be preserved";
+    }
+}
+
+TEST(EventQueueOrder, PriorityBeatsSeqAndTickBeatsPriority)
+{
+    for (const sim::CoreMode mode :
+         {sim::CoreMode::Legacy, sim::CoreMode::Optimized}) {
+        sim::EventQueue eq(mode);
+        std::vector<int> fired;
+        eq.schedule(2000, [&] { fired.push_back(0); },
+                    sim::Priority::Interrupt);
+        eq.schedule(1000, [&] { fired.push_back(1); }, sim::Priority::Stat);
+        eq.schedule(1000, [&] { fired.push_back(2); },
+                    sim::Priority::Interrupt);
+        eq.schedule(1000, [&] { fired.push_back(3); });
+        eq.run();
+        // Tick first (1000 before 2000), then priority
+        // (Interrupt < Default < Stat), then insertion order.
+        EXPECT_EQ(fired, (std::vector<int>{2, 3, 1, 0}));
+    }
+}
+
+TEST(EventQueueOrder, FuzzVsSortedListReference)
+{
+    // Random schedule/cancel interleavings against a naive model: a
+    // stable-sorted list of (when, prio, seq). No nested scheduling
+    // here so the model stays exact.
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        struct RefEvent
+        {
+            Tick when;
+            int prio;
+            std::uint64_t seq;
+            int id;
+        };
+        std::vector<RefEvent> ref;
+        std::vector<int> expected;
+
+        sim::EventQueue legacy(sim::CoreMode::Legacy);
+        sim::EventQueue opt(sim::CoreMode::Optimized);
+        std::vector<int> fired_legacy, fired_opt;
+        std::vector<sim::EventHandle> hl, ho;
+
+        Rng rng(seed * 7717 + 5);
+        const int n = 40 + static_cast<int>(rng.below(80));
+        std::uint64_t seq = 0;
+        for (int i = 0; i < n; ++i) {
+            if (!hl.empty() && rng.below(5) == 0) {
+                // Cancel a random outstanding event in all three.
+                const std::size_t pick = rng.below(hl.size());
+                hl[pick].cancel();
+                ho[pick].cancel();
+                const int id = static_cast<int>(pick);
+                ref.erase(std::remove_if(ref.begin(), ref.end(),
+                                         [id](const RefEvent &e) {
+                                             return e.id == id;
+                                         }),
+                          ref.end());
+                continue;
+            }
+            const Tick when = 100 + rng.below(50) * 10;
+            static constexpr sim::Priority prios[3] = {
+                sim::Priority::Interrupt, sim::Priority::Default,
+                sim::Priority::Stat};
+            const sim::Priority prio = prios[rng.below(3)];
+            const int id = static_cast<int>(hl.size());
+            hl.push_back(legacy.schedule(
+                when, [&fired_legacy, id] { fired_legacy.push_back(id); },
+                prio));
+            ho.push_back(opt.schedule(
+                when, [&fired_opt, id] { fired_opt.push_back(id); },
+                prio));
+            ref.push_back({when, static_cast<int>(prio), seq++, id});
+            ASSERT_EQ(legacy.pendingCount(), opt.pendingCount());
+            ASSERT_EQ(opt.pendingCount(), ref.size());
+        }
+
+        std::stable_sort(ref.begin(), ref.end(),
+                         [](const RefEvent &a, const RefEvent &b) {
+                             if (a.when != b.when)
+                                 return a.when < b.when;
+                             if (a.prio != b.prio)
+                                 return a.prio < b.prio;
+                             return a.seq < b.seq;
+                         });
+        for (const RefEvent &e : ref)
+            expected.push_back(e.id);
+
+        legacy.run();
+        opt.run();
+        EXPECT_EQ(fired_legacy, expected) << "seed " << seed;
+        EXPECT_EQ(fired_opt, expected) << "seed " << seed;
+        EXPECT_EQ(legacy.executedCount(), opt.executedCount());
+    }
+}
+
+TEST(EventQueueOrder, NestedSchedulingDifferential)
+{
+    // Events that schedule children while firing: the two engines must
+    // interleave parents and children identically. Child delays are a
+    // pure function of the parent id, so both arms build the same tree.
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        auto run = [seed](sim::CoreMode mode) {
+            sim::EventQueue eq(mode);
+            std::vector<std::pair<Tick, int>> log;
+            std::function<void(int, int)> fire = [&](int id, int depth) {
+                log.emplace_back(eq.now(), id);
+                if (depth >= 3)
+                    return;
+                const int kids = (id + depth) % 3;
+                for (int c = 0; c < kids; ++c) {
+                    const int cid = id * 7 + c + 1;
+                    eq.scheduleIn(
+                        10 + static_cast<Tick>((id + c) % 5) * 10,
+                        [&fire, cid, depth] { fire(cid, depth + 1); },
+                        c % 2 ? sim::Priority::Stat
+                              : sim::Priority::Default);
+                }
+            };
+            Rng rng(seed * 31 + 7);
+            for (int i = 0; i < 12; ++i) {
+                const int id = static_cast<int>(i + rng.below(100));
+                eq.schedule(50 + rng.below(20) * 10,
+                            [&fire, id] { fire(id, 0); });
+            }
+            eq.run();
+            return log;
+        };
+        EXPECT_EQ(run(sim::CoreMode::Legacy), run(sim::CoreMode::Optimized))
+            << "seed " << seed;
+    }
+}
+
+TEST(EventQueueHandles, StaleHandleCannotCancelRecycledSlot)
+{
+    sim::EventQueue eq(sim::CoreMode::Optimized);
+    int fired = 0;
+    sim::EventHandle h1 = eq.schedule(100, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(h1.pending());
+    // The next event recycles h1's slot (free list); the stale handle
+    // must observe a sequence mismatch and do nothing.
+    sim::EventHandle h2 = eq.scheduleIn(100, [&] { ++fired; });
+    h1.cancel();
+    EXPECT_TRUE(h2.pending());
+    EXPECT_EQ(eq.pendingCount(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueHandles, ResetInvalidatesOldEpochHandles)
+{
+    sim::EventQueue eq(sim::CoreMode::Optimized);
+    int fired = 0;
+    sim::EventHandle h = eq.schedule(100, [&] { ++fired; });
+    eq.reset();
+    EXPECT_EQ(eq.pendingCount(), 0u);
+    sim::EventHandle h2 = eq.schedule(100, [&] { ++fired; });
+    h.cancel(); // stale epoch: must not touch the new event
+    EXPECT_TRUE(h2.pending());
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+// ------------------------------------------------------------------
+// 2. Randomized legacy-vs-optimized system differential
+
+TEST(CoreEquiv, TwoHundredRandomScenariosBitIdentical)
+{
+    CoreModeGuard guard;
+    constexpr std::uint64_t scenarios = 200;
+    for (std::uint64_t seed = 0; seed < scenarios; ++seed) {
+        Rng rng(seed * 6271 + 17);
+        sys::SystemConfig cfg = testutil::randomSystemConfig(rng);
+        std::vector<sys::AppModel> apps;
+        const unsigned n_models = 1 + static_cast<unsigned>(rng.below(2));
+        for (unsigned m = 0; m < n_models; ++m)
+            apps.push_back(testutil::randomChainApp(seed * 10 + m));
+        if (rng.below(3) == 0)
+            cfg.chain = sys::ChainSubmission::Descriptor;
+
+        // A quarter of the scenarios run under a fault plan, a quarter
+        // under an integrity plan. Plans are stateful: each arm gets a
+        // fresh instance of the identical spec.
+        fault::FaultSpec fspec;
+        fspec.seed = seed + 1;
+        fspec.flow_corrupt_prob = 0.1;
+        fspec.flow_stall_prob = 0.05;
+        fspec.irq_drop_prob = 0.1;
+        integrity::IntegritySpec ispec;
+        ispec.seed = seed + 1;
+        ispec.link_crc_prob = 0.15;
+        const bool with_fault = seed % 4 == 1;
+        const bool with_integrity = seed % 4 == 3;
+
+        auto run_arm = [&](sim::CoreMode mode, trace::TraceBuffer &tb) {
+            sim::setCoreMode(mode);
+            fault::FaultPlan fplan(fspec);
+            integrity::IntegrityPlan iplan(ispec);
+            sys::SystemConfig arm_cfg = cfg;
+            if (with_fault)
+                arm_cfg.fault_plan = &fplan;
+            if (with_integrity)
+                arm_cfg.integrity_plan = &iplan;
+            trace::TraceSession session(tb);
+            return sys::simulateSystem(arm_cfg, apps);
+        };
+
+        trace::TraceBuffer tb_legacy, tb_opt;
+        const sys::RunStats legacy = run_arm(sim::CoreMode::Legacy,
+                                             tb_legacy);
+        const sys::RunStats opt = run_arm(sim::CoreMode::Optimized,
+                                          tb_opt);
+        const std::string ctx = "seed " + std::to_string(seed) +
+                                " placement " + toString(cfg.placement);
+        expectStatsIdentical(legacy, opt, ctx);
+        expectTracesIdentical(tb_legacy, tb_opt, ctx);
+        if (HasFatalFailure() || HasNonfatalFailure())
+            break; // one seed's dump is enough
+    }
+}
+
+// ------------------------------------------------------------------
+// 3. SIMD-vs-scalar DRX interpreter sweep
+
+namespace
+{
+
+restructure::Bytes
+randomInputFor(const restructure::BufferDesc &desc, Rng &rng)
+{
+    restructure::Bytes in(desc.bytes());
+    if (desc.dtype == DType::F32) {
+        std::vector<float> vals(desc.elems());
+        for (float &v : vals)
+            v = static_cast<float>(rng.uniform(-4.0, 4.0));
+        std::memcpy(in.data(), vals.data(), in.size());
+    } else {
+        for (auto &b : in)
+            b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    return in;
+}
+
+std::vector<restructure::Kernel>
+catalogAtRandomShapes(Rng &rng)
+{
+    using namespace restructure;
+    std::vector<Kernel> ks;
+    ks.push_back(melSpectrogram(8 + rng.below(8), 64 + rng.below(64),
+                                16 + rng.below(16)));
+    ks.push_back(videoFrameRestructure(24 + rng.below(40),
+                                       24 + rng.below(40),
+                                       16 + rng.below(32)));
+    {
+        const std::size_t bins = 32 + rng.below(32);
+        ks.push_back(brainSignalRestructure(8 + rng.below(8), bins,
+                                            4 + rng.below(bins / 8)));
+    }
+    {
+        const std::size_t record = 32 + rng.below(32);
+        ks.push_back(textRecordRestructure(record * (8 + rng.below(8)),
+                                           record,
+                                           record + rng.below(16)));
+    }
+    ks.push_back(nerTokenRestructure(256 + rng.below(256),
+                                     8 + rng.below(8),
+                                     16 + rng.below(16)));
+    ks.push_back(dbColumnarize(64 + rng.below(192), rng.below(2) != 0,
+                               rng.below(1000)));
+    ks.push_back(vectorReduction(2 + rng.below(6), 64 + rng.below(192)));
+    return ks;
+}
+
+} // namespace
+
+TEST(SimdEquiv, CatalogKernelsByteIdenticalAndCycleIdentical)
+{
+    CoreModeGuard guard;
+    drx::DrxConfig cfg;
+    cfg.dram_bytes = 64 * mib; // plenty for these shapes, fast to build
+    drx::DrxMachine scalar_machine(cfg), simd_machine(cfg);
+
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        Rng shapes_rng(seed * 131 + 3);
+        const auto kernels = catalogAtRandomShapes(shapes_rng);
+        for (std::size_t k = 0; k < kernels.size(); ++k) {
+            Rng in_rng(seed * 997 + k);
+            const restructure::Bytes input =
+                randomInputFor(kernels[k].input, in_rng);
+
+            drx::setSimdEnabled(false);
+            scalar_machine.resetAlloc();
+            restructure::Bytes out_scalar;
+            const drx::RunResult r_scalar = drx::runKernelOnDrx(
+                kernels[k], input, scalar_machine, &out_scalar);
+
+            drx::setSimdEnabled(true);
+            simd_machine.resetAlloc();
+            restructure::Bytes out_simd;
+            const drx::RunResult r_simd = drx::runKernelOnDrx(
+                kernels[k], input, simd_machine, &out_simd);
+
+            SCOPED_TRACE("seed " + std::to_string(seed) + " kernel " +
+                         kernels[k].name);
+            EXPECT_EQ(out_scalar, out_simd) << "output bytes diverged";
+            EXPECT_EQ(r_scalar.total_cycles, r_simd.total_cycles);
+            EXPECT_EQ(r_scalar.compute_cycles, r_simd.compute_cycles);
+            EXPECT_EQ(r_scalar.mem_cycles, r_simd.mem_cycles);
+            EXPECT_EQ(r_scalar.bytes_read, r_simd.bytes_read);
+            EXPECT_EQ(r_scalar.bytes_written, r_simd.bytes_written);
+            EXPECT_EQ(r_scalar.dyn_instructions, r_simd.dyn_instructions);
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// 4. Settle-visit linearity regression
+
+namespace
+{
+
+/** Run n independent flows with staggered completions; return visits. */
+std::uint64_t
+settleVisitsFor(sim::CoreMode mode, unsigned n)
+{
+    sim::setCoreMode(mode);
+    sim::EventQueue eq;
+    pcie::Fabric fab(eq, "settle");
+    unsigned done = 0;
+    std::vector<std::pair<pcie::NodeId, pcie::NodeId>> pairs;
+    for (unsigned i = 0; i < n; ++i) {
+        const pcie::NodeId a = fab.addNode(pcie::NodeKind::EndPoint,
+                                           "a" + std::to_string(i));
+        const pcie::NodeId b = fab.addNode(pcie::NodeKind::EndPoint,
+                                           "b" + std::to_string(i));
+        fab.connectCustom(a, b, 1e9);
+        pairs.emplace_back(a, b);
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        // Distinct sizes: each flow completes at its own tick, so the
+        // legacy engine re-scans every remaining flow per completion.
+        fab.startFlow(pairs[i].first, pairs[i].second,
+                      (i + 1) * 100 * kib, [&done] { ++done; });
+    }
+    eq.run();
+    EXPECT_EQ(done, n);
+    return fab.settleVisits();
+}
+
+} // namespace
+
+TEST(SettleScaling, OptimizedReapingIsLinearLegacyIsQuadratic)
+{
+    CoreModeGuard guard;
+    const std::uint64_t opt_small =
+        settleVisitsFor(sim::CoreMode::Optimized, 10);
+    const std::uint64_t opt_large =
+        settleVisitsFor(sim::CoreMode::Optimized, 40);
+    const std::uint64_t leg_small =
+        settleVisitsFor(sim::CoreMode::Legacy, 10);
+    const std::uint64_t leg_large =
+        settleVisitsFor(sim::CoreMode::Legacy, 40);
+
+    // 4x the flows: a linear reaper does ~4x the visits (slack to 6x),
+    // the legacy rescanner ~16x (must exceed 10x). Also pin the
+    // absolute optimized cost: no more than a few visits per flow.
+    EXPECT_LE(opt_large, opt_small * 6)
+        << "optimized settle reaping is no longer linear";
+    EXPECT_GE(leg_large, leg_small * 10)
+        << "legacy counter no longer models the quadratic re-scan";
+    EXPECT_LE(opt_large, 40u * 4)
+        << "optimized reaping visits too many flow records";
+    EXPECT_GT(leg_large, opt_large)
+        << "legacy should visit strictly more records";
+}
+
+// ------------------------------------------------------------------
+// 5. Sharded system execution
+
+namespace
+{
+
+/** A BitW model with @p k kernels so port packing is predictable. */
+sys::AppModel
+packedApp(unsigned k, std::uint64_t seed)
+{
+    sys::AppModel app = testutil::randomChainApp(seed);
+    while (app.kernels.size() > k) {
+        app.kernels.pop_back();
+        app.motions.pop_back();
+    }
+    while (app.kernels.size() < k) {
+        app.kernels.push_back(app.kernels.back());
+        app.motions.push_back(app.motions.back());
+    }
+    // Rebuild the k-1 motion list length invariant.
+    app.motions.resize(k - 1, app.motions.front());
+    return app;
+}
+
+} // namespace
+
+TEST(ShardedSys, SingleDomainBitIdenticalToMonolithic)
+{
+    CoreModeGuard guard;
+    // 2 apps x 3 kernels = 6 ports: exactly one switch, one domain;
+    // the sharded engine must reproduce the monolithic run bit for bit
+    // (same code path per the contract), traces included.
+    for (const sys::Placement placement :
+         {sys::Placement::BumpInTheWire, sys::Placement::PcieIntegrated}) {
+        sys::SystemConfig cfg;
+        cfg.placement = placement;
+        cfg.n_apps = placement == sys::Placement::BumpInTheWire ? 1 : 2;
+        cfg.requests_per_app = 2;
+        const std::vector<sys::AppModel> apps = {packedApp(3, 11)};
+
+        trace::TraceBuffer tb_mono, tb_shard;
+        sys::RunStats mono, shard;
+        {
+            trace::TraceSession session(tb_mono);
+            mono = sys::simulateSystem(cfg, apps);
+        }
+        {
+            trace::TraceSession session(tb_shard);
+            shard = sys::simulateSystemSharded(cfg, apps, 1);
+        }
+        const std::string ctx = "placement " + toString(placement);
+        expectStatsIdentical(mono, shard, ctx);
+        expectTracesIdentical(tb_mono, tb_shard, ctx);
+    }
+}
+
+TEST(ShardedSys, JobsInvariance)
+{
+    CoreModeGuard guard;
+    // 4 apps x 3 kernels under BitW: apps {0,1} pack switch 0, apps
+    // {2,3} pack switch 1 -> two independent domains. 1 worker vs 8
+    // workers must commit byte-identical stats and traces.
+    sys::SystemConfig cfg;
+    cfg.placement = sys::Placement::BumpInTheWire;
+    cfg.n_apps = 4;
+    cfg.requests_per_app = 2;
+    const std::vector<sys::AppModel> apps = {packedApp(3, 21),
+                                             packedApp(3, 22)};
+
+    trace::TraceBuffer tb_1, tb_8;
+    sys::RunStats s1, s8;
+    {
+        trace::TraceSession session(tb_1);
+        s1 = sys::simulateSystemSharded(cfg, apps, 1);
+    }
+    {
+        trace::TraceSession session(tb_8);
+        s8 = sys::simulateSystemSharded(cfg, apps, 8);
+    }
+    expectStatsIdentical(s1, s8, "jobs 1 vs 8");
+    expectTracesIdentical(tb_1, tb_8, "jobs 1 vs 8");
+}
+
+TEST(ShardedSys, JobsInvarianceRandomSweep)
+{
+    CoreModeGuard guard;
+    static constexpr sys::Placement shardable[] = {
+        sys::Placement::StandaloneDrx,
+        sys::Placement::BumpInTheWire,
+        sys::Placement::PcieIntegrated,
+    };
+    for (std::uint64_t seed = 0; seed < 24; ++seed) {
+        Rng rng(seed * 5821 + 9);
+        sys::SystemConfig cfg;
+        cfg.placement = shardable[rng.below(3)];
+        cfg.n_apps = 2 + static_cast<unsigned>(rng.below(5));
+        cfg.requests_per_app = 1 + static_cast<unsigned>(rng.below(2));
+        const std::vector<sys::AppModel> apps = {
+            testutil::randomChainApp(seed * 3 + 100)};
+        const sys::RunStats s1 = sys::simulateSystemSharded(cfg, apps, 1);
+        const sys::RunStats s8 = sys::simulateSystemSharded(cfg, apps, 8);
+        expectStatsIdentical(s1, s8, "sweep seed " + std::to_string(seed));
+    }
+}
+
+TEST(ShardedSys, MultiDomainStructuralInvariants)
+{
+    CoreModeGuard guard;
+    // Monolithic vs multi-domain sharded: per-domain IRQ controllers
+    // change notification latencies (and with them float aggregates),
+    // but the structural integer totals are invariant.
+    sys::SystemConfig cfg;
+    cfg.placement = sys::Placement::BumpInTheWire;
+    cfg.n_apps = 4;
+    cfg.requests_per_app = 3;
+    const std::vector<sys::AppModel> apps = {packedApp(3, 31),
+                                             packedApp(3, 32)};
+    const sys::RunStats mono = sys::simulateSystem(cfg, apps);
+    const sys::RunStats shard = sys::simulateSystemSharded(cfg, apps, 8);
+
+    EXPECT_EQ(mono.pcie_bytes, shard.pcie_bytes);
+    EXPECT_EQ(mono.kernel_ticks, shard.kernel_ticks);
+    EXPECT_EQ(mono.interrupts + mono.polls,
+              shard.interrupts + shard.polls);
+    EXPECT_EQ(mono.driver_round_trips, shard.driver_round_trips);
+    EXPECT_EQ(mono.descriptor_fetches, shard.descriptor_fetches);
+    EXPECT_EQ(mono.flow_retries, shard.flow_retries);
+    EXPECT_EQ(mono.shed_requests, shard.shed_requests);
+    EXPECT_EQ(mono.queue_overflows, shard.queue_overflows);
+    EXPECT_EQ(mono.per_app_latency_ms.size(),
+              shard.per_app_latency_ms.size());
+    EXPECT_GT(shard.makespan_ticks, 0u);
+}
+
+TEST(ShardedSys, StandaloneCardsGroupDomainsAcrossSwitches)
+{
+    CoreModeGuard guard;
+    // StandaloneDrx: each card serves a *pair* of apps, and the pair
+    // can straddle a switch boundary - the partitioner must keep the
+    // pair in one domain. 4 apps x 2 kernels -> cards at apps 0 and 2.
+    sys::SystemConfig cfg;
+    cfg.placement = sys::Placement::StandaloneDrx;
+    cfg.n_apps = 4;
+    cfg.requests_per_app = 2;
+    const std::vector<sys::AppModel> apps = {packedApp(2, 41)};
+    const sys::RunStats s1 = sys::simulateSystemSharded(cfg, apps, 1);
+    const sys::RunStats s8 = sys::simulateSystemSharded(cfg, apps, 8);
+    expectStatsIdentical(s1, s8, "standalone grouping");
+    const sys::RunStats mono = sys::simulateSystem(cfg, apps);
+    EXPECT_EQ(mono.pcie_bytes, s8.pcie_bytes);
+    EXPECT_EQ(mono.kernel_ticks, s8.kernel_ticks);
+}
+
+TEST(ShardedSys, GateFallsBackToMonolithic)
+{
+    CoreModeGuard guard;
+    // Non-decomposable placements must take the monolithic path and
+    // match simulateSystem bit for bit.
+    for (const sys::Placement placement :
+         {sys::Placement::AllCpu, sys::Placement::MultiAxl,
+          sys::Placement::IntegratedDrx}) {
+        sys::SystemConfig cfg;
+        cfg.placement = placement;
+        cfg.n_apps = 2;
+        cfg.requests_per_app = 2;
+        const std::vector<sys::AppModel> apps = {packedApp(2, 51)};
+        const sys::RunStats mono = sys::simulateSystem(cfg, apps);
+        const sys::RunStats shard =
+            sys::simulateSystemSharded(cfg, apps, 8);
+        expectStatsIdentical(mono, shard,
+                             "fallback " + toString(placement));
+    }
+}
+
+} // namespace
