@@ -1,0 +1,65 @@
+#include "common/percentile.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace dmx::common
+{
+
+namespace
+{
+
+/** Shared nearest-rank index logic; @p n must be nonzero. */
+std::size_t
+nearestRankIndex(std::size_t n, double p)
+{
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return rank - 1;
+}
+
+} // namespace
+
+double
+percentileNearestRank(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    return values[nearestRankIndex(values.size(), p)];
+}
+
+Tick
+percentileNearestRank(std::vector<Tick> values, double p)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    return values[nearestRankIndex(values.size(), p)];
+}
+
+LatencySummary
+summarizeLatencies(const std::vector<double> &samples_ms)
+{
+    LatencySummary s;
+    s.count = samples_ms.size();
+    if (samples_ms.empty())
+        return s;
+    double sum = 0;
+    for (double v : samples_ms)
+        sum += v;
+    s.mean_ms = sum / static_cast<double>(samples_ms.size());
+    std::vector<double> sorted = samples_ms;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50_ms = sorted[nearestRankIndex(sorted.size(), 0.50)];
+    s.p99_ms = sorted[nearestRankIndex(sorted.size(), 0.99)];
+    s.p999_ms = sorted[nearestRankIndex(sorted.size(), 0.999)];
+    return s;
+}
+
+} // namespace dmx::common

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared nearest-rank percentile and latency-summary helpers.
+ *
+ * Every layer that reports tail latency (the overload engine, the
+ * serving engine, the multi-tenant simulator, the stress tools) must
+ * agree on what "p99" means, or protected-vs-legacy comparisons drift
+ * on definition instead of behaviour. This is the one implementation:
+ * nearest-rank (no interpolation) over a sorted copy of the samples,
+ *
+ *   rank = clamp(ceil(p * n), 1, n),  result = sorted[rank - 1],
+ *
+ * so a single-element sample returns that element at every percentile
+ * and an empty sample returns 0. LatencySummary packages the standard
+ * p50/p99/p999 triple plus mean and count; the mean is accumulated in
+ * the caller's sample order (before sorting), keeping results
+ * bit-identical to the historical inline computations it replaced.
+ */
+
+#ifndef DMX_COMMON_PERCENTILE_HH
+#define DMX_COMMON_PERCENTILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace dmx::common
+{
+
+/** @return the nearest-rank percentile @p p (in [0, 1]) of @p values. */
+double percentileNearestRank(std::vector<double> values, double p);
+
+/** Integer-tick overload: exact, no double rounding of tick samples. */
+Tick percentileNearestRank(std::vector<Tick> values, double p);
+
+/** The standard latency triple over one sample population. */
+struct LatencySummary
+{
+    std::uint64_t count = 0; ///< samples summarized
+    double mean_ms = 0;      ///< arithmetic mean, sample order
+    double p50_ms = 0;       ///< nearest-rank median
+    double p99_ms = 0;       ///< nearest-rank p99
+    double p999_ms = 0;      ///< nearest-rank p999
+};
+
+/**
+ * Summarize @p samples_ms (latencies in milliseconds, in whatever
+ * order the caller collected them; the mean sums in that order).
+ */
+LatencySummary summarizeLatencies(const std::vector<double> &samples_ms);
+
+} // namespace dmx::common
+
+#endif // DMX_COMMON_PERCENTILE_HH

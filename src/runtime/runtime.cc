@@ -382,6 +382,17 @@ struct CommandEngine
                 settleErr(Status::TimedOut);
                 return;
             }
+            // External retry veto (serving-layer retry budgets): the
+            // policy can only remove attempts, never add them, so the
+            // legacy path with no policy installed is byte-identical.
+            if (p._retry_policy &&
+                !p._retry_policy(*ctx, device, n + 1)) {
+                ++d.fstats.retries_denied;
+                if (auto *tb = trace::active())
+                    tb->count("runtime.retries_denied", p.now());
+                settleErr(reason);
+                return;
+            }
             state->retries = n + 1;
             ++d.fstats.retries;
             if (auto *tb = trace::active()) {
@@ -718,6 +729,14 @@ Platform::deviceHealthy(DeviceId id) const
     if (id >= _devices.size())
         dmx_fatal("Platform::deviceHealthy: bad device id %zu", id);
     return _devices[id].health.healthy();
+}
+
+const fault::HealthTracker &
+Platform::deviceHealth(DeviceId id) const
+{
+    if (id >= _devices.size())
+        dmx_fatal("Platform::deviceHealth: bad device id %zu", id);
+    return _devices[id].health;
 }
 
 const DeviceFaultStats &

@@ -273,6 +273,16 @@ class Context
 
     unsigned priority() const { return _priority; }
 
+    /**
+     * Opaque caller tag carried by every command enqueued from this
+     * context. The serving layer stores the tenant id here so its
+     * retry-budget policy hook can charge runtime retries to the right
+     * bucket; the runtime itself never interprets the value.
+     */
+    void setTag(std::uint64_t t) { _tag = t; }
+
+    std::uint64_t tag() const { return _tag; }
+
   private:
     friend class Platform;
     friend class CommandQueue;
@@ -283,6 +293,7 @@ class Context
     std::vector<Bytes> _buffers;
     std::vector<std::unique_ptr<CommandQueue>> _queues;
     unsigned _priority = 0;
+    std::uint64_t _tag = 0;
 };
 
 /** Per-device fault and recovery counters. */
@@ -306,7 +317,22 @@ struct DeviceFaultStats
                                           ///< open/probing breaker
     std::uint64_t deadline_exhausted = 0; ///< commands settled TimedOut
                                           ///< by the deadline budget
+    std::uint64_t retries_denied = 0;     ///< retries vetoed by the
+                                          ///< installed retry policy
+                                          ///< (command settled instead)
 };
+
+/**
+ * External veto over each retry the runtime is about to schedule: the
+ * command at @p ctx (whose tag identifies the tenant) on device @p dev
+ * wants to launch attempt number @p next_attempt (1 = first retry).
+ * Return false to deny: the command settles with its current error
+ * immediately (fail-fast) instead of backing off. The hook runs after
+ * the max_retries and deadline checks, so it only ever *removes*
+ * attempts - a policy cannot extend the runtime's own budget.
+ */
+using RetryPolicyFn =
+    std::function<bool(Context &ctx, DeviceId dev, unsigned next_attempt)>;
 
 /**
  * Platform-wide performance knobs (reliability policy lives in
@@ -395,6 +421,19 @@ class Platform
     const CommandPolicy &commandPolicy() const { return _policy; }
 
     /**
+     * Install (or clear, with nullptr) a retry veto policy consulted
+     * before every retry the runtime schedules (see RetryPolicyFn).
+     * With no policy installed behaviour is byte-identical to the
+     * legacy retry path.
+     */
+    void setRetryPolicy(RetryPolicyFn policy)
+    {
+        _retry_policy = std::move(policy);
+    }
+
+    const RetryPolicyFn &retryPolicy() const { return _retry_policy; }
+
+    /**
      * Install (or clear, with nullptr) a corruption plan. The plan is
      * not owned and must outlive the platform's use of it. Installing
      * a plan wires its decision hooks into the fabric (link-CRC
@@ -450,6 +489,9 @@ class Platform
     /** @return false once a device tripped the unhealthy threshold. */
     bool deviceHealthy(DeviceId id) const;
 
+    /** @return the health tracker of @p id (streaks, threshold). */
+    const fault::HealthTracker &deviceHealth(DeviceId id) const;
+
     /** @return fault/recovery counters of @p id. */
     const DeviceFaultStats &faultStats(DeviceId id) const;
 
@@ -502,6 +544,7 @@ class Platform
     fault::FaultPlan *_plan = nullptr;
     integrity::IntegrityPlan *_integrity = nullptr;
     CommandPolicy _policy;
+    RetryPolicyFn _retry_policy;
     robust::RobustConfig _robust;
     PlatformConfig _config;
     std::unique_ptr<drx::ProgramCache> _drx_cache;

@@ -1,0 +1,64 @@
+#include "serve/brownout.hh"
+
+#include "common/logging.hh"
+
+namespace dmx::serve
+{
+
+std::string
+toString(BrownoutLevel l)
+{
+    switch (l) {
+      case BrownoutLevel::Normal:    return "normal";
+      case BrownoutLevel::ShedBatch: return "shed-batch";
+      case BrownoutLevel::Degraded:  return "degraded";
+      case BrownoutLevel::FailFast:  return "fail-fast";
+    }
+    return "?";
+}
+
+BrownoutController::BrownoutController(Tick enter_threshold,
+                                       Tick exit_threshold,
+                                       unsigned enter_consecutive,
+                                       unsigned exit_consecutive)
+    : _enter(enter_threshold), _exit(exit_threshold),
+      _enter_consecutive(enter_consecutive == 0 ? 1 : enter_consecutive),
+      _exit_consecutive(exit_consecutive == 0 ? 1 : exit_consecutive)
+{
+    if (_exit >= _enter)
+        dmx_fatal("brownout: exit threshold must be below enter "
+                  "threshold (hysteresis band)");
+}
+
+BrownoutLevel
+BrownoutController::evaluate(Tick signal)
+{
+    if (signal > _enter) {
+        _under = 0;
+        if (++_over >= _enter_consecutive) {
+            _over = 0;
+            if (_level != BrownoutLevel::FailFast) {
+                _level = static_cast<BrownoutLevel>(
+                    static_cast<std::uint8_t>(_level) + 1);
+                ++_escalations;
+            }
+        }
+    } else if (signal <= _exit) {
+        _over = 0;
+        if (++_under >= _exit_consecutive) {
+            _under = 0;
+            if (_level != BrownoutLevel::Normal) {
+                _level = static_cast<BrownoutLevel>(
+                    static_cast<std::uint8_t>(_level) - 1);
+                ++_deescalations;
+            }
+        }
+    } else {
+        // Dead band: hold the level, restart both streaks.
+        _over = 0;
+        _under = 0;
+    }
+    return _level;
+}
+
+} // namespace dmx::serve

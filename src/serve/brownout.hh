@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Brownout control: graceful, staged degradation under sustained
+ * overload, recovering in reverse order when pressure lifts.
+ *
+ * The controller is a pure, deterministic state machine over a ladder
+ * of levels:
+ *
+ *   Normal -> ShedBatch -> Degraded -> FailFast
+ *
+ * It is fed a congestion signal (the serving engine uses the worse of
+ * the recent-sojourn p99 and the oldest in-flight request's age) at a
+ * fixed evaluation cadence. Hysteresis is two-dimensional:
+ *
+ *  - thresholds: the signal must exceed `enter_threshold` to count
+ *    toward escalation and drop to or below `exit_threshold` to count
+ *    toward recovery (enter > exit, so the band between them is dead:
+ *    it resets both streaks and holds the level);
+ *  - streaks: escalation needs `enter_consecutive` consecutive
+ *    over-threshold evaluations, recovery `exit_consecutive` under;
+ *    each transition moves exactly one level and restarts the streak.
+ *
+ * One evaluation can therefore never jump levels, and a flapping
+ * signal parks the controller rather than oscillating it.
+ */
+
+#ifndef DMX_SERVE_BROWNOUT_HH
+#define DMX_SERVE_BROWNOUT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+
+namespace dmx::serve
+{
+
+/** The brownout ladder, mildest to harshest. */
+enum class BrownoutLevel : std::uint8_t
+{
+    Normal,    ///< full service
+    ShedBatch, ///< batch-class arrivals shed at the door
+    Degraded,  ///< plus latency-sensitive work degraded (smaller
+               ///< payloads: the serving analogue of DRX->CPU quality
+               ///< degradation)
+    FailFast,  ///< every arrival shed; protect the survivors
+};
+
+/** @return human name, e.g. "shed-batch". */
+std::string toString(BrownoutLevel l);
+
+/** Brownout policy knobs. */
+struct BrownoutConfig
+{
+    bool enabled = false;
+    /// Escalation threshold as a multiple of the solo service time.
+    double enter_factor = 8.0;
+    /// Recovery threshold, same unit; must be below enter_factor.
+    double exit_factor = 2.0;
+    /// Consecutive evaluations beyond the threshold per transition.
+    unsigned enter_consecutive = 3;
+    unsigned exit_consecutive = 3;
+    /// Payload scale applied to latency-sensitive requests while
+    /// Degraded (batch is already shed by then).
+    double degrade_bytes_factor = 0.5;
+};
+
+/** The deterministic brownout state machine (thresholds in ticks). */
+class BrownoutController
+{
+  public:
+    BrownoutController(Tick enter_threshold, Tick exit_threshold,
+                       unsigned enter_consecutive,
+                       unsigned exit_consecutive);
+
+    /**
+     * Feed one congestion sample.
+     * @return the level after this evaluation.
+     */
+    BrownoutLevel evaluate(Tick signal);
+
+    BrownoutLevel level() const { return _level; }
+    std::uint64_t escalations() const { return _escalations; }
+    std::uint64_t deescalations() const { return _deescalations; }
+
+  private:
+    Tick _enter;
+    Tick _exit;
+    unsigned _enter_consecutive;
+    unsigned _exit_consecutive;
+    BrownoutLevel _level = BrownoutLevel::Normal;
+    unsigned _over = 0;  ///< consecutive evaluations above enter
+    unsigned _under = 0; ///< consecutive evaluations at/below exit
+    std::uint64_t _escalations = 0;
+    std::uint64_t _deescalations = 0;
+};
+
+} // namespace dmx::serve
+
+#endif // DMX_SERVE_BROWNOUT_HH

@@ -1,0 +1,39 @@
+#include "serve/budget.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dmx::serve
+{
+
+RetryBudget::RetryBudget(const RetryBudgetConfig &cfg, unsigned tenants)
+    : _cfg(cfg), _tokens(tenants, 0.0)
+{
+    if (tenants == 0)
+        dmx_fatal("serve: retry budget needs at least one tenant");
+    if (cfg.per_request < 0)
+        dmx_fatal("serve: retry budget per_request must be >= 0");
+}
+
+void
+RetryBudget::onOffered(unsigned tenant)
+{
+    double &t = _tokens.at(tenant);
+    t = std::min(_cfg.burst, t + _cfg.per_request);
+}
+
+bool
+RetryBudget::tryConsume(unsigned tenant)
+{
+    double &t = _tokens.at(tenant);
+    if (t >= 1.0) {
+        t -= 1.0;
+        ++_granted;
+        return true;
+    }
+    ++_denied;
+    return false;
+}
+
+} // namespace dmx::serve

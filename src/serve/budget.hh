@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-tenant retry budgets: a token bucket gating every retry and
+ * hedge attempt a tenant may add on top of its offered load.
+ *
+ * The retry-storm failure mode: under overload, each failure triggers
+ * a retry, the retry adds load, more requests fail, and offered work
+ * amplifies superlinearly until the system collapses. The budget makes
+ * amplification a configured invariant instead of an emergent one:
+ * each offered request accrues `per_request` tokens to its tenant's
+ * bucket, each extra attempt (runtime retry or serving-layer hedge)
+ * consumes exactly one token, and a bucket below one token denies the
+ * attempt — the request degrades to fail-fast. Total attempts are
+ * therefore bounded by offered * (1 + per_request), exactly, at any
+ * load and any fault rate.
+ *
+ * Accrual values with exact binary representations (0.5, 1.0, ...)
+ * keep the accounting bit-exact, which the amplification regression
+ * test pins.
+ */
+
+#ifndef DMX_SERVE_BUDGET_HH
+#define DMX_SERVE_BUDGET_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dmx::serve
+{
+
+/** Retry/hedge budget policy. */
+struct RetryBudgetConfig
+{
+    bool enabled = false;
+    /// Tokens accrued per offered request: the amplification bound.
+    /// 0.5 means at most one extra attempt per two offered requests.
+    double per_request = 0.5;
+    /// Bucket capacity in tokens; accrual beyond it is discarded.
+    double burst = 32.0;
+};
+
+/** Per-tenant token buckets. Buckets start empty. */
+class RetryBudget
+{
+  public:
+    RetryBudget(const RetryBudgetConfig &cfg, unsigned tenants);
+
+    /** Accrue @p cfg.per_request tokens to @p tenant (clamped to burst). */
+    void onOffered(unsigned tenant);
+
+    /**
+     * Try to consume one token from @p tenant's bucket.
+     * @return true (attempt allowed) when a full token was available.
+     */
+    bool tryConsume(unsigned tenant);
+
+    /** @return tokens currently in @p tenant's bucket. */
+    double tokens(unsigned tenant) const { return _tokens[tenant]; }
+
+    std::uint64_t granted() const { return _granted; }
+    std::uint64_t denied() const { return _denied; }
+
+  private:
+    RetryBudgetConfig _cfg;
+    std::vector<double> _tokens;
+    std::uint64_t _granted = 0;
+    std::uint64_t _denied = 0;
+};
+
+} // namespace dmx::serve
+
+#endif // DMX_SERVE_BUDGET_HH

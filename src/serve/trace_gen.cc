@@ -1,0 +1,126 @@
+#include "serve/trace_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace dmx::serve
+{
+
+namespace
+{
+
+/// Dedicated Rng stream id for trace generation, so trace draws can
+/// never entangle with the fault plan's per-site streams.
+constexpr std::uint64_t trace_stream = 0x73657276; // "serv"
+
+constexpr double pi = 3.14159265358979323846;
+
+} // namespace
+
+std::string
+toString(TraceShape s)
+{
+    switch (s) {
+      case TraceShape::Steady:     return "steady";
+      case TraceShape::Diurnal:    return "diurnal";
+      case TraceShape::FlashCrowd: return "flash-crowd";
+      case TraceShape::HeavyTail:  return "heavy-tail";
+    }
+    return "?";
+}
+
+std::string
+toString(SloClass c)
+{
+    switch (c) {
+      case SloClass::LatencySensitive: return "latency-sensitive";
+      case SloClass::Batch:            return "batch";
+    }
+    return "?";
+}
+
+SloClass
+classOf(const TraceConfig &cfg, unsigned tenant)
+{
+    const auto batch = static_cast<unsigned>(
+        cfg.batch_fraction * static_cast<double>(cfg.tenants));
+    // The `batch` highest-numbered tenants are batch class.
+    return tenant + batch >= cfg.tenants ? SloClass::Batch
+                                         : SloClass::LatencySensitive;
+}
+
+std::vector<Arrival>
+generateArrivals(const TraceConfig &cfg, unsigned requests,
+                 Tick interval, std::uint64_t request_bytes,
+                 std::uint64_t ring_bytes, std::uint64_t seed)
+{
+    if (cfg.tenants == 0)
+        dmx_fatal("serve: need at least one tenant");
+    if (cfg.batch_fraction < 0 || cfg.batch_fraction > 1)
+        dmx_fatal("serve: batch_fraction must be in [0, 1]");
+
+    Rng rng(seed, trace_stream);
+    std::vector<Arrival> out;
+    out.reserve(requests);
+    Tick at = 0;
+    for (unsigned i = 0; i < requests; ++i) {
+        Arrival a;
+        a.tenant = i % cfg.tenants;
+        a.cls = classOf(cfg, a.tenant);
+        a.bytes = request_bytes;
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(requests);
+        switch (cfg.shape) {
+          case TraceShape::Steady:
+            // Exactly the overload engine's clock: integer multiples,
+            // no accumulated rounding.
+            a.at = static_cast<Tick>(i) * interval;
+            break;
+          case TraceShape::Diurnal: {
+            // Rate multiplier 1 (peak) .. 1 - depth (trough); the gap
+            // is the baseline divided by the current rate.
+            const double rate =
+                1.0 - cfg.diurnal_depth * 0.5 *
+                          (1.0 - std::cos(2.0 * pi *
+                                          cfg.diurnal_cycles * frac));
+            a.at = at;
+            at += std::max<Tick>(
+                1, static_cast<Tick>(static_cast<double>(interval) /
+                                     rate));
+            break;
+          }
+          case TraceShape::FlashCrowd: {
+            const bool crowd = frac >= cfg.flash_start &&
+                               frac < cfg.flash_start + cfg.flash_length;
+            a.at = at;
+            at += crowd ? std::max<Tick>(
+                              1, static_cast<Tick>(
+                                     static_cast<double>(interval) /
+                                     cfg.flash_multiplier))
+                        : interval;
+            break;
+          }
+          case TraceShape::HeavyTail: {
+            a.at = static_cast<Tick>(i) * interval;
+            // Bounded Pareto size multiplier via inverse CDF.
+            double u;
+            do {
+                u = rng.uniform();
+            } while (u >= 1.0);
+            double mult = std::pow(1.0 - u, -1.0 / cfg.tail_alpha);
+            mult = std::min(mult, cfg.tail_max_multiplier);
+            const auto bytes = static_cast<std::uint64_t>(
+                mult * static_cast<double>(request_bytes));
+            a.bytes = std::clamp<std::uint64_t>(bytes, 1, ring_bytes);
+            break;
+          }
+        }
+        out.push_back(a);
+    }
+    return out;
+}
+
+} // namespace dmx::serve

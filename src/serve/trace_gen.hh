@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Seeded arrival-trace generation for the serving layer.
+ *
+ * The overload engine offers requests on a single uniform clock; real
+ * serving load is bursty. This generator replays one of four canonical
+ * shapes through per-tenant streams with SLO classes:
+ *
+ *  - Steady:     arrival i at exactly i * interval — bit-identical to
+ *                the overload engine's uniform clock, so the serving
+ *                engine with everything off reproduces it exactly.
+ *  - Diurnal:    the arrival rate follows a cosine day/night swing of
+ *                configurable depth and cycle count across the trace.
+ *  - FlashCrowd: a steady baseline with a window where the rate jumps
+ *                by a configurable multiplier (the "crowd").
+ *  - HeavyTail:  steady arrivals, but request *sizes* drawn from a
+ *                bounded Pareto, so a few elephants queue behind mice.
+ *
+ * Everything is derived from an explicit seed; equal (config, seed)
+ * pairs give byte-equal traces on every platform.
+ */
+
+#ifndef DMX_SERVE_TRACE_GEN_HH
+#define DMX_SERVE_TRACE_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace dmx::serve
+{
+
+/** Canonical arrival-trace shapes. */
+enum class TraceShape : std::uint8_t
+{
+    Steady,     ///< uniform clock (the overload engine's arrivals)
+    Diurnal,    ///< cosine day/night rate swing
+    FlashCrowd, ///< rate spike over a window of the trace
+    HeavyTail,  ///< steady clock, bounded-Pareto request sizes
+};
+
+/** @return human name, e.g. "flash-crowd". */
+std::string toString(TraceShape s);
+
+/** SLO class of a request stream. */
+enum class SloClass : std::uint8_t
+{
+    LatencySensitive, ///< user-facing: tight SLO, hedged first
+    Batch,            ///< throughput-oriented: loose SLO, shed first
+};
+
+/** @return human name, e.g. "batch". */
+std::string toString(SloClass c);
+
+/** Shape of the offered trace. */
+struct TraceConfig
+{
+    TraceShape shape = TraceShape::Steady;
+    /// Request i belongs to tenant i % tenants. The floor(batch_fraction
+    /// * tenants) highest-numbered tenants are Batch class, the rest
+    /// LatencySensitive.
+    unsigned tenants = 4;
+    double batch_fraction = 0.5;
+
+    /// Diurnal: rate multiplier swings between 1 (peak, at the trace
+    /// start) and 1 - depth (trough) over `cycles` full cosine periods.
+    double diurnal_depth = 0.6;
+    unsigned diurnal_cycles = 2;
+
+    /// FlashCrowd: requests in [start, start + length) (fractions of
+    /// the trace) arrive `multiplier` times faster than the baseline.
+    double flash_start = 0.5;
+    double flash_length = 0.2;
+    double flash_multiplier = 4.0;
+
+    /// HeavyTail: request size multiplier drawn from a Pareto with this
+    /// alpha, clamped to [1, max_multiplier] (and to the ring size).
+    double tail_alpha = 1.5;
+    double tail_max_multiplier = 16.0;
+};
+
+/** One offered request. */
+struct Arrival
+{
+    Tick at = 0;              ///< absolute arrival tick
+    unsigned tenant = 0;      ///< owning tenant stream
+    SloClass cls = SloClass::LatencySensitive;
+    std::uint64_t bytes = 0;  ///< payload size
+};
+
+/** @return the SLO class of @p tenant under @p cfg. */
+SloClass classOf(const TraceConfig &cfg, unsigned tenant);
+
+/**
+ * Generate @p requests arrivals.
+ *
+ * @param cfg           trace shape and tenant mix
+ * @param requests      number of arrivals
+ * @param interval      baseline inter-arrival gap (the overload
+ *                      engine's self-calibrated spacing); Steady
+ *                      reproduces `i * interval` exactly
+ * @param request_bytes baseline payload size
+ * @param ring_bytes    hard upper bound on any generated payload
+ * @param seed          trace stream seed
+ */
+std::vector<Arrival> generateArrivals(const TraceConfig &cfg,
+                                      unsigned requests, Tick interval,
+                                      std::uint64_t request_bytes,
+                                      std::uint64_t ring_bytes,
+                                      std::uint64_t seed);
+
+} // namespace dmx::serve
+
+#endif // DMX_SERVE_TRACE_GEN_HH

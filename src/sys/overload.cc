@@ -14,16 +14,16 @@
 namespace dmx::sys
 {
 
-namespace
-{
-
-/**
- * The stress kernel: a byte-bound streaming pass (checksum-rotate) so
+/*
+ * The stress kernel is a byte-bound streaming pass (checksum-rotate) so
  * service time scales with request_bytes through the device's op-rate
- * model while the functional work stays trivial.
+ * model while the functional work stays trivial. Kernel, bank and
+ * calibration are exported: the serving layer (src/serve) builds its
+ * engine on the same primitives, so "serving disabled" can be proven
+ * byte-identical to this engine.
  */
 runtime::Bytes
-streamKernel(const runtime::Bytes &in, kernels::OpCount &ops)
+overloadStreamKernel(const runtime::Bytes &in, kernels::OpCount &ops)
 {
     runtime::Bytes out(in.size());
     std::uint8_t acc = 0;
@@ -37,28 +37,23 @@ streamKernel(const runtime::Bytes &in, kernels::OpCount &ops)
     return out;
 }
 
-/** Build the device bank on @p plat; @return the device ids. */
 std::vector<runtime::DeviceId>
-addBank(runtime::Platform &plat, unsigned devices)
+overloadAddBank(runtime::Platform &plat, unsigned devices)
 {
     std::vector<runtime::DeviceId> ids;
     ids.reserve(devices);
     for (unsigned d = 0; d < devices; ++d)
         ids.push_back(plat.addAccelerator(
             "axl" + std::to_string(d), accel::Domain::Crypto,
-            streamKernel));
+            overloadStreamKernel));
     return ids;
 }
 
-/**
- * Service time of one request on an idle, fault-free platform: the
- * saturation yardstick arrivals are spaced against.
- */
 Tick
-soloServiceTicks(const OverloadConfig &cfg)
+overloadSoloServiceTicks(const OverloadConfig &cfg)
 {
     runtime::Platform plat;
-    const auto ids = addBank(plat, 1);
+    const auto ids = overloadAddBank(plat, 1);
     runtime::Context ctx = plat.createContext();
     const auto in = ctx.createBuffer(
         runtime::Bytes(cfg.request_bytes, std::uint8_t{1}));
@@ -69,6 +64,9 @@ soloServiceTicks(const OverloadConfig &cfg)
         dmx_panic("overload: calibration request did not complete");
     return ev.completeTime();
 }
+
+namespace
+{
 
 /** The live open-loop stress run. */
 class OverloadSim
@@ -91,9 +89,9 @@ class OverloadSim
     OverloadStats
     run()
     {
-        const Tick service = soloServiceTicks(_cfg);
+        const Tick service = overloadSoloServiceTicks(_cfg);
 
-        _ids = addBank(_plat, _cfg.devices);
+        _ids = overloadAddBank(_plat, _cfg.devices);
         if (_cfg.fault_rate > 0) {
             fault::FaultSpec spec;
             spec.seed = _cfg.seed;
@@ -197,9 +195,17 @@ class OverloadSim
             ++_completed;
             _latencies_ms.push_back(ticksToMs(_plat.now() - r.start));
             break;
-          case runtime::Status::Shed:     ++_shed; break;
-          case runtime::Status::TimedOut: ++_timed_out; break;
-          default:                        ++_failed; break;
+          case runtime::Status::Shed:
+            ++_shed;
+            _shed_ms.push_back(ticksToMs(_plat.now() - r.start));
+            break;
+          case runtime::Status::TimedOut:
+            ++_timed_out;
+            _timeout_ms.push_back(ticksToMs(_plat.now() - r.start));
+            break;
+          default:
+            ++_failed;
+            break;
         }
         _last_settle = std::max(_last_settle, _plat.now());
         // The context (buffers, queues) stays alive until collect():
@@ -221,14 +227,14 @@ class OverloadSim
         st.goodput_rps =
             makespan_s > 0 ? static_cast<double>(_completed) / makespan_s
                            : 0;
-        double lat_sum = 0;
-        for (double l : _latencies_ms)
-            lat_sum += l;
-        st.mean_latency_ms =
-            _latencies_ms.empty()
-                ? 0
-                : lat_sum / static_cast<double>(_latencies_ms.size());
-        st.p99_latency_ms = percentileNearestRank(_latencies_ms, 0.99);
+        // summarizeLatencies sums the mean in sample (completion) order
+        // and takes nearest-rank percentiles, so mean/p99 here are
+        // bit-identical to the historical inline computation.
+        st.completed_latency = common::summarizeLatencies(_latencies_ms);
+        st.shed_latency = common::summarizeLatencies(_shed_ms);
+        st.timeout_latency = common::summarizeLatencies(_timeout_ms);
+        st.mean_latency_ms = st.completed_latency.mean_ms;
+        st.p99_latency_ms = st.completed_latency.p99_ms;
 
         for (const auto &ring : _rings) {
             st.queue_overflows += ring->overflows();
@@ -264,6 +270,8 @@ class OverloadSim
     std::vector<std::unique_ptr<robust::CreditGate>> _gates;
     std::vector<Request> _reqs;
     std::vector<double> _latencies_ms;
+    std::vector<double> _shed_ms;
+    std::vector<double> _timeout_ms;
     std::uint64_t _offered = 0;
     std::uint64_t _completed = 0;
     std::uint64_t _shed = 0;

@@ -29,9 +29,12 @@
 #define DMX_SYS_OVERLOAD_HH
 
 #include <cstdint>
+#include <vector>
 
+#include "common/percentile.hh"
 #include "common/units.hh"
 #include "robust/robust.hh"
+#include "runtime/runtime.hh"
 
 namespace dmx::sys
 {
@@ -89,6 +92,17 @@ struct OverloadStats
     std::uint64_t retries = 0;              ///< retry attempts scheduled
     std::uint64_t watchdog_timeouts = 0;    ///< per-attempt expiries
 
+    /// Full latency distribution of the completed requests; mean/p99
+    /// are bit-identical to the scalar fields above.
+    common::LatencySummary completed_latency;
+    /// Time-to-shed distribution: arrival to Shed settle. A protected
+    /// config that sheds *slowly* (after queueing) can't hide behind a
+    /// completed-only p99 anymore.
+    common::LatencySummary shed_latency;
+    /// Time-to-timeout distribution: arrival to TimedOut settle
+    /// (watchdog expiry or deadline budget).
+    common::LatencySummary timeout_latency;
+
     /** @return fraction of offered requests shed. */
     double
     shedRate() const
@@ -101,6 +115,26 @@ struct OverloadStats
 
 /** Run one overload stress point. */
 OverloadStats simulateOverload(const OverloadConfig &cfg);
+
+/**
+ * Building blocks shared with the serving layer (src/serve), exported
+ * so both engines drive byte-identical device banks and calibrate
+ * against the same saturation yardstick.
+ */
+
+/** The overload stress kernel: byte-bound checksum-rotate pass. */
+runtime::Bytes overloadStreamKernel(const runtime::Bytes &in,
+                                    kernels::OpCount &ops);
+
+/** Build the "axl<d>" device bank on @p plat; @return the device ids. */
+std::vector<runtime::DeviceId> overloadAddBank(runtime::Platform &plat,
+                                               unsigned devices);
+
+/**
+ * Service time of one request on an idle, fault-free platform: the
+ * saturation yardstick arrivals are spaced against.
+ */
+Tick overloadSoloServiceTicks(const OverloadConfig &cfg);
 
 } // namespace dmx::sys
 

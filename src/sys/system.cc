@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/percentile.hh"
 #include "drx/cache.hh"
 #include "exec/scenario.hh"
 #include "robust/admission.hh"
@@ -43,16 +44,7 @@ toString(ChainSubmission c)
 double
 percentileNearestRank(std::vector<double> values, double p)
 {
-    if (values.empty())
-        return 0;
-    std::sort(values.begin(), values.end());
-    const auto n = static_cast<double>(values.size());
-    auto rank = static_cast<std::size_t>(std::ceil(p * n));
-    if (rank == 0)
-        rank = 1;
-    if (rank > values.size())
-        rank = values.size();
-    return values[rank - 1];
+    return common::percentileNearestRank(std::move(values), p);
 }
 
 namespace

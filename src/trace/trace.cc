@@ -91,6 +91,7 @@ toString(Category c)
       case Category::Robust:      return "robust";
       case Category::DrxCache:    return "drxcache";
       case Category::Integrity:   return "integrity";
+      case Category::Serve:       return "serve";
       case Category::NumCategories: break;
     }
     return "?";

@@ -72,6 +72,7 @@ enum class Category : std::uint8_t
     Robust,      ///< overload protection: backpressure, shed, breakers
     DrxCache,    ///< compiled-kernel cache hits/misses/evictions (opt-in)
     Integrity,   ///< data-integrity events: ECC, CRC replay, checksums
+    Serve,       ///< serving layer: hedges, budget denials, brownout
     NumCategories,
 };
 

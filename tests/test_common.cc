@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/percentile.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/strutil.hh"
@@ -277,4 +279,56 @@ TEST(TableTest, PrintAlignsAndCsv)
     std::ostringstream csv;
     t.printCsv(csv);
     EXPECT_EQ(csv.str(), "name,value\nalpha,1.50\nb,2\n");
+}
+
+// ------------------------------------------------------------------
+// Shared nearest-rank percentile / latency-summary helper
+// (common/percentile.hh): the one definition of "p99" every reporting
+// layer agrees on.
+
+TEST(Percentile, SingleElementReturnsItAtEveryPercentile)
+{
+    const std::vector<double> one{7.5};
+    EXPECT_EQ(common::percentileNearestRank(one, 0.001), 7.5);
+    EXPECT_EQ(common::percentileNearestRank(one, 0.5), 7.5);
+    EXPECT_EQ(common::percentileNearestRank(one, 0.99), 7.5);
+    EXPECT_EQ(common::percentileNearestRank(one, 1.0), 7.5);
+
+    const std::vector<Tick> one_t{42};
+    EXPECT_EQ(common::percentileNearestRank(one_t, 0.999), Tick{42});
+}
+
+TEST(Percentile, NearestRankSemanticsOnTinySamples)
+{
+    // rank = clamp(ceil(p * n), 1, n), result = sorted[rank - 1].
+    const std::vector<double> two{10, 20};
+    EXPECT_EQ(common::percentileNearestRank(two, 0.50), 10); // rank 1
+    EXPECT_EQ(common::percentileNearestRank(two, 0.51), 20); // rank 2
+    EXPECT_EQ(common::percentileNearestRank(two, 0.99), 20);
+
+    const std::vector<double> five{5, 4, 3, 2, 1}; // unsorted input
+    EXPECT_EQ(common::percentileNearestRank(five, 0.2), 1);  // rank 1
+    EXPECT_EQ(common::percentileNearestRank(five, 0.21), 2); // rank 2
+    EXPECT_EQ(common::percentileNearestRank(five, 0.8), 4);
+    EXPECT_EQ(common::percentileNearestRank(five, 1.0), 5);
+
+    EXPECT_EQ(common::percentileNearestRank(std::vector<double>{}, 0.99),
+              0);
+}
+
+TEST(Percentile, SummaryMeanSumsInSampleOrderAndPinsTriple)
+{
+    const std::vector<double> s{4, 1, 3, 2};
+    const common::LatencySummary sum = common::summarizeLatencies(s);
+    EXPECT_EQ(sum.count, 4u);
+    // Mean accumulates in sample order: ((4 + 1) + 3) + 2, then / 4.
+    EXPECT_EQ(sum.mean_ms, (((4.0 + 1.0) + 3.0) + 2.0) / 4.0);
+    EXPECT_EQ(sum.p50_ms, 2);  // rank ceil(0.5*4)=2 -> sorted[1]
+    EXPECT_EQ(sum.p99_ms, 4);  // rank ceil(3.96)=4 -> sorted[3]
+    EXPECT_EQ(sum.p999_ms, 4);
+
+    const common::LatencySummary empty = common::summarizeLatencies({});
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_EQ(empty.mean_ms, 0);
+    EXPECT_EQ(empty.p999_ms, 0);
 }

@@ -15,12 +15,14 @@
  * candidate is always an error. Exit status is 0 when every metric is
  * within tolerance and 1 otherwise, so CI can gate on it directly.
  *
- * Metrics whose name starts with "wall_" or "cache_" are
+ * Metrics whose name starts with "wall_", "cache_", or "config_" are
  * *informational*: host wall-clock and cache-counter values are
  * printed with their deltas but never gate (wall time is inherently
  * nondeterministic, and cache totals legitimately change with cache
- * configuration), and their absence from either file is not an error.
- * Simulated metrics keep zero-tolerance gating regardless.
+ * configuration), "config_" metrics merely echo the run's own
+ * parameters for provenance, and their absence from either file is
+ * not an error. Simulated metrics keep zero-tolerance gating
+ * regardless.
  *
  * A file may hold several reports (one {"figure", "metrics"} object
  * per line, the BENCH_seed.json layout); --figure NAME selects which
@@ -200,13 +202,15 @@ higherIsBetter(const std::string &name)
 }
 
 /**
- * @return true for host-side metrics (wall-clock, cache counters) that
- *         are reported but never gate a comparison.
+ * @return true for metrics that are reported but never gate a
+ *         comparison: host-side values (wall-clock, cache counters)
+ *         and "config_" echoes of the run's own parameters.
  */
 bool
 informational(const std::string &name)
 {
-    return name.rfind("wall_", 0) == 0 || name.rfind("cache_", 0) == 0;
+    return name.rfind("wall_", 0) == 0 || name.rfind("cache_", 0) == 0 ||
+           name.rfind("config_", 0) == 0;
 }
 
 } // namespace

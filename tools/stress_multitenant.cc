@@ -70,6 +70,14 @@ main(int argc, char **argv)
     bench::banner("Multi-tenant stress - K concurrent request streams",
                   "extends Sec. VII (shared-fabric contention)");
 
+    // Echo the run configuration into the report (config_ metrics are
+    // informational for bench_diff: provenance, never gated).
+    report.metric("config_requests", static_cast<double>(requests));
+    report.metric("config_placement",
+                  static_cast<double>(static_cast<int>(placement)));
+    report.metric("config_tenant_points",
+                  static_cast<double>(sweep.size()));
+
     std::vector<std::function<MultiTenantStats()>> thunks;
     for (unsigned k : sweep) {
         thunks.push_back([k, requests, placement] {

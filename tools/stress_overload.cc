@@ -86,6 +86,12 @@ main(int argc, char **argv)
     bench::banner("Overload stress - open-loop load x fault sweep",
                   "overload protection & failure containment");
 
+    // Echo the run configuration into the report (config_ metrics are
+    // informational for bench_diff: provenance, never gated).
+    report.metric("config_seed", static_cast<double>(seed));
+    report.metric("config_requests", static_cast<double>(requests));
+    report.metric("config_devices", static_cast<double>(devices));
+
     const std::vector<Point> points{
         {0.5, 0.0}, {1.0, 0.0}, {2.0, 0.0},
         {0.5, 0.1}, {1.0, 0.1}, {2.0, 0.1}, {3.0, 0.1},
@@ -138,6 +144,13 @@ main(int argc, char **argv)
                           static_cast<double>(st.shed));
             report.metric("overflows_" + key,
                           static_cast<double>(st.queue_overflows));
+            // Per-point config echo: load, fault rate, and whether the
+            // protection stack (and its deadline budget) was armed.
+            report.metric("config_load_" + key, p.load);
+            report.metric("config_fault_rate_" + key, p.fault_rate);
+            report.metric("config_robust_" + key, prot ? 1.0 : 0.0);
+            report.metric("config_deadline_factor_" + key,
+                          prot ? 16.0 : 0.0);
         }
     }
     t.print(std::cout);
