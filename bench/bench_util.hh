@@ -202,12 +202,14 @@ geomean(const std::vector<double> &v)
 inline sys::RunStats
 runHomogeneous(const sys::AppModel &app, sys::Placement placement,
                unsigned n_apps,
-               pcie::Generation gen = pcie::Generation::Gen3)
+               pcie::Generation gen = pcie::Generation::Gen3,
+               unsigned batch = 1)
 {
     sys::SystemConfig cfg;
     cfg.placement = placement;
     cfg.n_apps = n_apps;
     cfg.gen = gen;
+    cfg.batch = batch;
     return sys::simulateSystem(cfg, {app});
 }
 

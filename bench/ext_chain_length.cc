@@ -204,6 +204,50 @@ main(int argc, char **argv)
     }
     c.print(std::cout);
 
+    // -- Batched submission on the same sweep ------------------------
+    // SystemConfig::batch = 8: each app rings one doorbell per 8 flow
+    // submissions and takes one completion interrupt per 8 pipeline
+    // steps (the rest are completion-record polls).
+    Table b("Batched submission (dmx placement, 10 apps, batch=8)");
+    b.header({"kernels per app", "legacy (ms)", "batched (ms)",
+              "legacy doorbells", "batched doorbells", "legacy trips",
+              "batched trips", "suppressed"});
+    std::vector<std::function<RunStats()>> bthunks;
+    for (std::size_t k : chain_sweep) {
+        bthunks.push_back([k] {
+            const AppModel app = chainApp(k);
+            SystemConfig cfg;
+            cfg.n_apps = 10;
+            cfg.placement = Placement::BumpInTheWire;
+            cfg.batch = 8;
+            return simulateSystem(cfg, {app});
+        });
+    }
+    const auto batched =
+        bench::runSweep<RunStats>(report, std::move(bthunks));
+    for (std::size_t i = 0; i < chain_sweep.size(); ++i) {
+        const std::string k = std::to_string(chain_sweep[i]);
+        const RunStats &legacy = runs[i].second; // per-hop dmx run above
+        const RunStats &bt = batched[i];
+        report.metric("legacy_doorbells_k" + k,
+                      static_cast<double>(legacy.doorbells));
+        report.metric("batched_doorbells_k" + k,
+                      static_cast<double>(bt.doorbells));
+        report.metric("batched_makespan_k" + k, bt.makespan_ms);
+        report.metric("batched_trips_k" + k,
+                      static_cast<double>(bt.driver_round_trips));
+        report.metric("batched_suppressed_k" + k,
+                      static_cast<double>(bt.notifications_suppressed));
+        b.row({k, Table::num(legacy.makespan_ms),
+               Table::num(bt.makespan_ms),
+               std::to_string(legacy.doorbells),
+               std::to_string(bt.doorbells),
+               std::to_string(legacy.driver_round_trips),
+               std::to_string(bt.driver_round_trips),
+               std::to_string(bt.notifications_suppressed)});
+    }
+    b.print(std::cout);
+
     // -- Functional runtime chains: legacy vs chained vs fused -------
     Table r("integrity::runChain: DRX stage chains (ticks)");
     r.header({"stages", "legacy", "chained", "fused", "legacy trips",

@@ -4,7 +4,14 @@
  * placements, averaged across the five benchmarks, for 1-15 concurrent
  * applications. Paper ordering: Integrated <= Standalone <=
  * Bump-in-the-Wire <= PCIe-Integrated.
+ *
+ * --batch B reruns the whole sweep with SystemConfig::batch = B
+ * (batched doorbells + coalesced completions, DESIGN.md 7j) on the
+ * DMX placements; the Multi-Axl baseline always runs unbatched. The
+ * default (1) is byte-identical to the pre-batching figure.
  */
+
+#include <cstring>
 
 #include "bench/bench_util.hh"
 
@@ -15,8 +22,15 @@ int
 main(int argc, char **argv)
 {
     bench::BenchReport report(argc, argv, "fig14_placement");
+    unsigned batch = 1;
+    for (int i = 1; i < argc - 1; ++i)
+        if (std::strcmp(argv[i], "--batch") == 0)
+            batch = static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
     bench::banner("Figure 14 - DRX placement comparison",
                   "Sec. VII-B, Fig. 14");
+    if (batch != 1)
+        report.metric("config_batch", static_cast<double>(batch));
 
     const std::vector<Placement> placements{
         Placement::IntegratedDrx, Placement::StandaloneDrx,
@@ -34,8 +48,10 @@ main(int argc, char **argv)
             });
         for (Placement p : placements) {
             for (const auto &app : bench::suite())
-                thunks.push_back([&app, p, n] {
-                    return bench::runHomogeneous(app, p, n).avg_latency_ms;
+                thunks.push_back([&app, p, n, batch] {
+                    return bench::runHomogeneous(
+                               app, p, n, pcie::Generation::Gen3, batch)
+                        .avg_latency_ms;
                 });
         }
     }

@@ -66,4 +66,24 @@ InterruptController::notifyChecked()
     return {latency, true};
 }
 
+InterruptController::Notification
+InterruptController::notifyBatch(unsigned completions)
+{
+    if (completions == 0)
+        return {0, true};
+    // All but one notification are absorbed: the device writes every
+    // member's completion record, then signals once for the window.
+    _suppressed += completions - 1;
+    return notifyChecked();
+}
+
+InterruptController::Notification
+InterruptController::pollRecord()
+{
+    ++_polls;
+    if (_host)
+        _host->submit(_params.cpu_work_per_poll, {});
+    return {_params.polling_latency, true};
+}
+
 } // namespace dmx::driver

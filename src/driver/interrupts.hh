@@ -88,6 +88,29 @@ class InterruptController : public sim::SimObject
     Notification notifyChecked();
 
     /**
+     * Record @p completions device completions delivered as ONE
+     * coalesced notification (the DSA batch-completion model): the
+     * driver reaps every completion record behind a single interrupt
+     * or poll, so completions - 1 notifications are suppressed and
+     * only one pays the delivery path. A dropped coalesced
+     * notification loses the whole batch and is recovered by the
+     * periodic completion-record poll, exactly like a lost single
+     * interrupt.
+     *
+     * @return the one delivered (or recovered) notification;
+     *         {0, true} when @p completions is zero
+     */
+    Notification notifyBatch(unsigned completions);
+
+    /**
+     * Reap one completion record by polling, bypassing the interrupt
+     * path entirely: no fault hook (there is no interrupt to lose), no
+     * EWMA/mode update (the poll is host-initiated, not device-paced).
+     * Charges the per-poll CPU work and the poll detection latency.
+     */
+    Notification pollRecord();
+
+    /**
      * Install (or clear, with nullptr) the fault-injection hook
      * consulted by every subsequent notification.
      */
@@ -106,6 +129,9 @@ class InterruptController : public sim::SimObject
     std::uint64_t pollsDelivered() const { return _polls; }
     std::uint64_t coalescedBursts() const { return _coalesced; }
 
+    /** @return notifications absorbed by batch coalescing. */
+    std::uint64_t suppressedNotifications() const { return _suppressed; }
+
     const InterruptParams &params() const { return _params; }
 
   private:
@@ -121,6 +147,7 @@ class InterruptController : public sim::SimObject
     std::uint64_t _interrupts = 0;
     std::uint64_t _polls = 0;
     std::uint64_t _coalesced = 0;
+    std::uint64_t _suppressed = 0;
 };
 
 } // namespace dmx::driver

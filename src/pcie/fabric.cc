@@ -184,6 +184,7 @@ FlowId
 Fabric::startFlowChecked(NodeId src, NodeId dst, std::uint64_t bytes,
                          FlowStatusCallback callback)
 {
+    ++_doorbells;
     return startFlowInternal(src, dst, bytes, _params.dma_setup,
                              std::move(callback));
 }
@@ -193,7 +194,9 @@ Fabric::startDescriptorFlow(const DmaDescriptor &desc,
                             bool first_descriptor,
                             FlowStatusCallback callback)
 {
-    if (!first_descriptor) {
+    if (first_descriptor) {
+        ++_doorbells;
+    } else {
         ++_descriptor_fetches;
         if (auto *tb = trace::active())
             tb->count("fabric.descriptor_fetches", now());

@@ -178,6 +178,15 @@ class Fabric : public sim::SimObject
     /** @return descriptor-chain walks started. */
     std::uint64_t descriptorChains() const { return _descriptor_chains; }
 
+    /**
+     * @return doorbell rings: submissions that paid the full dma_setup
+     * (startFlow/startFlowChecked, and the first descriptor of a batch
+     * or chain). Follow-on descriptors are engine-fetched and counted
+     * by descriptorFetches() instead. A stalled submission still rang
+     * its doorbell. Pure observability; never affects timing.
+     */
+    std::uint64_t doorbells() const { return _doorbells; }
+
     /** @return non-first descriptors fetched by the engine itself. */
     std::uint64_t descriptorFetches() const { return _descriptor_fetches; }
 
@@ -371,6 +380,7 @@ class Fabric : public sim::SimObject
     std::uint64_t _switch_traversals = 0;
     std::uint64_t _descriptor_chains = 0;
     std::uint64_t _descriptor_fetches = 0;
+    std::uint64_t _doorbells = 0;
     std::uint64_t _settle_visits = 0;
 
     // ---- Optimized engine (sim::CoreMode::Optimized) ----

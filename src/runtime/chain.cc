@@ -62,8 +62,30 @@ struct ChainEngine
         /// A descriptor flow has delivered: the engine is programmed,
         /// so later Copy descriptors pay only the descriptor fetch.
         bool programmed = false;
+        /// Batch-shared programming flag: when set (the chain runs as
+        /// a batch member), the first-Copy doorbell decision is shared
+        /// with the enclosing batch's other members.
+        std::shared_ptr<bool> ext_programmed;
+        /// Batch hook: when set, the chain reports its terminal status
+        /// here at device-settle time instead of paying its own driver
+        /// notification - the batch coalesces completion delivery.
+        std::function<void(Status)> on_settled;
 
         Platform &plat() { return ctx->platform(); }
+
+        bool
+        isProgrammed() const
+        {
+            return ext_programmed ? *ext_programmed : programmed;
+        }
+
+        void
+        markProgrammed()
+        {
+            programmed = true;
+            if (ext_programmed)
+                *ext_programmed = true;
+        }
 
         /** @return backoff before the retry of failed attempt @p n
          *  (same math and jitter stream as the per-command engine). */
@@ -87,6 +109,14 @@ struct ChainEngine
             watchdog.cancel();
             state->failed_index = failed_i;
             Platform &p = plat();
+            if (on_settled) {
+                // Batch member: settle at device time; the enclosing
+                // batch owns (and coalesces) the driver notification.
+                state->status = st;
+                state->at = p.now();
+                on_settled(st);
+                return;
+            }
             if (st == Status::Ok && p._plan) {
                 // The single driver notification of the whole chain:
                 // the host learns of completion through the irq path
@@ -173,7 +203,12 @@ struct ChainEngine
                 static_cast<std::uint64_t>(ctx->read(op.in).size());
             const pcie::NodeId sn = d.node;
             const pcie::NodeId dn = p._devices[op.dst_device].node;
-            const bool first = !programmed;
+            const bool first = !isProgrammed();
+            // Batch members claim the shared doorbell at submission
+            // (not delivery) so concurrent siblings never double-ring
+            // it; a standalone chain keeps the delivery-time marking.
+            if (ext_programmed)
+                *ext_programmed = true;
 
             auto self = shared_from_this();
             auto deliver = [self, i, n](bool ok) {
@@ -185,7 +220,7 @@ struct ChainEngine
                     self->opDone(i, n, false);
                     return;
                 }
-                self->programmed = true;
+                self->markProgrammed();
                 self->ctx->write(cop.out, self->ctx->read(cop.in));
                 if (plat._integrity) {
                     // Silent payload corruption, exactly as in
@@ -364,7 +399,9 @@ struct ChainEngine
 
     static ChainEvent
     submit(Context &ctx, const std::vector<ChainOp> &ops,
-           const ChainOptions &opts)
+           const ChainOptions &opts,
+           std::shared_ptr<bool> ext_programmed = nullptr,
+           std::function<void(Status)> on_settled = nullptr)
     {
         Platform &p = ctx.platform();
         ChainEvent ev;
@@ -373,6 +410,8 @@ struct ChainEngine
         if (ops.empty()) {
             ev._state->status = Status::Ok;
             ev._state->at = p.now();
+            if (on_settled)
+                on_settled(Status::Ok);
             return ev;
         }
 
@@ -410,6 +449,8 @@ struct ChainEngine
         run->ops = ops;
         run->opts = opts;
         run->state = ev._state;
+        run->ext_programmed = std::move(ext_programmed);
+        run->on_settled = std::move(on_settled);
         run->plans.resize(ops.size());
 
         // Plan every Restructure descriptor up front (through the
@@ -486,6 +527,16 @@ struct ChainEngine
         return ev;
     }
 };
+
+ChainEvent
+enqueueChainHooked(Context &ctx, const std::vector<ChainOp> &ops,
+                   const ChainOptions &opts,
+                   std::shared_ptr<bool> ext_programmed,
+                   std::function<void(Status)> on_settled)
+{
+    return ChainEngine::submit(ctx, ops, opts, std::move(ext_programmed),
+                               std::move(on_settled));
+}
 
 } // namespace detail
 

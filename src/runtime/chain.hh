@@ -172,6 +172,27 @@ class ChainEvent
 ChainEvent enqueueChain(Context &ctx, const std::vector<ChainOp> &ops,
                         const ChainOptions &opts = {});
 
+namespace detail
+{
+
+/**
+ * Batch-member variant of enqueueChain: identical execution and
+ * reliability semantics (own chain watchdog, per-descriptor retries,
+ * admission bypass), except that (a) the first-Copy full-DMA-setup
+ * decision reads and writes @p ext_programmed, so a chain inside a
+ * batch shares the batch's single doorbell instead of ringing its
+ * own, and (b) the chain never pays its own driver notification -
+ * @p on_settled fires at device-settle time and the enclosing batch
+ * coalesces completion delivery across members.
+ */
+ChainEvent enqueueChainHooked(Context &ctx,
+                              const std::vector<ChainOp> &ops,
+                              const ChainOptions &opts,
+                              std::shared_ptr<bool> ext_programmed,
+                              std::function<void(Status)> on_settled);
+
+} // namespace detail
+
 } // namespace dmx::runtime
 
 #endif // DMX_RUNTIME_CHAIN_HH

@@ -151,6 +151,10 @@ struct CommandEngine
         bool counted = false;       ///< holds a slot in Device::outstanding
         Tick submitted = 0;         ///< launch tick (sojourn feedback)
         Tick deadline_at = 0;       ///< absolute settle-by tick (0 = none)
+        /// Batch hook: when set, terminal settles report here instead
+        /// of paying a per-command notification and firing the event -
+        /// the batch engine coalesces delivery across members.
+        std::function<void(Status)> on_device_settled;
 
         /**
          * Drop the command's outstanding-depth slot and feed the
@@ -178,6 +182,10 @@ struct CommandEngine
             Platform &p = ctx->platform();
             ++p._devices[device].fstats.commands_failed;
             release();
+            if (on_device_settled) {
+                on_device_settled(reason);
+                return;
+            }
             fireEvent(state, reason, p.now());
         }
 
@@ -343,6 +351,10 @@ struct CommandEngine
         {
             Platform &p = ctx->platform();
             release();
+            if (on_device_settled) {
+                on_device_settled(Status::Ok);
+                return;
+            }
             if (p._plan) {
                 // Completion reaches the host through the driver
                 // notification path (possibly a recovery poll when the
@@ -482,6 +494,65 @@ struct CommandEngine
         return ev;
     }
 };
+
+void
+fireEventState(const std::shared_ptr<Event::State> &state, Status status,
+               Tick at)
+{
+    fireEvent(state, status, at);
+}
+
+void
+whenEventDone(const std::shared_ptr<Event::State> &state,
+              std::function<void()> fn)
+{
+    whenDone(state, std::move(fn));
+}
+
+void
+launchBatchMember(Context &ctx, DeviceId device, AttemptFn work,
+                  AttemptFn fallback, bool fast_failable,
+                  std::shared_ptr<Event::State> state,
+                  std::function<void(Status)> on_settled)
+{
+    Platform &plat = ctx.platform();
+    Platform::Device &dev = plat._devices[device];
+
+    // Admission control applies per member, exactly as for an
+    // individually enqueued command: a shed member terminates up
+    // front and never occupies the device, and - unlike the in-order
+    // queue path - cannot cascade into its batch siblings.
+    if (dev.admission &&
+        !dev.admission->admit(plat.now(), dev.outstanding,
+                              ctx.priority())) {
+        ++dev.fstats.shed;
+        ++dev.fstats.commands_failed;
+        if (auto *tb = trace::active())
+            tb->count("runtime.shed", plat.now());
+        on_settled(Status::Shed);
+        return;
+    }
+
+    auto cmd = std::make_shared<CommandEngine::Command>();
+    cmd->ctx = &ctx;
+    cmd->device = device;
+    cmd->state = std::move(state);
+    cmd->work = std::move(work);
+    cmd->fallback = std::move(fallback);
+    cmd->fast_failable = fast_failable;
+    cmd->submitted = plat.now();
+    cmd->counted = true;
+    cmd->on_device_settled = std::move(on_settled);
+    ++dev.outstanding;
+    if (plat._policy.deadline)
+        cmd->deadline_at = plat.now() + plat._policy.deadline;
+
+    if (auto *tb = trace::active()) {
+        tb->instant(trace::Category::Command, "submit", dev.name,
+                    plat.now());
+    }
+    plat._eq.scheduleIn(0, [cmd] { cmd->beginAttempt(0); });
+}
 
 } // namespace detail
 

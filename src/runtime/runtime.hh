@@ -126,6 +126,7 @@ namespace detail
 {
 struct CommandEngine;
 struct ChainEngine;
+struct BatchEngine;
 }
 
 /** Completion state shared with the host program. */
@@ -180,6 +181,7 @@ class Event
     friend class CommandQueue;
     friend class Context;
     friend struct detail::CommandEngine;
+    friend struct detail::BatchEngine;
     friend void onSettled(const Event &, std::function<void()>);
     std::shared_ptr<State> _state;
 };
@@ -194,6 +196,39 @@ void onSettled(const Event &ev, std::function<void()> fn);
 
 class Context;
 class Platform;
+
+namespace detail
+{
+
+/** Reports one attempt's outcome (exactly once, or never). */
+using AttemptResult = std::function<void(bool ok)>;
+/** Launches one attempt of a command's device work. */
+using AttemptFn = std::function<void(AttemptResult)>;
+
+/** Settle @p state (firing its onSettled waiters) - batch.cc bridge. */
+void fireEventState(const std::shared_ptr<Event::State> &state,
+                    Status status, Tick at);
+
+/** Run @p fn when @p state settles (immediately if it already did). */
+void whenEventDone(const std::shared_ptr<Event::State> &state,
+                   std::function<void()> fn);
+
+/**
+ * Launch one batch member through the per-command reliability engine
+ * (admission shed, watchdog clipped to the deadline, retry backoff,
+ * breaker/health feedback, CPU fallback) with the settle outcome
+ * reported to @p on_settled instead of the notify + event-fire path:
+ * the batch engine owns completion delivery, so member reliability is
+ * byte-identical to an individually enqueued command while the
+ * notification cost is paid once per coalescing window. Members do not
+ * join the per-device in-order queue; a batch owns its own ordering.
+ */
+void launchBatchMember(Context &ctx, DeviceId device, AttemptFn work,
+                       AttemptFn fallback, bool fast_failable,
+                       std::shared_ptr<Event::State> state,
+                       std::function<void(Status)> on_settled);
+
+} // namespace detail
 
 /** An in-order command queue bound to one device. */
 class CommandQueue
@@ -504,11 +539,21 @@ class Platform
     /** @return the host core pool running degraded restructuring. */
     const cpu::CorePool &hostPool() const { return *_host; }
 
+    /** @return the platform's PCIe fabric (doorbell/fetch counters). */
+    const pcie::Fabric &fabric() const { return *_fabric; }
+
+    /** @return the completion-interrupt controller (notify counters). */
+    const driver::InterruptController &irq() const { return *_irq; }
+
   private:
     friend class Context;
     friend class CommandQueue;
     friend struct detail::CommandEngine;
     friend struct detail::ChainEngine;
+    friend struct detail::BatchEngine;
+    friend void detail::launchBatchMember(
+        Context &, DeviceId, detail::AttemptFn, detail::AttemptFn, bool,
+        std::shared_ptr<Event::State>, std::function<void(Status)>);
 
     struct Device
     {

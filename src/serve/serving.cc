@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "driver/queues.hh"
 #include "robust/credit.hh"
+#include "runtime/batch.hh"
 #include "runtime/runtime.hh"
 #include "trace/trace.hh"
 
@@ -41,6 +42,8 @@ class ServeSim
             dmx_fatal("serve: request_bytes must be nonzero");
         if (oc.ring_bytes < oc.request_bytes)
             dmx_fatal("serve: ring_bytes smaller than one request");
+        if (oc.batch == 0)
+            dmx_fatal("serve: batch must be at least 1");
         if (cfg.fault_hang_fraction < 0 || cfg.fault_hang_fraction > 1)
             dmx_fatal("serve: fault_hang_fraction must be in [0, 1]");
         if (cfg.slo_ls_factor <= 0 || cfg.slo_batch_factor <= 0)
@@ -132,6 +135,14 @@ class ServeSim
                                         [this] { brownoutTick(); });
         }
 
+        // Same accumulator flush bound as the overload engine: a
+        // partial batch waits at most a full batch's worth of steady
+        // arrival intervals before submitting.
+        _pending.resize(oc.devices);
+        _pending_gen.assign(oc.devices, 0);
+        _flush_ticks = std::max<Tick>(
+            1, interval * static_cast<Tick>(oc.batch));
+
         _reqs.resize(oc.requests);
         for (unsigned i = 0; i < oc.requests; ++i) {
             _plat.eventQueue().schedule(_arrivals[i].at,
@@ -162,6 +173,14 @@ class ServeSim
         bool finalized = false;
         runtime::Status primary_status = runtime::Status::Pending;
         sim::EventHandle hedge_timer;
+    };
+
+    /** One accumulated (not yet submitted) batch member. */
+    struct PendingMember
+    {
+        unsigned i = 0;
+        runtime::BufferId in = 0;
+        runtime::BufferId out = 0;
     };
 
     /** Per-SLO-class accumulation. */
@@ -254,14 +273,75 @@ class ServeSim
         const auto in = r.ctx->createBuffer(runtime::Bytes(
             r.bytes, static_cast<std::uint8_t>(i)));
         const auto out = r.ctx->createBuffer();
-        const runtime::Event ev =
-            r.ctx->queue(_ids[r.dev]).enqueueKernel(in, out);
-        runtime::onSettled(
-            ev, [this, i, ev] { armSettled(i, false, ev.status()); });
+        if (_cfg.overload.batch > 1) {
+            // Primary submissions batch; hedges never do (a hedge
+            // exists to dodge latency, parking it in an accumulator
+            // would defeat it). The hedge timer arms at join time, so
+            // accumulator wait counts against the straggler exactly
+            // like queue wait does.
+            joinBatch(i, in, out);
+        } else {
+            const runtime::Event ev =
+                r.ctx->queue(_ids[r.dev]).enqueueKernel(in, out);
+            runtime::onSettled(
+                ev, [this, i, ev] { armSettled(i, false, ev.status()); });
+        }
         if (_cfg.enabled && _cfg.hedge.enabled &&
             _cfg.overload.devices > 1) {
             r.hedge_timer = _plat.eventQueue().scheduleIn(
                 hedgeDelay(r.cls), [this, i] { maybeHedge(i); });
+        }
+    }
+
+    /** Batched-path accumulator join; see OverloadSim::joinBatch. */
+    void
+    joinBatch(unsigned i, runtime::BufferId in, runtime::BufferId out)
+    {
+        const std::size_t dev = _reqs[i].dev;
+        auto &pend = _pending[dev];
+        pend.push_back({i, in, out});
+        if (pend.size() >= _cfg.overload.batch) {
+            flushBatch(dev);
+            return;
+        }
+        if (pend.size() == 1) {
+            const std::uint64_t gen = _pending_gen[dev];
+            _plat.eventQueue().scheduleIn(
+                _flush_ticks, [this, dev, gen] {
+                    if (_pending_gen[dev] == gen &&
+                        !_pending[dev].empty())
+                        flushBatch(dev);
+                });
+        }
+    }
+
+    void
+    flushBatch(std::size_t dev)
+    {
+        auto pend = std::move(_pending[dev]);
+        _pending[dev].clear();
+        ++_pending_gen[dev];
+        std::vector<runtime::BatchOp> ops;
+        ops.reserve(pend.size());
+        for (const PendingMember &m : pend) {
+            runtime::BatchOp op;
+            op.kind = runtime::BatchOp::Kind::Kernel;
+            op.device = _ids[dev];
+            op.in = m.in;
+            op.out = m.out;
+            // Tenancy stays per member: each context carries its own
+            // admission priority and retry-budget tag into the batch.
+            op.ctx = _reqs[m.i].ctx.get();
+            ops.push_back(op);
+        }
+        const runtime::BatchEvent bev =
+            runtime::submitBatch(*_reqs[pend.front().i].ctx, ops);
+        for (std::size_t j = 0; j < pend.size(); ++j) {
+            const unsigned i = pend[j].i;
+            const runtime::Event ev = bev.member(j);
+            runtime::onSettled(ev, [this, i, ev] {
+                armSettled(i, false, ev.status());
+            });
         }
     }
 
@@ -527,6 +607,11 @@ class ServeSim
                     ticksToMs(brk->quarantineTicks(_plat.now()));
             }
         }
+        // Interrupts plus polls: NAPI may deliver any notification in
+        // polled mode, so interrupts alone undercounts the legacy arm.
+        b.irq_notifications = _plat.irq().interruptsDelivered() +
+                              _plat.irq().pollsDelivered();
+        b.irq_suppressed = _plat.irq().suppressedNotifications();
 
         st.latency_sensitive = classStats(_ls, SloClass::LatencySensitive);
         st.batch = classStats(_batch, SloClass::Batch);
@@ -576,6 +661,9 @@ class ServeSim
     std::vector<std::unique_ptr<robust::CreditGate>> _gates;
     std::vector<Arrival> _arrivals;
     std::vector<Request> _reqs;
+    std::vector<std::vector<PendingMember>> _pending; ///< per device
+    std::vector<std::uint64_t> _pending_gen;
+    Tick _flush_ticks = 1;
     std::unique_ptr<RetryBudget> _budget;
     std::unique_ptr<BrownoutController> _brownout;
     Tick _service = 0;
@@ -657,6 +745,8 @@ flatten(const ServeStats &st)
     push(b.breaker_open_ms);
     push(static_cast<double>(b.retries));
     push(static_cast<double>(b.watchdog_timeouts));
+    push(static_cast<double>(b.irq_notifications));
+    push(static_cast<double>(b.irq_suppressed));
     pushSummary(b.completed_latency);
     pushSummary(b.shed_latency);
     pushSummary(b.timeout_latency);

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "driver/queues.hh"
 #include "robust/credit.hh"
+#include "runtime/batch.hh"
 #include "runtime/runtime.hh"
 #include "sys/system.hh"
 
@@ -84,6 +85,8 @@ class OverloadSim
             dmx_fatal("overload: request_bytes must be nonzero");
         if (cfg.ring_bytes < cfg.request_bytes)
             dmx_fatal("overload: ring_bytes smaller than one request");
+        if (cfg.batch == 0)
+            dmx_fatal("overload: batch must be at least 1");
     }
 
     OverloadStats
@@ -127,6 +130,14 @@ class OverloadSim
             1, static_cast<Tick>(
                    static_cast<double>(service) /
                    (_cfg.load * static_cast<double>(_cfg.devices))));
+        // A partial batch flushes once a full batch's worth of arrival
+        // intervals has passed with no flush, bounding the queueing
+        // delay batching can add to at most the accumulation window.
+        _pending.resize(_cfg.devices);
+        _pending_gen.assign(_cfg.devices, 0);
+        _flush_ticks = std::max<Tick>(
+            1, interval * static_cast<Tick>(_cfg.batch));
+
         _reqs.resize(_cfg.requests);
         for (unsigned i = 0; i < _cfg.requests; ++i) {
             _plat.eventQueue().schedule(
@@ -144,6 +155,14 @@ class OverloadSim
         Tick start = 0;
         std::size_t dev = 0;
         bool push_ok = false;
+    };
+
+    /** One accumulated (not yet submitted) batch member. */
+    struct PendingMember
+    {
+        unsigned i = 0;
+        runtime::BufferId in = 0;
+        runtime::BufferId out = 0;
     };
 
     void
@@ -176,10 +195,71 @@ class OverloadSim
         const auto in = r.ctx->createBuffer(runtime::Bytes(
             _cfg.request_bytes, static_cast<std::uint8_t>(i)));
         const auto out = r.ctx->createBuffer();
+        if (_cfg.batch > 1) {
+            joinBatch(i, in, out);
+            return;
+        }
         const runtime::Event ev =
             r.ctx->queue(_ids[r.dev]).enqueueKernel(in, out);
         runtime::onSettled(ev,
                            [this, i, ev] { settle(i, ev.status()); });
+    }
+
+    /**
+     * Batched path: the request joins its device's accumulator (ring
+     * bytes and gate credit already held, so nothing downstream can
+     * tell accumulated and direct submissions apart at settle). A full
+     * accumulator flushes immediately; a partial one when its flush
+     * window expires.
+     */
+    void
+    joinBatch(unsigned i, runtime::BufferId in, runtime::BufferId out)
+    {
+        const std::size_t dev = _reqs[i].dev;
+        auto &pend = _pending[dev];
+        pend.push_back({i, in, out});
+        if (pend.size() >= _cfg.batch) {
+            flushBatch(dev);
+            return;
+        }
+        if (pend.size() == 1) {
+            const std::uint64_t gen = _pending_gen[dev];
+            _plat.eventQueue().scheduleIn(
+                _flush_ticks, [this, dev, gen] {
+                    if (_pending_gen[dev] == gen &&
+                        !_pending[dev].empty())
+                        flushBatch(dev);
+                });
+        }
+    }
+
+    void
+    flushBatch(std::size_t dev)
+    {
+        auto pend = std::move(_pending[dev]);
+        _pending[dev].clear();
+        ++_pending_gen[dev];
+        std::vector<runtime::BatchOp> ops;
+        ops.reserve(pend.size());
+        for (const PendingMember &m : pend) {
+            runtime::BatchOp op;
+            op.kind = runtime::BatchOp::Kind::Kernel;
+            op.device = _ids[dev];
+            op.in = m.in;
+            op.out = m.out;
+            // Each member keeps its own context: admission priority,
+            // retry-policy tag and buffers stay per request.
+            op.ctx = _reqs[m.i].ctx.get();
+            ops.push_back(op);
+        }
+        const runtime::BatchEvent bev =
+            runtime::submitBatch(*_reqs[pend.front().i].ctx, ops);
+        for (std::size_t j = 0; j < pend.size(); ++j) {
+            const unsigned i = pend[j].i;
+            const runtime::Event ev = bev.member(j);
+            runtime::onSettled(
+                ev, [this, i, ev] { settle(i, ev.status()); });
+        }
     }
 
     void
@@ -259,6 +339,11 @@ class OverloadSim
                     ticksToMs(b->quarantineTicks(_plat.now()));
             }
         }
+        // Interrupts plus polls: NAPI may deliver any notification in
+        // polled mode, so interrupts alone undercounts the legacy arm.
+        st.irq_notifications = _plat.irq().interruptsDelivered() +
+                               _plat.irq().pollsDelivered();
+        st.irq_suppressed = _plat.irq().suppressedNotifications();
         return st;
     }
 
@@ -269,6 +354,9 @@ class OverloadSim
     std::vector<std::unique_ptr<driver::DataQueue>> _rings;
     std::vector<std::unique_ptr<robust::CreditGate>> _gates;
     std::vector<Request> _reqs;
+    std::vector<std::vector<PendingMember>> _pending; ///< per device
+    std::vector<std::uint64_t> _pending_gen;
+    Tick _flush_ticks = 1;
     std::vector<double> _latencies_ms;
     std::vector<double> _shed_ms;
     std::vector<double> _timeout_ms;

@@ -63,6 +63,15 @@ struct OverloadConfig
     /// self-calibrated solo service time, so deadline budgets track the
     /// workload instead of hard-coding ticks.
     double deadline_factor = 0;
+    /// Batched submission window (runtime::submitBatch): each device
+    /// packs up to `batch` pending requests into one submission with
+    /// coalesced completion notifications. Admission, deadlines and
+    /// retries stay per request (per batch member). A partial batch
+    /// flushes after `batch` arrival intervals, so credit gates and
+    /// bounded rings can never deadlock the accumulator. Default 1 is
+    /// the legacy one-command-per-submission path, byte-identical to
+    /// before.
+    unsigned batch = 1;
 };
 
 /** Results of one overload stress point. */
@@ -91,6 +100,15 @@ struct OverloadStats
     double breaker_open_ms = 0;             ///< total quarantine time
     std::uint64_t retries = 0;              ///< retry attempts scheduled
     std::uint64_t watchdog_timeouts = 0;    ///< per-attempt expiries
+
+    /// Completion-notification accounting (OverloadConfig::batch):
+    /// notification events delivered - by interrupt or, when NAPI
+    /// switched the controller to polled mode, by poll - and member
+    /// completions whose own notification was absorbed into a batch's
+    /// coalesced one. Both 0 without a fault plan (the fault-free
+    /// settle path never paid notifications, batched or not).
+    std::uint64_t irq_notifications = 0;
+    std::uint64_t irq_suppressed = 0;
 
     /// Full latency distribution of the completed requests; mean/p99
     /// are bit-identical to the scalar fields above.

@@ -99,6 +99,9 @@ struct ShardResult
     std::uint64_t peak_active_flows = 0;
     std::uint64_t driver_round_trips = 0;
     std::uint64_t desc_fetches = 0;
+    std::uint64_t doorbells = 0;
+    std::uint64_t suppressed_notifications = 0;
+    std::uint64_t coalesced_bursts = 0;
     double host_busy_core_seconds = 0;
     /// Per-unit busy seconds and active watts in unit-creation order:
     /// summed flat in finalize so the single-shard sum is bit-identical
@@ -168,6 +171,13 @@ class SystemSim
         /// Whether the in-flight motion's RX push was accepted; a
         /// rejected (overflowed) push must not be popped later.
         bool push_ok = true;
+        /// Batched-submission cursors (SystemConfig::batch > 1), kept
+        /// PER APP so batching never couples shard domains: flow
+        /// submission seq (one doorbell per `batch` submissions) and
+        /// pipeline-step completion seq (one interrupt per `batch`
+        /// steps, the rest discovered by completion-record polls).
+        std::uint64_t submission_seq = 0;
+        std::uint64_t completion_seq = 0;
     };
 
     void startRequest(std::size_t a);
@@ -206,9 +216,18 @@ class SystemSim
      * retransmitted until delivered, each replay re-paying the full
      * transfer under current contention.
      */
-    void startFlowReliable(pcie::NodeId src, pcie::NodeId dst,
-                           std::uint64_t bytes,
+    void startFlowReliable(std::size_t a, pcie::NodeId src,
+                           pcie::NodeId dst, std::uint64_t bytes,
                            std::function<void()> done);
+
+    /**
+     * Batched-submission leg of startFlowReliable: submit @p d as a
+     * descriptor (full dma_setup only when @p first), retransmitting
+     * corrupted deliveries like the legacy path. Replays re-fetch
+     * their descriptor - the doorbell was already rung.
+     */
+    void startDescriptorReliable(pcie::DmaDescriptor d, bool first,
+                                 std::function<void()> done);
 
     /** @return app a's credit gate for motion k, or nullptr. */
     robust::CreditGate *gateFor(std::size_t a, std::size_t k);
@@ -230,6 +249,7 @@ class SystemSim
     std::uint64_t _dropped_irqs = 0;
     std::uint64_t _driver_round_trips = 0;
     std::uint64_t _desc_fetches = 0;
+    std::uint64_t _suppressed_notifications = 0;
     /// System-level admission: depth is the system-wide in-flight
     /// request count; sojourn feedback is end-to-end request latency.
     std::unique_ptr<robust::AdmissionController> _admission;
@@ -546,6 +566,28 @@ SystemSim::traceGap(AppInstance &app)
 void
 SystemSim::notifyThen(std::size_t a, std::function<void()> next)
 {
+    if (_cfg.batch > 1) {
+        // Coalesced completions: only every batch-th pipeline step of
+        // this app raises an interrupt; the suppressed steps write a
+        // completion record the host discovers by polling (the poll's
+        // CPU work and detection latency are charged by the driver).
+        // A suppressed step is NOT a driver round trip - no doorbell
+        // returns to the device.
+        AppInstance &app = _apps[a];
+        ++app.completion_seq;
+        if (app.completion_seq % _cfg.batch != 0) {
+            ++_suppressed_notifications;
+            const driver::InterruptController::Notification n =
+                _irq->pollRecord();
+            if (auto *tb = trace::active()) {
+                tb->instant(trace::Category::Driver, "record_poll",
+                            "host.irq", _eq.now());
+                tb->count("sys.suppressed_notifications", _eq.now());
+            }
+            _eq.scheduleIn(n.latency, std::move(next));
+            return;
+        }
+    }
     (void)a;
     ++_driver_round_trips;
     const driver::InterruptController::Notification n =
@@ -582,13 +624,25 @@ SystemSim::chainThen(std::size_t a, std::function<void()> next)
 }
 
 void
-SystemSim::startFlowReliable(pcie::NodeId src, pcie::NodeId dst,
-                             std::uint64_t bytes,
+SystemSim::startFlowReliable(std::size_t a, pcie::NodeId src,
+                             pcie::NodeId dst, std::uint64_t bytes,
                              std::function<void()> done)
 {
+    if (_cfg.batch > 1) {
+        // Batched submission: the app rings one full doorbell per
+        // `batch` flows; the others are engine descriptor fetches of
+        // pre-written descriptors (the DSA batch-descriptor model).
+        AppInstance &app = _apps[a];
+        const bool first = app.submission_seq % _cfg.batch == 0;
+        ++app.submission_seq;
+        startDescriptorReliable({src, dst, bytes}, first,
+                                std::move(done));
+        return;
+    }
     _fabric->startFlowChecked(
         src, dst, bytes,
-        [this, src, dst, bytes, done = std::move(done)](bool ok) mutable {
+        [this, a, src, dst, bytes,
+         done = std::move(done)](bool ok) mutable {
             if (ok) {
                 done();
                 return;
@@ -599,7 +653,27 @@ SystemSim::startFlowReliable(pcie::NodeId src, pcie::NodeId dst,
                 tb->instant(trace::Category::Retry, "flow_retry", "pcie",
                             _eq.now());
             }
-            startFlowReliable(src, dst, bytes, std::move(done));
+            startFlowReliable(a, src, dst, bytes, std::move(done));
+        });
+}
+
+void
+SystemSim::startDescriptorReliable(pcie::DmaDescriptor d, bool first,
+                                   std::function<void()> done)
+{
+    _fabric->startDescriptorFlow(
+        d, first, [this, d, done = std::move(done)](bool ok) mutable {
+            if (ok) {
+                done();
+                return;
+            }
+            ++_flow_retries;
+            if (auto *tb = trace::active()) {
+                tb->count("sys.flow_retries", _eq.now());
+                tb->instant(trace::Category::Retry, "flow_retry", "pcie",
+                            _eq.now());
+            }
+            startDescriptorReliable(d, false, std::move(done));
         });
 }
 
@@ -701,7 +775,7 @@ SystemSim::startMotion(std::size_t a, std::size_t k)
       case Placement::MultiAxl:
       case Placement::IntegratedDrx:
         // Stage through host memory.
-        startFlowReliable(app.accel_nodes[k], _hostmem, mt.in_bytes,
+        startFlowReliable(a, app.accel_nodes[k], _hostmem, mt.in_bytes,
                           [this, a, k] {
             AppInstance &ap = _apps[a];
             closePhase(ap, Phase::Movement, 2 * k + 1);
@@ -721,7 +795,7 @@ SystemSim::startMotion(std::size_t a, std::size_t k)
       case Placement::BumpInTheWire: {
         const auto flow_in = [this, a, k] {
             AppInstance &ap = _apps[a];
-            startFlowReliable(ap.accel_nodes[k], ap.drx_nodes[k],
+            startFlowReliable(a, ap.accel_nodes[k], ap.drx_nodes[k],
                               ap.model->motions[k].in_bytes,
                               [this, a, k] {
                 AppInstance &ap2 = _apps[a];
@@ -764,7 +838,7 @@ SystemSim::startMotion(std::size_t a, std::size_t k)
         // Single flow through the switch; restructuring streams at line
         // rate inside it, so only its residual latency is exposed.
         app.flow_start = _eq.now();
-        startFlowReliable(app.accel_nodes[k], app.accel_nodes[k + 1],
+        startFlowReliable(a, app.accel_nodes[k], app.accel_nodes[k + 1],
                           mt.in_bytes, [this, a, k] {
             AppInstance &ap = _apps[a];
             closePhase(ap, Phase::Movement, 2 * k + 1);
@@ -812,7 +886,7 @@ SystemSim::restructureDone(std::size_t a, std::size_t k)
             break;
         }
         // The notify latency stays inside the Movement phase.
-        startFlowReliable(src, ap.accel_nodes[k + 1], mt.out_bytes,
+        startFlowReliable(a, src, ap.accel_nodes[k + 1], mt.out_bytes,
                           [this, a, k] {
             AppInstance &ap2 = _apps[a];
             closePhase(ap2, Phase::Movement, 2 * k + 1);
@@ -909,6 +983,9 @@ SystemSim::simulate()
     r.peak_active_flows = _fabric ? _fabric->peakActiveFlows() : 0;
     r.driver_round_trips = _driver_round_trips;
     r.desc_fetches = _desc_fetches;
+    r.doorbells = _fabric ? _fabric->doorbells() : 0;
+    r.suppressed_notifications = _suppressed_notifications;
+    r.coalesced_bursts = _irq->coalescedBursts();
     r.host_busy_core_seconds = _pool->busyCoreSeconds();
     for (const accel::DeviceUnit *u : _accel_unit_ptrs)
         r.accel_busy_seconds.push_back(u->busySeconds());
@@ -981,6 +1058,9 @@ SystemSim::finalize(const SystemConfig &cfg,
             std::max(stats.peak_active_flows, sh.peak_active_flows);
         stats.driver_round_trips += sh.driver_round_trips;
         stats.descriptor_fetches += sh.desc_fetches;
+        stats.doorbells += sh.doorbells;
+        stats.notifications_suppressed += sh.suppressed_notifications;
+        stats.coalesced_bursts += sh.coalesced_bursts;
     }
     const double n_apps = static_cast<double>(n_apps_total);
     stats.avg_latency_ms /= n_apps;

@@ -113,6 +113,14 @@ struct SystemConfig
     /// Chain submission mode. Default PerHop is byte- and tick-
     /// identical to the pre-chaining closed loop.
     ChainSubmission chain = ChainSubmission::PerHop;
+    /// Batched submission window (DESIGN.md 7j), per app: each app
+    /// rings one full doorbell per `batch` flow submissions (the rest
+    /// are engine descriptor fetches) and takes one completion
+    /// interrupt per `batch` pipeline steps (the suppressed steps are
+    /// discovered by completion-record polls at polling_latency).
+    /// Default 1 is byte- and tick-identical to the unbatched loop.
+    /// Batching is per app instance, so shard domains stay independent.
+    unsigned batch = 1;
 };
 
 /** Per-request time split (averaged), in milliseconds. */
@@ -214,6 +222,16 @@ struct RunStats
     /// mid-chain trips become engine descriptor fetches instead.
     std::uint64_t driver_round_trips = 0;
     std::uint64_t descriptor_fetches = 0;
+
+    /// Batched submission observability (SystemConfig::batch). With
+    /// batch == 1: doorbells counts every full-setup fabric submission
+    /// and the other two are 0. With batch > 1: suppressed completion
+    /// notifications are replaced by completion-record polls (counted
+    /// in `polls`), and coalesced_bursts reports the driver's own
+    /// burst coalescing on the interrupts that remain.
+    std::uint64_t doorbells = 0;
+    std::uint64_t notifications_suppressed = 0;
+    std::uint64_t coalesced_bursts = 0;
 
     /// @return hits / (hits + misses), 0 when idle.
     double

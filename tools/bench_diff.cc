@@ -32,6 +32,12 @@
  * --perturb PCT is a self-test hook: it scales every candidate metric
  * in the regressing direction by PCT percent before comparing, which
  * must trip the checker (CI runs it and asserts a nonzero exit).
+ *
+ * --wall-summary replaces the comparison entirely: it prints a
+ * base/cand/ratio table of every "wall_" metric the two reports share
+ * and always exits 0. Wall time never gates - the mode exists so a CI
+ * log (or a human) can eyeball host-side speedups without hand-diffing
+ * two JSON files.
  */
 
 #include <cctype>
@@ -221,6 +227,7 @@ main(int argc, char **argv)
     std::string base_path, cand_path, figure;
     double tolerance_pct = 5.0;
     double perturb_pct = 0.0;
+    bool wall_summary = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
             tolerance_pct = std::atof(argv[++i]);
@@ -230,6 +237,8 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--figure") == 0 &&
                    i + 1 < argc) {
             figure = argv[++i];
+        } else if (std::strcmp(argv[i], "--wall-summary") == 0) {
+            wall_summary = true;
         } else if (base_path.empty()) {
             base_path = argv[i];
         } else if (cand_path.empty()) {
@@ -244,7 +253,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: bench_diff <baseline.json> <candidate.json>"
                      " [--tolerance PCT] [--perturb PCT]"
-                     " [--figure NAME]\n");
+                     " [--figure NAME] [--wall-summary]\n");
         return 2;
     }
 
@@ -258,6 +267,30 @@ main(int argc, char **argv)
                      "bench_diff: figure mismatch: '%s' vs '%s'\n",
                      base.figure.c_str(), cand.figure.c_str());
         return 2;
+    }
+
+    if (wall_summary) {
+        // Informational host-side timing table; never gates, exit 0.
+        std::printf("wall-clock summary (%s):\n",
+                    base.figure.empty() ? "unnamed" : base.figure.c_str());
+        std::printf("%-40s %12s %12s %8s\n", "metric", "base", "cand",
+                    "ratio");
+        std::size_t shown = 0;
+        for (const auto &[name, base_v] : base.metrics) {
+            if (name.rfind("wall_", 0) != 0)
+                continue;
+            const auto it = cand.metrics.find(name);
+            if (it == cand.metrics.end())
+                continue;
+            const double ratio =
+                base_v == 0.0 ? 0.0 : it->second / base_v;
+            std::printf("%-40s %12.6g %12.6g %7.3fx\n", name.c_str(),
+                        base_v, it->second, ratio);
+            ++shown;
+        }
+        if (shown == 0)
+            std::printf("(no shared wall_ metrics)\n");
+        return 0;
     }
 
     int regressions = 0;

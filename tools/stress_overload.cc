@@ -13,6 +13,7 @@
  *
  * Usage:
  *   stress_overload [--requests N] [--devices D] [--seed S]
+ *                   [--batch B] [--request-bytes BYTES]
  *                   [--jobs N] [--json PATH]
  */
 
@@ -67,6 +68,8 @@ main(int argc, char **argv)
     unsigned requests = 160;
     unsigned devices = 4;
     std::uint64_t seed = 1;
+    unsigned batch = 1;
+    std::uint64_t request_bytes = 4096;
     for (int i = 1; i < argc; ++i) {
         auto value = [&](const char *flag) {
             if (i + 1 >= argc)
@@ -81,6 +84,12 @@ main(int argc, char **argv)
                 std::strtoul(value("--devices"), nullptr, 10));
         else if (std::strcmp(argv[i], "--seed") == 0)
             seed = std::strtoull(value("--seed"), nullptr, 10);
+        else if (std::strcmp(argv[i], "--batch") == 0)
+            batch = static_cast<unsigned>(
+                std::strtoul(value("--batch"), nullptr, 10));
+        else if (std::strcmp(argv[i], "--request-bytes") == 0)
+            request_bytes =
+                std::strtoull(value("--request-bytes"), nullptr, 10);
     }
 
     bench::banner("Overload stress - open-loop load x fault sweep",
@@ -91,6 +100,9 @@ main(int argc, char **argv)
     report.metric("config_seed", static_cast<double>(seed));
     report.metric("config_requests", static_cast<double>(requests));
     report.metric("config_devices", static_cast<double>(devices));
+    report.metric("config_batch", static_cast<double>(batch));
+    report.metric("config_request_bytes",
+                  static_cast<double>(request_bytes));
 
     const std::vector<Point> points{
         {0.5, 0.0}, {1.0, 0.0}, {2.0, 0.0},
@@ -102,11 +114,14 @@ main(int argc, char **argv)
     std::vector<std::function<OverloadStats()>> thunks;
     for (const Point &p : points) {
         for (const bool prot : {false, true}) {
-            thunks.push_back([p, prot, requests, devices, seed] {
+            thunks.push_back([p, prot, requests, devices, seed, batch,
+                              request_bytes] {
                 OverloadConfig cfg;
                 cfg.requests = requests;
                 cfg.devices = devices;
                 cfg.seed = seed;
+                cfg.batch = batch;
+                cfg.request_bytes = request_bytes;
                 cfg.load = p.load;
                 cfg.fault_rate = p.fault_rate;
                 if (prot) {

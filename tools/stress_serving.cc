@@ -20,6 +20,7 @@
  *
  * Usage:
  *   stress_serving [--requests N] [--devices D] [--seed S]
+ *                  [--batch B] [--request-bytes BYTES]
  *                  [--jobs N] [--json PATH]
  */
 
@@ -59,12 +60,15 @@ armName(Arm a)
 
 ServeConfig
 makeConfig(const Point &p, Arm arm, unsigned requests, unsigned devices,
-           std::uint64_t seed)
+           std::uint64_t seed, unsigned batch,
+           std::uint64_t request_bytes)
 {
     ServeConfig cfg;
     cfg.overload.requests = requests;
     cfg.overload.devices = devices;
     cfg.overload.seed = seed;
+    cfg.overload.batch = batch;
+    cfg.overload.request_bytes = request_bytes;
     cfg.overload.load = p.load;
     cfg.overload.fault_rate = p.fault_rate;
     cfg.enabled = true;
@@ -102,6 +106,8 @@ main(int argc, char **argv)
     unsigned requests = 240;
     unsigned devices = 4;
     std::uint64_t seed = 1;
+    unsigned batch = 1;
+    std::uint64_t request_bytes = 4096;
     for (int i = 1; i < argc; ++i) {
         auto value = [&](const char *flag) {
             if (i + 1 >= argc)
@@ -116,6 +122,12 @@ main(int argc, char **argv)
                 std::strtoul(value("--devices"), nullptr, 10));
         else if (std::strcmp(argv[i], "--seed") == 0)
             seed = std::strtoull(value("--seed"), nullptr, 10);
+        else if (std::strcmp(argv[i], "--batch") == 0)
+            batch = static_cast<unsigned>(
+                std::strtoul(value("--batch"), nullptr, 10));
+        else if (std::strcmp(argv[i], "--request-bytes") == 0)
+            request_bytes =
+                std::strtoull(value("--request-bytes"), nullptr, 10);
     }
 
     bench::banner("Serving stress - trace shape x load x fault sweep",
@@ -125,6 +137,9 @@ main(int argc, char **argv)
     report.metric("config_seed", static_cast<double>(seed));
     report.metric("config_requests", static_cast<double>(requests));
     report.metric("config_devices", static_cast<double>(devices));
+    report.metric("config_batch", static_cast<double>(batch));
+    report.metric("config_request_bytes",
+                  static_cast<double>(request_bytes));
 
     const std::vector<Point> points{
         {TraceShape::Steady, 1.0, 0.0},
@@ -139,9 +154,11 @@ main(int argc, char **argv)
     std::vector<std::function<ServeStats()>> thunks;
     for (const Point &p : points) {
         for (const Arm arm : arms) {
-            thunks.push_back([p, arm, requests, devices, seed] {
-                return simulateServing(
-                    makeConfig(p, arm, requests, devices, seed));
+            thunks.push_back([p, arm, requests, devices, seed, batch,
+                              request_bytes] {
+                return simulateServing(makeConfig(p, arm, requests,
+                                                  devices, seed, batch,
+                                                  request_bytes));
             });
         }
     }
